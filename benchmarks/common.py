@@ -1,0 +1,126 @@
+"""Shared workload profiles for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper on a
+laptop-scale workload.  The profiles below are the calibrated stand-ins
+for the paper's datasets/models (see DESIGN.md "Substitutions"): pool and
+batch sizes are scaled down ~8x so the full benchmark suite finishes in
+minutes, while the difficulty profile (facet redundancy, ambiguity,
+per-round training stochasticity) preserves the strategy ordering the
+paper reports.
+
+All benchmarks print their reproduced table to stdout **and** write it to
+``benchmarks/results/<name>.txt`` so the output survives pytest capture.
+EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.data.ner import NERCorpusSpec, make_ner_corpus
+from repro.data.text import TextCorpusSpec, make_text_corpus
+from repro.experiments import ExperimentConfig
+from repro.models import LinearChainCRF, LinearSoftmax, MLPClassifier, TextCNN
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Master seed for all benchmark corpora and experiment repeats.
+BENCH_SEED = 7
+
+# -- text-classification profiles (calibrated in DESIGN.md) ---------------
+
+BENCH_MR = TextCorpusSpec(
+    name="MR(bench)", num_classes=2, size=2_200, background_vocab=800,
+    facets_per_class=24, facet_vocab=12, min_length=8, max_length=40,
+    ambiguous_fraction=0.10,
+)
+BENCH_SST2 = TextCorpusSpec(
+    name="SST-2(bench)", num_classes=2, size=2_200, background_vocab=750,
+    facets_per_class=24, facet_vocab=12, min_length=8, max_length=36,
+    ambiguous_fraction=0.08,
+)
+BENCH_TREC = TextCorpusSpec(
+    name="TREC(bench)", num_classes=6, size=2_400, background_vocab=600,
+    facets_per_class=10, facet_vocab=10, min_length=5, max_length=30,
+    ambiguous_fraction=0.08,
+    class_priors=(0.23, 0.21, 0.20, 0.16, 0.12, 0.08),
+)
+BENCH_SUBJ = TextCorpusSpec(
+    name="Subj(bench)", num_classes=2, size=1_400, background_vocab=700,
+    facets_per_class=24, facet_vocab=12, min_length=6, max_length=23,
+    ambiguous_fraction=0.08,
+)
+
+# -- NER profiles ----------------------------------------------------------
+
+BENCH_NER_EN = NERCorpusSpec(
+    name="CoNLL-2003-English(bench)", size=500, background_vocab=350,
+    gazetteer_size=50, mean_length=12.0, length_spread=4.0, entity_rate=1.5,
+)
+BENCH_NER_ES = NERCorpusSpec(
+    name="CoNLL-2002-Spanish(bench)", size=450, background_vocab=350,
+    gazetteer_size=50, mean_length=24.0, length_spread=8.0, entity_rate=0.7,
+)
+BENCH_NER_NL = NERCorpusSpec(
+    name="CoNLL-2002-Dutch(bench)", size=500, background_vocab=350,
+    gazetteer_size=50, mean_length=11.0, length_spread=4.5, entity_rate=1.0,
+)
+
+
+def text_split(spec: TextCorpusSpec, train: int = 1_300, seed: int = BENCH_SEED):
+    """Generate ``spec`` and split it into (train pool, test set)."""
+    dataset = make_text_corpus(spec, seed_or_rng=seed)
+    return dataset.subset(range(train)), dataset.subset(range(train, len(dataset)))
+
+
+def ner_split(spec: NERCorpusSpec, train_fraction: float = 0.7, seed: int = BENCH_SEED):
+    """Generate ``spec`` and split it into (train pool, test set)."""
+    dataset = make_ner_corpus(spec, seed_or_rng=seed)
+    cut = int(len(dataset) * train_fraction)
+    return dataset.subset(range(cut)), dataset.subset(range(cut, len(dataset)))
+
+
+def text_model() -> LinearSoftmax:
+    """Default text classifier: fast, noisy-snapshot softmax regression.
+
+    ``epochs=5`` deliberately stops short of convergence so per-round
+    reseeding produces the score noise of the paper's briefly fine-tuned
+    networks (see DESIGN.md).
+    """
+    return LinearSoftmax(epochs=5, batch_size=32, seed=0)
+
+
+def mlp_model() -> MLPClassifier:
+    """BALD-capable classifier used in the Figure 4 benchmarks."""
+    return MLPClassifier(epochs=12, hidden_dim=24, dropout=0.4, seed=0)
+
+
+def cnn_model() -> TextCNN:
+    """EGL-word-capable TextCNN used in the Figure 4 benchmarks."""
+    return TextCNN(embedding_dim=16, filters=8, epochs=4, seed=0)
+
+
+def ner_model() -> LinearChainCRF:
+    """CRF sequence labeler for the NER benchmarks."""
+    return LinearChainCRF(epochs=3, seed=0)
+
+
+def text_config(rounds: int = 14, repeats: int = 8, batch_size: int = 25) -> ExperimentConfig:
+    """Paper setup scaled down: batch 25, 14 rounds, repeat-averaged."""
+    return ExperimentConfig(
+        batch_size=batch_size, rounds=rounds, repeats=repeats, seed=BENCH_SEED
+    )
+
+
+def ner_config(rounds: int = 8, repeats: int = 2, batch_size: int = 25) -> ExperimentConfig:
+    """NER setup: the paper's batch-100/20-round protocol scaled to the CRF."""
+    return ExperimentConfig(
+        batch_size=batch_size, rounds=rounds, repeats=repeats, seed=BENCH_SEED
+    )
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")

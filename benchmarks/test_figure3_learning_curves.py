@@ -1,0 +1,221 @@
+"""Figure 3: learning curves of general query strategies.
+
+The paper's Figure 3 has twelve panels: rows MR / SST-2 / TREC with base
+strategies Entropy / LC / EGL (each panel: base, HUS, WSHS, FHS, and LHS
+on the binary datasets), plus a fourth row of NER curves (CoNLL English /
+Spanish / Dutch: random, LC, WSHS(LC), FHS(LC)).
+
+Each test below regenerates one row; the printed table gives the metric
+at the paper's checkpoint counts.  Shape assertions are deliberately
+loose (epsilon-slack inequalities on AUC): the claims under test are the
+paper's qualitative ones — informative beats random, and the best
+history-aware variant is at least on par with its base — not exact
+numbers.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.ranker_training import RankerTrainingConfig, train_lhs_ranker
+from repro.core.strategies import (
+    EGL,
+    Entropy,
+    FHS,
+    HUS,
+    LHS,
+    LeastConfidence,
+    Random,
+    WSHS,
+)
+from repro.eval.curves import area_under_curve
+from repro.experiments import run_comparison
+from repro.experiments.reporting import format_curve_table
+
+from .common import (
+    BENCH_MR,
+    BENCH_NER_EN,
+    BENCH_NER_ES,
+    BENCH_NER_NL,
+    BENCH_SEED,
+    BENCH_SST2,
+    BENCH_SUBJ,
+    BENCH_TREC,
+    ner_config,
+    ner_model,
+    ner_split,
+    save_report,
+    text_config,
+    text_model,
+    text_split,
+)
+
+WINDOW = 5
+AUC_SLACK = 0.012  # repeat-noise tolerance on AUC comparisons
+
+BASES = {"Entropy": Entropy, "LC": LeastConfidence, "EGL": EGL}
+
+
+def _rankers_for(bases, seed):
+    subj_train, subj_test = text_split(BENCH_SUBJ, train=900, seed=BENCH_SEED + 1)
+    rankers = {}
+    for offset, (name, factory) in enumerate(bases.items()):
+        rankers[name] = train_lhs_ranker(
+            text_model(),
+            subj_train,
+            subj_test,
+            base=factory(),
+            config=RankerTrainingConfig(
+                rounds=5, candidates_per_round=12, initial_size=25,
+                window=WINDOW, predictor="lstm", predictor_rounds=6, eval_size=250,
+            ),
+            seed_or_rng=seed + offset,
+        )
+    return rankers
+
+
+def _text_row(spec, include_lhs):
+    train, test = text_split(spec)
+    rankers = _rankers_for(BASES, BENCH_SEED + 10) if include_lhs else {}
+    strategies = {"Random": Random}
+    for name, factory in BASES.items():
+        strategies[name] = factory
+        strategies[f"HUS({name})"] = lambda factory=factory: HUS(factory(), WINDOW)
+        strategies[f"WSHS({name})"] = lambda factory=factory: WSHS(factory(), WINDOW)
+        strategies[f"FHS({name})"] = lambda factory=factory: FHS(factory(), WINDOW)
+        if include_lhs:
+            strategies[f"LHS({name})"] = (
+                lambda factory=factory, name=name: LHS(
+                    factory(), rankers[name],
+                    candidate_strategies=[LeastConfidence()],
+                )
+            )
+    results = run_comparison(
+        text_model, strategies, train, test, config=text_config(repeats=6)
+    )
+    return {name: result.curve for name, result in results.items()}
+
+
+def _assert_text_shape(curves):
+    random_auc = area_under_curve(curves["Random"])
+    for base in BASES:
+        base_auc = area_under_curve(curves[base])
+        variants = [f"WSHS({base})", f"FHS({base})"]
+        if f"LHS({base})" in curves:
+            variants.append(f"LHS({base})")
+        best_history = max(area_under_curve(curves[v]) for v in variants)
+        # The paper's claims, with repeat-noise slack.
+        assert best_history >= base_auc - AUC_SLACK, base
+        # EGL is the weakest base (on TREC it can trail Random, as the
+        # paper's own TREC/EGL panel suggests), so the beats-random claim
+        # is asserted only for the uncertainty bases.
+        if base != "EGL":
+            assert best_history >= random_auc - AUC_SLACK, base
+
+
+def test_figure3_row1_mr(benchmark):
+    curves = benchmark.pedantic(
+        lambda: _text_row(BENCH_MR, include_lhs=True), rounds=1, iterations=1
+    )
+    checkpoints = curves["Random"].counts[::4].tolist()
+    save_report(
+        "figure3_row1_mr",
+        format_curve_table(
+            curves, counts=checkpoints,
+            title="Figure 3 row 1 (reproduced): MR accuracy vs labeled samples",
+        ),
+    )
+    _assert_text_shape(curves)
+
+
+def test_figure3_row2_sst2(benchmark):
+    curves = benchmark.pedantic(
+        lambda: _text_row(BENCH_SST2, include_lhs=True), rounds=1, iterations=1
+    )
+    checkpoints = curves["Random"].counts[::4].tolist()
+    save_report(
+        "figure3_row2_sst2",
+        format_curve_table(
+            curves, counts=checkpoints,
+            title="Figure 3 row 2 (reproduced): SST-2 accuracy vs labeled samples",
+        ),
+    )
+    _assert_text_shape(curves)
+
+
+def test_figure3_row3_trec(benchmark):
+    # The paper applies LHS only to the binary datasets (the ranker is
+    # trained on binary Subj), so TREC runs without it — same as Fig. 3.
+    curves = benchmark.pedantic(
+        lambda: _text_row(BENCH_TREC, include_lhs=False), rounds=1, iterations=1
+    )
+    checkpoints = curves["Random"].counts[::4].tolist()
+    save_report(
+        "figure3_row3_trec",
+        format_curve_table(
+            curves, counts=checkpoints,
+            title="Figure 3 row 3 (reproduced): TREC accuracy vs labeled samples",
+        ),
+    )
+    _assert_text_shape(curves)
+
+
+def _ner_row(spec, seed_offset=0):
+    train, test = ner_split(spec)
+    strategies = {
+        "Random": Random,
+        "LC": LeastConfidence,
+        "WSHS(LC)": lambda: WSHS(LeastConfidence(), window=3),
+        "FHS(LC)": lambda: FHS(LeastConfidence(), window=3),
+    }
+    results = run_comparison(
+        ner_model, strategies, train, test, config=ner_config()
+    )
+    return {name: result.curve for name, result in results.items()}
+
+
+def _assert_ner_shape(curves):
+    random_auc = area_under_curve(curves["Random"])
+    lc_auc = area_under_curve(curves["LC"])
+    best_history = max(
+        area_under_curve(curves["WSHS(LC)"]), area_under_curve(curves["FHS(LC)"])
+    )
+    assert best_history >= lc_auc - 0.02
+    assert best_history >= random_auc - 0.02
+    # F1 must actually be learned, not flat noise.
+    assert curves["LC"].values[-1] > 0.5
+
+
+def test_figure3_row4_conll_english(benchmark):
+    curves = benchmark.pedantic(lambda: _ner_row(BENCH_NER_EN), rounds=1, iterations=1)
+    save_report(
+        "figure3_row4_conll_english",
+        format_curve_table(
+            curves, counts=curves["Random"].counts[::2].tolist(),
+            title="Figure 3 row 4a (reproduced): CoNLL-2003 English F1 vs labeled sentences",
+        ),
+    )
+    _assert_ner_shape(curves)
+
+
+def test_figure3_row4_conll_spanish(benchmark):
+    curves = benchmark.pedantic(lambda: _ner_row(BENCH_NER_ES), rounds=1, iterations=1)
+    save_report(
+        "figure3_row4_conll_spanish",
+        format_curve_table(
+            curves, counts=curves["Random"].counts[::2].tolist(),
+            title="Figure 3 row 4b (reproduced): CoNLL-2002 Spanish F1 vs labeled sentences",
+        ),
+    )
+    _assert_ner_shape(curves)
+
+
+def test_figure3_row4_conll_dutch(benchmark):
+    curves = benchmark.pedantic(lambda: _ner_row(BENCH_NER_NL), rounds=1, iterations=1)
+    save_report(
+        "figure3_row4_conll_dutch",
+        format_curve_table(
+            curves, counts=curves["Random"].counts[::2].tolist(),
+            title="Figure 3 row 4c (reproduced): CoNLL-2002 Dutch F1 vs labeled sentences",
+        ),
+    )
+    _assert_ner_shape(curves)

@@ -1,0 +1,162 @@
+"""Figure 4: state-of-the-art strategies improved by historical results.
+
+The paper's Figure 4 shows six panels: MR / SST-2 / TREC with BALD and
+EGL-word (each with a WSHS or FHS wrapper), and CoNLL English / Spanish /
+Dutch with BALD and MNLP (each with a WSHS wrapper).
+
+Because BALD needs an MC-dropout network and EGL-word an embedding-
+gradient network, each text panel runs two model-matched comparisons
+(MLP for BALD, TextCNN for EGL-word) and merges them into one table; the
+cross-model claim of the paper — history wrappers improve every SOTA
+base — is asserted per pair.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import BALD, EGLWord, FHS, MNLP, WSHS
+from repro.eval.curves import area_under_curve
+from repro.experiments import run_comparison
+from repro.experiments.reporting import format_curve_table
+
+from .common import (
+    BENCH_MR,
+    BENCH_NER_EN,
+    BENCH_NER_ES,
+    BENCH_NER_NL,
+    BENCH_SST2,
+    BENCH_TREC,
+    cnn_model,
+    mlp_model,
+    ner_config,
+    ner_model,
+    ner_split,
+    save_report,
+    text_config,
+    text_split,
+)
+
+AUC_SLACK = 0.015
+WINDOW = 5
+
+
+def _text_panel(spec):
+    train, test = text_split(spec, train=900)
+    config = text_config(rounds=10, repeats=3)
+    bald_results = run_comparison(
+        mlp_model,
+        {
+            "BALD": lambda: BALD(n_draws=6),
+            "WSHS(BALD)": lambda: WSHS(BALD(n_draws=6), window=WINDOW),
+        },
+        train,
+        test,
+        config=config,
+    )
+    egl_results = run_comparison(
+        cnn_model,
+        {
+            "EGL-word": EGLWord,
+            "FHS(EGL-w)": lambda: FHS(EGLWord(), window=WINDOW),
+        },
+        train,
+        test,
+        config=config,
+    )
+    curves = {name: r.curve for name, r in {**bald_results, **egl_results}.items()}
+    return curves
+
+
+def _assert_pairs(curves, pairs):
+    for base, wrapped in pairs:
+        assert (
+            area_under_curve(curves[wrapped])
+            >= area_under_curve(curves[base]) - AUC_SLACK
+        ), (base, wrapped)
+
+
+def test_figure4_panel_mr(benchmark):
+    curves = benchmark.pedantic(lambda: _text_panel(BENCH_MR), rounds=1, iterations=1)
+    save_report(
+        "figure4_panel_mr",
+        format_curve_table(
+            curves, counts=curves["BALD"].counts[::3].tolist(),
+            title="Figure 4 panel MR (reproduced): SOTA strategies with history",
+        ),
+    )
+    _assert_pairs(curves, [("BALD", "WSHS(BALD)"), ("EGL-word", "FHS(EGL-w)")])
+
+
+def test_figure4_panel_sst2(benchmark):
+    curves = benchmark.pedantic(lambda: _text_panel(BENCH_SST2), rounds=1, iterations=1)
+    save_report(
+        "figure4_panel_sst2",
+        format_curve_table(
+            curves, counts=curves["BALD"].counts[::3].tolist(),
+            title="Figure 4 panel SST-2 (reproduced): SOTA strategies with history",
+        ),
+    )
+    _assert_pairs(curves, [("BALD", "WSHS(BALD)"), ("EGL-word", "FHS(EGL-w)")])
+
+
+def test_figure4_panel_trec(benchmark):
+    curves = benchmark.pedantic(lambda: _text_panel(BENCH_TREC), rounds=1, iterations=1)
+    save_report(
+        "figure4_panel_trec",
+        format_curve_table(
+            curves, counts=curves["BALD"].counts[::3].tolist(),
+            title="Figure 4 panel TREC (reproduced): SOTA strategies with history",
+        ),
+    )
+    _assert_pairs(curves, [("BALD", "WSHS(BALD)"), ("EGL-word", "FHS(EGL-w)")])
+
+
+def _ner_panel(spec):
+    train, test = ner_split(spec)
+    config = ner_config(rounds=6, repeats=2)
+    results = run_comparison(
+        ner_model,
+        {
+            "BALD": lambda: BALD(n_draws=4),
+            "WSHS(BALD)": lambda: WSHS(BALD(n_draws=4), window=3),
+            "MNLP": MNLP,
+            "WSHS(MNLP)": lambda: WSHS(MNLP(), window=3),
+        },
+        train,
+        test,
+        config=config,
+    )
+    return {name: r.curve for name, r in results.items()}
+
+
+def _run_ner_panel(benchmark, spec, name, title):
+    curves = benchmark.pedantic(lambda: _ner_panel(spec), rounds=1, iterations=1)
+    save_report(
+        name,
+        format_curve_table(
+            curves, counts=curves["MNLP"].counts[::2].tolist(), title=title
+        ),
+    )
+    _assert_pairs(curves, [("BALD", "WSHS(BALD)"), ("MNLP", "WSHS(MNLP)")])
+    # F1 must be learned on every language.
+    assert curves["MNLP"].values[-1] > 0.4
+
+
+def test_figure4_panel_conll_english(benchmark):
+    _run_ner_panel(
+        benchmark, BENCH_NER_EN, "figure4_panel_conll_english",
+        "Figure 4 panel CoNLL-2003 English (reproduced): BALD/MNLP with history",
+    )
+
+
+def test_figure4_panel_conll_spanish(benchmark):
+    _run_ner_panel(
+        benchmark, BENCH_NER_ES, "figure4_panel_conll_spanish",
+        "Figure 4 panel CoNLL-2002 Spanish (reproduced): BALD/MNLP with history",
+    )
+
+
+def test_figure4_panel_conll_dutch(benchmark):
+    _run_ner_panel(
+        benchmark, BENCH_NER_NL, "figure4_panel_conll_dutch",
+        "Figure 4 panel CoNLL-2002 Dutch (reproduced): BALD/MNLP with history",
+    )

@@ -1,0 +1,62 @@
+"""Figure 5: hyper-parameter analysis of WSHS and FHS on MR.
+
+The paper sweeps the WSHS history-window size l over {2, 3, 6} and, with
+l fixed at 3, the FHS fluctuation weight over {0.2, 0.4, 0.5}.  Its
+finding: a moderate window works best (too small under-uses history, too
+large drags in stale scores), and fluctuation weights near 0.5 work best.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import Entropy, FHS, WSHS
+from repro.eval.curves import area_under_curve
+from repro.experiments import run_comparison
+from repro.experiments.reporting import format_curve_table
+
+from .common import BENCH_MR, save_report, text_config, text_model, text_split
+
+WINDOWS = (2, 3, 6)
+WEIGHTS = (0.2, 0.4, 0.5)
+
+
+def test_figure5_hyperparameters(benchmark):
+    train, test = text_split(BENCH_MR)
+
+    def run():
+        strategies = {}
+        for window in WINDOWS:
+            strategies[f"WSHS l={window}"] = (
+                lambda window=window: WSHS(Entropy(), window=window)
+            )
+        for weight in WEIGHTS:
+            strategies[f"FHS wf={weight}"] = (
+                lambda weight=weight: FHS(
+                    Entropy(), window=3,
+                    score_weight=1.0 - weight, fluctuation_weight=weight,
+                )
+            )
+        results = run_comparison(
+            text_model, strategies, train, test, config=text_config(repeats=6)
+        )
+        return {name: r.curve for name, r in results.items()}
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    checkpoints = next(iter(curves.values())).counts[::4].tolist()
+    save_report(
+        "figure5_hyperparams",
+        format_curve_table(
+            curves, counts=checkpoints,
+            title=(
+                "Figure 5 (reproduced): WSHS window sweep and FHS "
+                "fluctuation-weight sweep on the MR profile"
+            ),
+        ),
+    )
+
+    window_auc = {w: area_under_curve(curves[f"WSHS l={w}"]) for w in WINDOWS}
+    weight_auc = {w: area_under_curve(curves[f"FHS wf={w}"]) for w in WEIGHTS}
+    # Paper shape: window size matters (the sweep is not flat) and no
+    # configuration collapses.
+    assert max(window_auc.values()) - min(window_auc.values()) < 0.05
+    assert all(value > 0.6 for value in window_auc.values())
+    assert all(value > 0.6 for value in weight_auc.values())

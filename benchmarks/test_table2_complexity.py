@@ -1,0 +1,94 @@
+"""Table 2: time and space complexity of basic vs historical strategies.
+
+The paper's claim: WSHS/FHS/LHS add O(1) time on top of a basic
+strategy's O(T) per-round evaluation, and O(l*N) space for the history
+window versus O(N) for current scores only.  We measure both directly:
+
+* time — per-round scoring cost of Entropy vs WSHS/FHS(Entropy) on the
+  same model and pool (the history combination must be a small fraction
+  of the base evaluation cost);
+* space — HistoryStore bytes as a function of rounds recorded vs the
+  bytes of a single score vector.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.history import HistoryStore
+from repro.core.strategies import Entropy, FHS, WSHS
+from repro.core.strategies.base import SelectionContext
+from repro.experiments.reporting import format_table
+
+from .common import BENCH_MR, save_report, text_model, text_split
+
+
+def _fresh_context(dataset, history, round_index):
+    n = len(dataset)
+    return SelectionContext(
+        dataset=dataset,
+        unlabeled=np.arange(100, n),
+        labeled=np.arange(100),
+        history=history,
+        round_index=round_index,
+        rng=np.random.default_rng(0),
+    )
+
+
+def _scoring_time(strategy, model, dataset, rounds=6):
+    history = HistoryStore(len(dataset), strategy_name=strategy.name)
+    elapsed = 0.0
+    for round_index in range(1, rounds + 1):
+        context = _fresh_context(dataset, history, round_index)
+        start = time.perf_counter()
+        strategy.scores(model, context)
+        elapsed += time.perf_counter() - start
+    return elapsed / rounds
+
+
+def test_table2_complexity(benchmark):
+    train, _ = text_split(BENCH_MR)
+    model = text_model().fit(train.subset(range(200)))
+
+    def run():
+        base_time = _scoring_time(Entropy(), model, train)
+        wshs_time = _scoring_time(WSHS(Entropy(), window=3), model, train)
+        fhs_time = _scoring_time(FHS(Entropy(), window=3), model, train)
+
+        n = len(train)
+        current_bytes = n * 8  # one float score per sample
+        history = HistoryStore(n)
+        history_bytes = {}
+        for round_index in range(1, 21):
+            history.append(round_index, np.arange(n), np.zeros(n))
+            if round_index in (1, 3, 10, 20):
+                history_bytes[round_index] = history.nbytes()
+
+        rows = [
+            ["Entropy (basic)", f"{base_time * 1e3:.2f} ms", f"{current_bytes / 1024:.0f} KiB"],
+            ["WSHS(Entropy)", f"{wshs_time * 1e3:.2f} ms",
+             f"{history_bytes[3] / 1024:.0f} KiB (l=3)"],
+            ["FHS(Entropy)", f"{fhs_time * 1e3:.2f} ms",
+             f"{history_bytes[3] / 1024:.0f} KiB (l=3)"],
+            ["HistoryStore @20 rounds", "-", f"{history_bytes[20] / 1024:.0f} KiB"],
+        ]
+        report = format_table(
+            ["strategy", "per-round scoring time", "score storage"],
+            rows,
+            title="Table 2 (reproduced): overhead of historical strategies",
+        )
+        return report, base_time, wshs_time, fhs_time, history_bytes, current_bytes
+
+    report, base_time, wshs_time, fhs_time, history_bytes, current_bytes = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    save_report("table2_complexity", report)
+
+    # Shape claims: history adds a bounded constant factor, not O(rounds).
+    assert wshs_time < base_time * 3.0
+    assert fhs_time < base_time * 3.0
+    # Space grows linearly in recorded rounds and is l*N-scale, not free.
+    assert history_bytes[20] == 20 * current_bytes
+    assert history_bytes[3] == 3 * current_bytes

@@ -1,0 +1,64 @@
+"""Table 4: statistics of the NER corpora.
+
+Regenerates the sentence/token statistics of the CoNLL presets.  The
+paper's key per-language property — Spanish sentences are ~2.3x longer
+than English/Dutch ones (264,715 tokens over 8,322 sentences vs 203,621
+over 14,987) — must hold, because it is what gives the MNLP
+normalisation its purpose.
+"""
+
+from __future__ import annotations
+
+from repro.data.ner import conll2002_dutch, conll2002_spanish, conll2003_english
+from repro.experiments.reporting import format_table
+
+from .common import BENCH_SEED, save_report
+
+PAPER_TRAIN_ROWS = {
+    "CoNLL-2003-English": (14_987, 203_621),
+    "CoNLL-2002-Spanish": (8_322, 264_715),
+    "CoNLL-2002-Dutch": (15_806, 202_644),
+}
+
+
+def test_table4_ner_stats(benchmark):
+    def run():
+        # Scale 0.2 keeps generation fast; per-sentence statistics are
+        # scale-invariant.
+        datasets = [
+            factory(scale=0.2, seed_or_rng=BENCH_SEED)
+            for factory in (conll2003_english, conll2002_spanish, conll2002_dutch)
+        ]
+        rows = []
+        for dataset in datasets:
+            entity_tokens = sum(int((t != 0).sum()) for t in dataset.tag_sequences)
+            rows.append([
+                dataset.name,
+                len(dataset),
+                dataset.total_tokens(),
+                round(dataset.total_tokens() / len(dataset), 1),
+                entity_tokens,
+            ])
+        report = format_table(
+            ["Dataset", "#Sentences", "#Tokens", "tokens/sentence", "entity tokens"],
+            rows,
+            title="Table 4 (reproduced): NER dataset statistics (train split, 0.2x scale)",
+        )
+        return report, datasets
+
+    report, datasets = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("table4_ner_stats", report)
+
+    by_name = {d.name: d for d in datasets}
+    english = by_name["CoNLL-2003-English"]
+    spanish = by_name["CoNLL-2002-Spanish"]
+    dutch = by_name["CoNLL-2002-Dutch"]
+
+    def tokens_per_sentence(dataset):
+        return dataset.total_tokens() / len(dataset)
+
+    # Paper ratios: es 31.8 t/s vs en 13.6 vs nl 12.8.
+    assert tokens_per_sentence(spanish) > 2.0 * tokens_per_sentence(english)
+    assert abs(tokens_per_sentence(english) - tokens_per_sentence(dutch)) < 3.0
+    # Scaled sentence counts preserve the paper's corpus-size ordering.
+    assert len(dutch) > len(english) > len(spanish)

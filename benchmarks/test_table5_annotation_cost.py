@@ -1,0 +1,134 @@
+"""Table 5: annotations required to reach target accuracies on MR.
+
+The paper's headline table: for each base strategy (Entropy, LC, EGL) it
+reports how many labeled samples Random / base / HUS / WSHS / FHS / LHS
+need to reach accuracies 0.72 / 0.73 / 0.735 within a 500-sample budget.
+The bench profile reaches higher absolute accuracy, so the targets are
+rescaled to the profile's operating range (0.84 / 0.86 / 0.875 within a
+375-sample budget); the *shape* claim under test is the paper's: the
+history-aware variants reach the targets with fewer annotations than
+their base on average, and the learned LHS is competitive with the best
+heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ranker_training import RankerTrainingConfig, train_lhs_ranker
+from repro.core.strategies import (
+    EGL,
+    Entropy,
+    FHS,
+    HUS,
+    LHS,
+    LeastConfidence,
+    Random,
+    WSHS,
+)
+from repro.eval.curves import samples_to_target
+from repro.experiments import run_comparison
+from repro.experiments.reporting import format_target_table
+
+from .common import (
+    BENCH_MR,
+    BENCH_SEED,
+    BENCH_SUBJ,
+    save_report,
+    text_config,
+    text_model,
+    text_split,
+)
+
+TARGETS = (0.84, 0.86, 0.875)
+WINDOW = 5
+
+
+def _train_ranker(base_factory, seed):
+    """LHS rankers are trained on the Subj profile, as in the paper."""
+    subj_train, subj_test = text_split(BENCH_SUBJ, train=900, seed=BENCH_SEED + 1)
+    return train_lhs_ranker(
+        text_model(),
+        subj_train,
+        subj_test,
+        base=base_factory(),
+        config=RankerTrainingConfig(
+            rounds=5, candidates_per_round=12, initial_size=25, add_per_round=3,
+            window=WINDOW, predictor="lstm", predictor_rounds=6, eval_size=250,
+        ),
+        seed_or_rng=seed,
+    )
+
+
+def test_table5_annotation_cost(benchmark):
+    train, test = text_split(BENCH_MR)
+
+    def run():
+        bases = {
+            "Entropy": Entropy,
+            "LC": LeastConfidence,
+            "EGL": EGL,
+        }
+        rankers = {
+            name: _train_ranker(factory, seed=BENCH_SEED + i)
+            for i, (name, factory) in enumerate(bases.items())
+        }
+        strategies = {"Random": Random}
+        for name, factory in bases.items():
+            strategies[name] = factory
+            strategies[f"HUS({name})"] = (
+                lambda factory=factory: HUS(factory(), window=WINDOW)
+            )
+            strategies[f"WSHS({name})"] = (
+                lambda factory=factory: WSHS(factory(), window=WINDOW)
+            )
+            strategies[f"FHS({name})"] = (
+                lambda factory=factory: FHS(factory(), window=WINDOW)
+            )
+            strategies[f"LHS({name})"] = (
+                lambda factory=factory, name=name: LHS(
+                    factory(), rankers[name],
+                    candidate_strategies=[LeastConfidence()],
+                )
+            )
+        results = run_comparison(
+            text_model, strategies, train, test, config=text_config()
+        )
+        curves = {name: result.curve for name, result in results.items()}
+        budget = int(curves["Random"].counts[-1])
+        report = format_target_table(
+            curves,
+            targets=list(TARGETS),
+            budget=budget,
+            title=(
+                "Table 5 (reproduced): annotations to reach target accuracy "
+                "on the MR profile (budget "
+                f"{budget}, averaged over {text_config().repeats} repeats)"
+            ),
+        )
+        return report, curves, budget
+
+    report, curves, budget = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("table5_annotation_cost", report)
+
+    overrun = budget + 25  # "budget+" rendered as one batch past the budget
+
+    def cost(name, target):
+        needed = samples_to_target(curves[name], target)
+        return overrun if needed is None else needed
+
+    def mean_cost(name):
+        return float(np.mean([cost(name, t) for t in TARGETS]))
+
+    for base in ("Entropy", "LC", "EGL"):
+        history_best = min(
+            mean_cost(f"WSHS({base})"),
+            mean_cost(f"FHS({base})"),
+            mean_cost(f"LHS({base})"),
+        )
+        # Paper shape: the best history-aware variant reaches the targets
+        # at least as cheaply as the plain base strategy.
+        assert history_best <= mean_cost(base), base
+    # Random pays more annotations than the best informative pipeline.
+    best_overall = min(mean_cost(name) for name in curves if name != "Random")
+    assert mean_cost("Random") >= best_overall

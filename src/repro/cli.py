@@ -1,0 +1,212 @@
+"""Command-line interface: run comparisons and train rankers from a shell.
+
+Two subcommands::
+
+    python -m repro compare --dataset mr --scale 0.1 \
+        --strategies random entropy wshs:entropy fhs:entropy \
+        --rounds 10 --batch-size 25 --repeats 3
+
+    python -m repro train-ranker --dataset subj --scale 0.1 \
+        --base entropy --output ranker.json
+
+Strategy specs are ``name`` or ``wrapper:base`` using the registry keys
+(``random``, ``entropy``, ``lc``, ``egl``, ``hus``, ``wshs``, ``fhs``,
+``mnlp``, ...).  ``lhs:<base>`` needs ``--ranker <file>`` produced by
+``train-ranker``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from .core.ranker_training import RankerTrainingConfig, train_lhs_ranker
+from .core.strategies import FHS, HUS, LHS, WSHS, create_strategy
+from .data import (
+    conll2002_dutch,
+    conll2002_spanish,
+    conll2003_english,
+    mr,
+    sst2,
+    subj,
+    trec,
+)
+from .exceptions import ConfigurationError, ReproError
+from .experiments import ExperimentConfig, plot_curves, run_comparison
+from .experiments.reporting import format_curve_table, format_target_table
+from .models import LinearChainCRF, LinearSoftmax
+from .persistence import load_lhs_ranker, save_lhs_ranker
+
+TEXT_DATASETS = {"mr": mr, "sst2": sst2, "subj": subj, "trec": trec}
+NER_DATASETS = {
+    "conll-en": conll2003_english,
+    "conll-es": conll2002_spanish,
+    "conll-nl": conll2002_dutch,
+}
+WRAPPERS = {"hus": HUS, "wshs": WSHS, "fhs": FHS}
+
+
+def build_strategy_factory(
+    spec: str, window: int, ranker_path: "str | None"
+) -> Callable[[], object]:
+    """Turn a ``name`` / ``wrapper:base`` spec into a strategy factory."""
+    wrapper_key, _, base_key = spec.lower().partition(":")
+    if not base_key:
+        return lambda: create_strategy(wrapper_key)
+    if wrapper_key in WRAPPERS:
+        wrapper = WRAPPERS[wrapper_key]
+        return lambda: wrapper(create_strategy(base_key), window=window)
+    if wrapper_key == "lhs":
+        if not ranker_path:
+            raise ConfigurationError("lhs:<base> requires --ranker <file>")
+        ranker = load_lhs_ranker(ranker_path)
+        return lambda: LHS(create_strategy(base_key), ranker)
+    raise ConfigurationError(f"unknown strategy wrapper {wrapper_key!r}")
+
+
+def _load_dataset(name: str, scale: float, seed: int):
+    key = name.lower()
+    if key in TEXT_DATASETS:
+        return TEXT_DATASETS[key](scale=scale, seed_or_rng=seed), "text"
+    if key in NER_DATASETS:
+        return NER_DATASETS[key](scale=scale, seed_or_rng=seed), "ner"
+    known = ", ".join(sorted(TEXT_DATASETS) + sorted(NER_DATASETS))
+    raise ConfigurationError(f"unknown dataset {name!r}; known: {known}")
+
+
+def _split(dataset, test_fraction: float):
+    cut = int(len(dataset) * (1.0 - test_fraction))
+    return dataset.subset(range(cut)), dataset.subset(range(cut, len(dataset)))
+
+
+def _model_factory(kind: str, epochs: int):
+    if kind == "text":
+        return lambda: LinearSoftmax(epochs=epochs, batch_size=32, seed=0)
+    return lambda: LinearChainCRF(epochs=max(1, epochs // 2), seed=0)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset, kind = _load_dataset(args.dataset, args.scale, args.seed)
+    train, test = _split(dataset, args.test_fraction)
+    strategies = {
+        spec: build_strategy_factory(spec, args.window, args.ranker)
+        for spec in args.strategies
+    }
+    config = ExperimentConfig(
+        batch_size=args.batch_size,
+        rounds=args.rounds,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    results = run_comparison(
+        _model_factory(kind, args.epochs), strategies, train, test, config=config
+    )
+    curves = {name: result.curve for name, result in results.items()}
+    metric = "accuracy" if kind == "text" else "span F1"
+    print(format_curve_table(
+        curves,
+        title=f"{dataset.name}: {metric} vs labeled samples "
+              f"(mean over {args.repeats} repeats)",
+    ))
+    if args.targets:
+        print()
+        print(format_target_table(curves, targets=args.targets))
+    if args.plot:
+        print()
+        print(plot_curves(curves))
+    return 0
+
+
+def _cmd_train_ranker(args: argparse.Namespace) -> int:
+    dataset, kind = _load_dataset(args.dataset, args.scale, args.seed)
+    if kind != "text":
+        raise ConfigurationError("train-ranker supports text datasets only")
+    train, test = _split(dataset, args.test_fraction)
+    ranker = train_lhs_ranker(
+        LinearSoftmax(epochs=args.epochs, batch_size=32, seed=0),
+        train,
+        test,
+        base=create_strategy(args.base),
+        config=RankerTrainingConfig(
+            rounds=args.rounds,
+            candidates_per_round=args.candidates,
+            initial_size=args.batch_size,
+            window=args.window,
+            predictor=args.predictor if args.predictor != "none" else None,
+            eval_size=min(250, len(test)),
+        ),
+        seed_or_rng=args.seed,
+    )
+    save_lhs_ranker(ranker, args.output)
+    print(
+        f"trained LHS ranker on {ranker.training_rows} candidate evaluations "
+        f"(base={ranker.base_name}); saved to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Active learning with historical evaluation results",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("--dataset", required=True,
+                         help="mr, sst2, subj, trec, conll-en, conll-es, conll-nl")
+        sub.add_argument("--scale", type=float, default=0.2,
+                         help="dataset size multiplier (default 0.2)")
+        sub.add_argument("--test-fraction", type=float, default=0.3)
+        sub.add_argument("--batch-size", type=int, default=25)
+        sub.add_argument("--rounds", type=int, default=10)
+        sub.add_argument("--window", type=int, default=3,
+                         help="history window l for WSHS/FHS/HUS")
+        sub.add_argument("--epochs", type=int, default=5,
+                         help="model training epochs per round")
+        sub.add_argument("--seed", type=int, default=7)
+
+    compare = subparsers.add_parser(
+        "compare", help="run several query strategies and print their curves"
+    )
+    add_common(compare)
+    compare.add_argument("--strategies", nargs="+", required=True,
+                         help="specs like: random entropy wshs:entropy lhs:lc")
+    compare.add_argument("--repeats", type=int, default=3)
+    compare.add_argument("--targets", nargs="*", type=float, default=[],
+                         help="also print annotations-to-target for these values")
+    compare.add_argument("--ranker", default=None,
+                         help="ranker file for lhs:<base> strategies")
+    compare.add_argument("--plot", action="store_true",
+                         help="also draw the curves as an ASCII chart")
+    compare.set_defaults(handler=_cmd_compare)
+
+    train = subparsers.add_parser(
+        "train-ranker", help="run Algorithm 1 and save an LHS ranker"
+    )
+    add_common(train)
+    train.add_argument("--base", default="entropy",
+                       help="base strategy whose history feeds the features")
+    train.add_argument("--candidates", type=int, default=12,
+                       help="candidate-set size per round")
+    train.add_argument("--predictor", choices=["lstm", "ar", "none"], default="ar")
+    train.add_argument("--output", required=True, help="output ranker JSON file")
+    train.set_defaults(handler=_cmd_train_ranker)
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

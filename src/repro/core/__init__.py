@@ -1,0 +1,28 @@
+"""Core active-learning machinery: the paper's contribution.
+
+* :mod:`repro.core.history` — the historical-evaluation-sequence store
+  (the central data structure of the paper).
+* :mod:`repro.core.pool` — labeled/unlabeled pool bookkeeping.
+* :mod:`repro.core.strategies` — all query strategies: classic baselines,
+  the historical baselines (HUS/HKLD), and the proposed WSHS/FHS/LHS.
+* :mod:`repro.core.features` — ranking-feature extraction for LHS.
+* :mod:`repro.core.loop` — the pool-based active-learning driver.
+* :mod:`repro.core.ranker_training` — Algorithm 1 (training the LHS ranker).
+"""
+
+from .features import RankingFeatureExtractor
+from .history import HistoryStore
+from .loop import ActiveLearningLoop, ALResult, RoundRecord
+from .pool import Pool
+from .ranker_training import LHSRanker, train_lhs_ranker
+
+__all__ = [
+    "ALResult",
+    "ActiveLearningLoop",
+    "HistoryStore",
+    "LHSRanker",
+    "Pool",
+    "RankingFeatureExtractor",
+    "RoundRecord",
+    "train_lhs_ranker",
+]

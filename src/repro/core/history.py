@@ -1,0 +1,200 @@
+"""The historical evaluation sequence store.
+
+This is the paper's central data structure: during pool-based active
+learning, every unlabeled sample is scored in every iteration, and the
+per-sample score sequence ``H_t(x) = [phi_1(x), ..., phi_t(x)]`` (Sec. 2)
+carries the level / trend / fluctuation signal the proposed strategies
+exploit.
+
+:class:`HistoryStore` is a dense ``(rounds, n_samples)`` float matrix with
+NaN for "not evaluated that round" (samples leave the pool once labeled).
+All window operations are right-aligned on the *recorded* entries of each
+sample, so a sample evaluated in rounds 1..t yields the same window
+whether or not other samples were skipped in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, HistoryError
+
+
+class HistoryStore:
+    """Per-sample historical evaluation sequences.
+
+    Parameters
+    ----------
+    n_samples:
+        Size of the full (labeled + unlabeled) sample universe; sample
+        indices passed to every method are positions in this universe.
+    strategy_name:
+        Optional label of the base strategy whose scores are stored
+        (diagnostic only).
+    """
+
+    def __init__(self, n_samples: int, strategy_name: str = "") -> None:
+        if n_samples <= 0:
+            raise ConfigurationError(f"n_samples must be positive, got {n_samples}")
+        self.n_samples = int(n_samples)
+        self.strategy_name = strategy_name
+        self._matrix = np.full((0, self.n_samples), np.nan)
+        self._rounds: list[int] = []
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, round_index: int, indices: np.ndarray, scores: np.ndarray) -> None:
+        """Record ``scores`` for ``indices`` at ``round_index``.
+
+        Rounds must be appended in strictly increasing order and only once
+        each — re-recording a round would silently corrupt the sequences,
+        so it raises instead.
+
+        Raises
+        ------
+        HistoryError
+            On out-of-order or duplicate rounds, misaligned inputs, or
+            out-of-range indices.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if indices.shape != scores.shape or indices.ndim != 1:
+            raise HistoryError(
+                f"indices {indices.shape} and scores {scores.shape} must be "
+                "1-D and aligned"
+            )
+        if self._rounds and round_index <= self._rounds[-1]:
+            raise HistoryError(
+                f"round {round_index} not after last recorded round {self._rounds[-1]}"
+            )
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= self.n_samples:
+                raise HistoryError("sample index out of range")
+            if len(np.unique(indices)) != len(indices):
+                raise HistoryError("duplicate sample indices in one round")
+        row = np.full(self.n_samples, np.nan)
+        row[indices] = scores
+        self._matrix = np.vstack([self._matrix, row])
+        self._rounds.append(int(round_index))
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds recorded so far."""
+        return len(self._rounds)
+
+    @property
+    def rounds(self) -> list[int]:
+        """The recorded round indices, in order."""
+        return list(self._rounds)
+
+    def has_round(self, round_index: int) -> bool:
+        """Whether ``round_index`` was recorded."""
+        return round_index in self._rounds
+
+    def sequence(self, index: int) -> np.ndarray:
+        """Full recorded sequence of sample ``index`` (NaNs dropped)."""
+        if not 0 <= index < self.n_samples:
+            raise HistoryError(f"sample index {index} out of range")
+        column = self._matrix[:, index]
+        return column[~np.isnan(column)]
+
+    def sequence_length(self, index: int) -> int:
+        """Number of recorded scores for sample ``index``."""
+        return len(self.sequence(index))
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the stored scores."""
+        return int(self._matrix.nbytes)
+
+    def prune(self, keep_rounds: int) -> int:
+        """Drop all but the most recent ``keep_rounds`` rounds in place.
+
+        The paper's space argument (Table 2) is that only the last ``l``
+        rounds are ever read, so a deployment can cap the store at
+        O(l*N) instead of O(rounds*N).  Returns the number of rounds
+        dropped.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``keep_rounds`` is not positive.
+        """
+        if keep_rounds < 1:
+            raise ConfigurationError(f"keep_rounds must be >= 1, got {keep_rounds}")
+        dropped = max(0, self.num_rounds - keep_rounds)
+        if dropped:
+            self._matrix = self._matrix[dropped:].copy()
+            self._rounds = self._rounds[dropped:]
+        return dropped
+
+    def as_of(self, round_index: int) -> "HistoryStore":
+        """A copy containing only rounds recorded up to ``round_index``.
+
+        Used to reconstruct, after a run, what a windowed statistic was
+        at selection time in an earlier round (e.g. Table 6's average
+        WSHS/FHS scores of the selected samples).
+        """
+        truncated = HistoryStore(self.n_samples, strategy_name=self.strategy_name)
+        keep = [i for i, r in enumerate(self._rounds) if r <= round_index]
+        if keep:
+            truncated._matrix = self._matrix[: keep[-1] + 1].copy()
+            truncated._rounds = [self._rounds[i] for i in keep]
+        return truncated
+
+    # -- windowed views ----------------------------------------------------------
+
+    def window_matrix(self, indices: np.ndarray, window: int) -> np.ndarray:
+        """Last ``window`` recorded scores per sample, right-aligned.
+
+        Returns a ``(len(indices), window)`` matrix whose last column is
+        each sample's most recent score; positions before a short
+        sequence's start are NaN.
+        """
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        indices = np.asarray(indices, dtype=np.int64)
+        output = np.full((len(indices), window), np.nan)
+        if self.num_rounds == 0 or len(indices) == 0:
+            return output
+        columns = self._matrix[:, indices]  # (rounds, k)
+        observed = ~np.isnan(columns)
+        counts = observed.sum(axis=0)
+        # Position of each observation counted from the end of its sequence.
+        from_end = counts[None, :] - observed.cumsum(axis=0)
+        target = window - 1 - from_end  # right-aligned output column
+        valid = observed & (target >= 0)
+        round_idx, sample_idx = np.nonzero(valid)
+        output[sample_idx, target[valid]] = columns[round_idx, sample_idx]
+        return output
+
+    def current_scores(self, indices: np.ndarray) -> np.ndarray:
+        """Most recent recorded score per sample (NaN if never recorded)."""
+        return self.window_matrix(indices, 1)[:, 0]
+
+    def weighted_sum(self, indices: np.ndarray, window: int) -> np.ndarray:
+        """Eq. (9)-(10): exponentially weighted sum over the window.
+
+        The most recent score has weight 1, the one before 1/2, then 1/4,
+        etc.; missing positions contribute nothing.
+        """
+        matrix = self.window_matrix(indices, window)
+        weights = np.exp2(np.arange(window, dtype=np.float64) - (window - 1))
+        return np.nansum(matrix * weights, axis=1)
+
+    def fluctuation(self, indices: np.ndarray, window: int) -> np.ndarray:
+        """Variance of the windowed sequence (Sec. 4.3).
+
+        Samples with fewer than two recorded scores get fluctuation 0.
+        """
+        matrix = self.window_matrix(indices, window)
+        counts = (~np.isnan(matrix)).sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            variances = np.nanvar(matrix, axis=1)
+        variances[counts < 2] = 0.0
+        return variances
+
+    def __repr__(self) -> str:
+        label = f", strategy={self.strategy_name!r}" if self.strategy_name else ""
+        return f"HistoryStore(n={self.n_samples}, rounds={self.num_rounds}{label})"

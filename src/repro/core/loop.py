@@ -1,0 +1,233 @@
+"""The pool-based active-learning driver (Figure 1 of the paper).
+
+Per round: (re)train the model on the labeled pool, evaluate it on the
+test split, let the query strategy score every unlabeled sample (history-
+aware strategies record their base scores into the shared
+:class:`~repro.core.history.HistoryStore` as a side effect), move the
+selected batch into the labeled pool, repeat.  The first labeled batch is
+drawn at random, as in the paper's setup (Sec. 5.2.1).
+
+The result object keeps the full audit trail — per-round records,
+learning curve, the history store — which the Table 6 benchmark uses to
+compute WSHS/FHS diagnostics of whatever the strategy selected.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.datasets import SequenceDataset, TextDataset
+from ..eval.curves import LearningCurve
+from ..eval.metrics import evaluate_model
+from ..exceptions import ConfigurationError
+from ..rng import ensure_rng
+from .history import HistoryStore
+from .pool import Pool
+from .strategies.base import QueryStrategy, SelectionContext
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one active-learning round.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round number (0 = the random initial batch).
+    labeled_count:
+        Labeled-pool size the model was trained on this round.
+    metric:
+        Test metric of that model.
+    selected:
+        Dataset indices chosen for annotation this round (empty for the
+        final evaluation-only record).
+    selected_scores:
+        Base-strategy evaluation scores of the selected samples, read
+        back from the history store (NaN for strategies that record no
+        history).
+    """
+
+    round_index: int
+    labeled_count: int
+    metric: float
+    selected: np.ndarray
+    selected_scores: np.ndarray
+
+
+@dataclass
+class ALResult:
+    """Outcome of an active-learning run."""
+
+    strategy_name: str
+    records: list[RoundRecord]
+    history: HistoryStore
+    final_model: object = None
+    #: Dataset indices in selection order, round by round.
+    selection_order: list[np.ndarray] = field(default_factory=list)
+
+    def curve(self, label: str = "") -> LearningCurve:
+        """Learning curve (labeled count -> metric) of the run."""
+        counts = np.array([r.labeled_count for r in self.records], dtype=np.int64)
+        values = np.array([r.metric for r in self.records], dtype=np.float64)
+        return LearningCurve(counts, values, label=label or self.strategy_name)
+
+
+class ActiveLearningLoop:
+    """Configured, repeatable pool-based AL experiment.
+
+    Parameters
+    ----------
+    model_prototype:
+        Unfitted model; a fresh clone is trained from scratch each round
+        (deterministic given its seed).
+    strategy:
+        The query strategy under test.
+    train_dataset, test_dataset:
+        Pool to annotate from and held-out evaluation split.
+    batch_size:
+        Samples annotated per round (the paper uses 25 for binary text
+        classification, 100 for TREC and NER).
+    rounds:
+        Number of strategy-driven annotation rounds.
+    initial_size:
+        Size of the random initial labeled set (defaults to
+        ``batch_size``).
+    metric:
+        Custom ``f(model, dataset) -> float``; defaults to the paper's
+        metric for the model family (accuracy / span F1).
+    seed_or_rng:
+        Controls the initial batch, strategy tie-breaks, and any
+        stochastic strategy internals.
+    reseed_model:
+        When True (default) and the model exposes a ``seed`` attribute,
+        each round's clone gets a fresh seed drawn from the loop RNG.
+        This reproduces the per-iteration training stochasticity of the
+        paper's fine-tuned networks (mini-batch order, dropout), which is
+        precisely the evaluation noise the historical sequence averages
+        out; the run as a whole stays deterministic given
+        ``seed_or_rng``.
+    history_limit:
+        Cap the history store at this many most-recent rounds (the
+        paper's O(l*N) space bound; see Table 2).  Must be at least the
+        strategy's window or windowed statistics would be truncated;
+        ``None`` (default) keeps the full history for post-hoc analysis.
+    """
+
+    def __init__(
+        self,
+        model_prototype,
+        strategy: QueryStrategy,
+        train_dataset: "TextDataset | SequenceDataset",
+        test_dataset: "TextDataset | SequenceDataset",
+        batch_size: int = 25,
+        rounds: int = 20,
+        initial_size: "int | None" = None,
+        metric: "Callable[[object, object], float] | None" = None,
+        seed_or_rng: "int | np.random.Generator | None" = None,
+        reseed_model: bool = True,
+        history_limit: "int | None" = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        initial = batch_size if initial_size is None else initial_size
+        if initial < 1:
+            raise ConfigurationError(f"initial_size must be >= 1, got {initial}")
+        needed = initial + rounds * batch_size
+        if needed > len(train_dataset):
+            raise ConfigurationError(
+                f"run needs {needed} samples but the pool has {len(train_dataset)}"
+            )
+        self.model_prototype = model_prototype
+        self.strategy = strategy
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.batch_size = batch_size
+        self.rounds = rounds
+        self.initial_size = initial
+        window = getattr(strategy, "window", None)
+        if history_limit is not None and window is not None and history_limit < window:
+            raise ConfigurationError(
+                f"history_limit {history_limit} is below the strategy window "
+                f"{window}; windowed statistics would be truncated"
+            )
+        self.metric = metric or evaluate_model
+        self.reseed_model = reseed_model
+        self.history_limit = history_limit
+        self._rng = ensure_rng(seed_or_rng)
+
+    def _fresh_model(self, rng: np.random.Generator):
+        """Clone the prototype, optionally with a fresh per-round seed."""
+        model = self.model_prototype.clone()
+        if self.reseed_model and hasattr(model, "seed"):
+            model.seed = int(rng.integers(2**31))
+        return model
+
+    def run(self) -> ALResult:
+        """Execute the full loop and return the audit trail."""
+        rng = self._rng
+        n = len(self.train_dataset)
+        initial = rng.choice(n, size=self.initial_size, replace=False)
+        pool = Pool(n, initial_labeled=initial)
+        history = HistoryStore(n, strategy_name=self.strategy.name)
+        keep_models = self.strategy.requires_model_history
+        model_history: list = []
+        records: list[RoundRecord] = []
+        selection_order: list[np.ndarray] = []
+        model = None
+
+        for round_index in range(self.rounds + 1):
+            model = self._fresh_model(rng).fit(
+                self.train_dataset.subset(pool.labeled_indices)
+            )
+            metric_value = self.metric(model, self.test_dataset)
+            if keep_models:
+                model_history.append(model)
+                del model_history[:-keep_models]
+            if round_index == self.rounds or pool.num_unlabeled < self.batch_size:
+                records.append(
+                    RoundRecord(
+                        round_index=round_index,
+                        labeled_count=pool.num_labeled,
+                        metric=metric_value,
+                        selected=np.empty(0, dtype=np.int64),
+                        selected_scores=np.empty(0),
+                    )
+                )
+                break
+            context = SelectionContext(
+                dataset=self.train_dataset,
+                unlabeled=pool.unlabeled_indices,
+                labeled=pool.labeled_indices,
+                history=history,
+                round_index=round_index + 1,
+                rng=rng,
+                model_history=list(model_history),
+            )
+            selected = self.strategy.select(model, context, self.batch_size)
+            score_vector = history.current_scores(selected)
+            records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    labeled_count=pool.num_labeled,
+                    metric=metric_value,
+                    selected=selected,
+                    selected_scores=score_vector,
+                )
+            )
+            selection_order.append(selected)
+            pool.label(selected)
+            if self.history_limit is not None:
+                history.prune(self.history_limit)
+
+        return ALResult(
+            strategy_name=self.strategy.name,
+            records=records,
+            history=history,
+            final_model=model,
+            selection_order=selection_order,
+        )

@@ -1,0 +1,216 @@
+"""Query-strategy protocol, selection context, and registry.
+
+A strategy's job per round (Sec. 2 of the paper): assign every unlabeled
+sample a score and pick the ``batch_size`` best.  The
+:class:`SelectionContext` carries everything a strategy may need — the
+dataset, pool views, the :class:`~repro.core.history.HistoryStore`, the
+round number, an RNG for tie-breaking, and (for committee-over-time
+baselines) the recently fitted models — plus per-round caches so that
+e.g. ``FHS(entropy)`` and a diagnostic probe don't recompute the model's
+probabilities.
+
+History-aware strategies derive from :class:`HistoryAwareStrategy`: they
+wrap a base strategy, record its scores into the history store once per
+round, and combine the stored sequence with the current score.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...data.datasets import SequenceDataset, TextDataset
+from ...exceptions import ConfigurationError, StrategyError
+from ...models.base import Classifier, SequenceLabeler
+from ..history import HistoryStore
+
+
+@dataclass
+class SelectionContext:
+    """Everything a query strategy can see in one round.
+
+    Attributes
+    ----------
+    dataset:
+        The full training dataset (labeled + unlabeled samples).
+    unlabeled:
+        Indices of currently unlabeled samples; all score vectors are
+        aligned with this array.
+    labeled:
+        Indices of currently labeled samples.
+    history:
+        The shared history store for this run.
+    round_index:
+        1-based active-learning round number.
+    rng:
+        RNG for stochastic strategies and tie-breaking.
+    model_history:
+        Recently fitted models, oldest first, most recent last (only
+        populated when the strategy requests it).
+    """
+
+    dataset: "TextDataset | SequenceDataset"
+    unlabeled: np.ndarray
+    labeled: np.ndarray
+    history: HistoryStore
+    round_index: int
+    rng: np.random.Generator
+    model_history: list = field(default_factory=list)
+    _candidates: "TextDataset | SequenceDataset | None" = field(default=None, repr=False)
+    _proba_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def candidates(self) -> "TextDataset | SequenceDataset":
+        """The unlabeled samples as a dataset (built once per round)."""
+        if self._candidates is None:
+            self._candidates = self.dataset.subset(self.unlabeled)
+        return self._candidates
+
+    def probabilities(self, model: Classifier) -> np.ndarray:
+        """Cached ``predict_proba`` of ``model`` on the candidates."""
+        key = ("proba", id(model))
+        if key not in self._proba_cache:
+            self._proba_cache[key] = model.predict_proba(self.candidates)
+        return self._proba_cache[key]
+
+    def token_marginals(self, model: SequenceLabeler) -> list[np.ndarray]:
+        """Cached token marginals of ``model`` on the candidates."""
+        key = ("marginals", id(model))
+        if key not in self._proba_cache:
+            self._proba_cache[key] = model.token_marginals(self.candidates)
+        return self._proba_cache[key]
+
+    def best_path_log_proba(self, model: SequenceLabeler) -> np.ndarray:
+        """Cached Viterbi-path log-probabilities on the candidates."""
+        key = ("logp", id(model))
+        if key not in self._proba_cache:
+            self._proba_cache[key] = model.best_path_log_proba(self.candidates)
+        return self._proba_cache[key]
+
+
+class QueryStrategy(ABC):
+    """A scoring rule over unlabeled samples; higher scores are selected."""
+
+    #: How many past fitted models the loop should retain for this
+    #: strategy (0 = none).  HKLD sets this to its committee size.
+    requires_model_history: int = 0
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Readable identifier used in reports, e.g. ``"WSHS(entropy)"``."""
+
+    @abstractmethod
+    def scores(
+        self, model: "Classifier | SequenceLabeler", context: SelectionContext
+    ) -> np.ndarray:
+        """Score every sample in ``context.unlabeled`` (aligned array)."""
+
+    def select(
+        self,
+        model: "Classifier | SequenceLabeler",
+        context: SelectionContext,
+        batch_size: int,
+    ) -> np.ndarray:
+        """Dataset indices of the ``batch_size`` best unlabeled samples.
+
+        Ties are broken uniformly at random so runs with symmetric
+        initial scores (e.g. an untrained model) don't systematically
+        prefer low indices.
+        """
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_size > len(context.unlabeled):
+            raise StrategyError(
+                f"cannot select {batch_size} samples from "
+                f"{len(context.unlabeled)} unlabeled"
+            )
+        score_vector = np.asarray(self.scores(model, context), dtype=np.float64)
+        if score_vector.shape != context.unlabeled.shape:
+            raise StrategyError(
+                f"{self.name}: scores shape {score_vector.shape} does not match "
+                f"{len(context.unlabeled)} candidates"
+            )
+        jitter = context.rng.random(len(score_vector))
+        order = np.lexsort((jitter, -score_vector))
+        return context.unlabeled[order[:batch_size]]
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class HistoryAwareStrategy(QueryStrategy):
+    """A strategy that wraps a base strategy and reads its score history.
+
+    Subclasses call :meth:`base_scores` exactly once per round; the base
+    scores are recorded into ``context.history`` so the next round sees a
+    one-step-longer sequence.  ``window`` is the history length ``l`` of
+    Eq. (10).
+    """
+
+    def __init__(self, base: QueryStrategy, window: int = 3) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if isinstance(base, HistoryAwareStrategy):
+            raise ConfigurationError(
+                "history-aware strategies cannot wrap each other"
+            )
+        self.base = base
+        self.window = window
+
+    @property
+    def requires_model_history(self) -> int:  # type: ignore[override]
+        return self.base.requires_model_history
+
+    def base_scores(
+        self, model: "Classifier | SequenceLabeler", context: SelectionContext
+    ) -> np.ndarray:
+        """Compute the base strategy's current scores and record them."""
+        scores = np.asarray(self.base.scores(model, context), dtype=np.float64)
+        if not context.history.has_round(context.round_index):
+            context.history.append(context.round_index, context.unlabeled, scores)
+        return scores
+
+
+# -- shared scoring helpers ----------------------------------------------------
+
+
+def distribution_entropy(probabilities: np.ndarray) -> np.ndarray:
+    """Shannon entropy of each row of a probability matrix (Eq. 4)."""
+    clipped = np.clip(probabilities, 1e-12, None)
+    return -(clipped * np.log(clipped)).sum(axis=-1)
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[..., QueryStrategy]] = {}
+
+
+def register_strategy(key: str) -> Callable:
+    """Class decorator registering a strategy factory under ``key``."""
+
+    def decorator(factory: Callable[..., QueryStrategy]) -> Callable[..., QueryStrategy]:
+        lowered = key.lower()
+        if lowered in _REGISTRY:
+            raise ConfigurationError(f"strategy key {key!r} already registered")
+        _REGISTRY[lowered] = factory
+        return factory
+
+    return decorator
+
+
+def create_strategy(key: str, *args, **kwargs) -> QueryStrategy:
+    """Instantiate a registered strategy by key (case-insensitive)."""
+    lowered = key.lower()
+    if lowered not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown strategy {key!r}; known: {known}")
+    return _REGISTRY[lowered](*args, **kwargs)
+
+
+def registered_strategies() -> list[str]:
+    """Sorted list of registered strategy keys."""
+    return sorted(_REGISTRY)

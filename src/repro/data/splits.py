@@ -1,0 +1,100 @@
+"""Dataset splitting: train/dev/test and k-fold cross-validation.
+
+The paper splits MR and Subj into 10 folds for cross-validation and uses
+the original train/dev/test split for SST-2, TREC and the CoNLL corpora.
+Our synthetic presets come unsplit, so these helpers produce both kinds of
+split deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import ensure_rng
+
+
+def train_dev_test_split(
+    n: int,
+    dev_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    seed_or_rng: "int | np.random.Generator | None" = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return shuffled (train, dev, test) index arrays over ``range(n)``.
+
+    Raises
+    ------
+    ConfigurationError
+        If the fractions are negative or sum to 1 or more.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if dev_fraction < 0 or test_fraction < 0 or dev_fraction + test_fraction >= 1:
+        raise ConfigurationError(
+            f"invalid fractions dev={dev_fraction}, test={test_fraction}"
+        )
+    rng = ensure_rng(seed_or_rng)
+    order = rng.permutation(n)
+    n_dev = int(round(n * dev_fraction))
+    n_test = int(round(n * test_fraction))
+    dev = order[:n_dev]
+    test = order[n_dev : n_dev + n_test]
+    train = order[n_dev + n_test :]
+    return train, dev, test
+
+
+def kfold_indices(
+    n: int,
+    k: int = 10,
+    seed_or_rng: "int | np.random.Generator | None" = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``k`` shuffled (train_indices, test_indices) folds.
+
+    Every index appears in exactly one test fold; fold sizes differ by at
+    most one.  Matches the 10-fold protocol the paper uses for MR/Subj.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``k`` is less than 2 or greater than ``n``.
+    """
+    if k < 2:
+        raise ConfigurationError(f"k must be >= 2, got {k}")
+    if k > n:
+        raise ConfigurationError(f"k={k} exceeds dataset size n={n}")
+    rng = ensure_rng(seed_or_rng)
+    order = rng.permutation(n)
+    fold_test_indices = np.array_split(order, k)
+    folds: list[tuple[np.ndarray, np.ndarray]] = []
+    for test in fold_test_indices:
+        mask = np.ones(n, dtype=bool)
+        mask[test] = False
+        folds.append((order[mask[order]], test))
+    return folds
+
+
+def stratified_sample(
+    labels: np.ndarray,
+    size: int,
+    seed_or_rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Sample ``size`` indices with per-class proportions preserved.
+
+    Used to draw balanced initial labeled sets.  Rounds per-class quotas
+    down and tops up with random remaining indices to reach ``size``.
+    """
+    if size < 0 or size > len(labels):
+        raise ConfigurationError(f"size {size} out of range for {len(labels)} labels")
+    rng = ensure_rng(seed_or_rng)
+    chosen: list[np.ndarray] = []
+    classes = np.unique(labels)
+    for cls in classes:
+        members = np.flatnonzero(labels == cls)
+        quota = int(size * len(members) / len(labels))
+        chosen.append(rng.choice(members, size=min(quota, len(members)), replace=False))
+    picked = np.concatenate(chosen) if chosen else np.empty(0, dtype=np.int64)
+    if len(picked) < size:
+        remaining = np.setdiff1d(np.arange(len(labels)), picked)
+        extra = rng.choice(remaining, size=size - len(picked), replace=False)
+        picked = np.concatenate([picked, extra])
+    return np.sort(picked[:size])

@@ -1,0 +1,157 @@
+"""Sequence-tagging schemes (BIO, BIOES) and conversions between them.
+
+The paper follows Ma & Hovy (2016) in converting the CoNLL corpora from the
+BIO scheme to BIOES before training the sequence labeler.  This module
+implements both schemes, validation, the BIO -> BIOES and BIOES -> BIO
+conversions, and span extraction used by the entity-level F1 metric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from enum import Enum
+
+from ..exceptions import DataError
+
+OUTSIDE = "O"
+
+
+class TagScheme(str, Enum):
+    """Supported chunk-tagging schemes."""
+
+    BIO = "BIO"
+    BIOES = "BIOES"
+
+    @property
+    def prefixes(self) -> frozenset[str]:
+        """Valid tag prefixes for the scheme (excluding ``O``)."""
+        if self is TagScheme.BIO:
+            return frozenset({"B", "I"})
+        return frozenset({"B", "I", "E", "S"})
+
+
+def split_tag(tag: str) -> tuple[str, str]:
+    """Split ``"B-PER"`` into ``("B", "PER")``; ``"O"`` -> ``("O", "")``.
+
+    Raises
+    ------
+    DataError
+        If the tag has a prefix but no entity type (e.g. ``"B-"``).
+    """
+    if tag == OUTSIDE:
+        return OUTSIDE, ""
+    prefix, sep, entity_type = tag.partition("-")
+    if not sep or not entity_type:
+        raise DataError(f"malformed tag {tag!r}: expected 'PREFIX-TYPE' or 'O'")
+    return prefix, entity_type
+
+
+def validate_tags(tags: Sequence[str], scheme: TagScheme = TagScheme.BIO) -> None:
+    """Check that ``tags`` is a legal sequence under ``scheme``.
+
+    Raises
+    ------
+    DataError
+        On an unknown prefix, an ``I`` (or ``E``) tag that does not
+        continue a chunk of the same type, or a BIOES chunk that is never
+        closed by ``E``/``S``.
+    """
+    open_type: str | None = None
+    for position, tag in enumerate(tags):
+        prefix, entity_type = split_tag(tag)
+        if prefix == OUTSIDE:
+            if scheme is TagScheme.BIOES and open_type is not None:
+                raise DataError(f"position {position}: chunk of type {open_type!r} not closed before 'O'")
+            open_type = None
+            continue
+        if prefix not in scheme.prefixes:
+            raise DataError(f"position {position}: prefix {prefix!r} invalid for scheme {scheme.value}")
+        if prefix in ("I", "E"):
+            if open_type != entity_type:
+                raise DataError(
+                    f"position {position}: tag {tag!r} does not continue an open {entity_type!r} chunk"
+                )
+        if scheme is TagScheme.BIOES:
+            if prefix in ("B",) and open_type is not None:
+                raise DataError(f"position {position}: 'B' while {open_type!r} chunk still open")
+            if prefix == "S" and open_type is not None:
+                raise DataError(f"position {position}: 'S' while {open_type!r} chunk still open")
+        if prefix in ("B", "I"):
+            open_type = entity_type
+        else:  # E or S close the chunk
+            open_type = None
+    if scheme is TagScheme.BIOES and open_type is not None:
+        raise DataError(f"sequence ended with an unclosed {open_type!r} chunk")
+
+
+def bio_to_bioes(tags: Sequence[str]) -> list[str]:
+    """Convert a BIO tag sequence to BIOES.
+
+    Single-token chunks become ``S-*`` and the last token of a multi-token
+    chunk becomes ``E-*``; other tags are preserved.
+    """
+    validate_tags(tags, TagScheme.BIO)
+    converted: list[str] = []
+    n = len(tags)
+    for position, tag in enumerate(tags):
+        prefix, entity_type = split_tag(tag)
+        if prefix == OUTSIDE:
+            converted.append(OUTSIDE)
+            continue
+        next_prefix = OUTSIDE
+        if position + 1 < n:
+            next_prefix, next_type = split_tag(tags[position + 1])
+            if next_prefix == "I" and next_type != entity_type:
+                next_prefix = OUTSIDE
+        continues = next_prefix == "I"
+        if prefix == "B":
+            converted.append(f"B-{entity_type}" if continues else f"S-{entity_type}")
+        else:  # prefix == "I"
+            converted.append(f"I-{entity_type}" if continues else f"E-{entity_type}")
+    return converted
+
+
+def bioes_to_bio(tags: Sequence[str]) -> list[str]:
+    """Convert a BIOES tag sequence back to BIO (inverse of bio_to_bioes)."""
+    validate_tags(tags, TagScheme.BIOES)
+    converted: list[str] = []
+    for tag in tags:
+        prefix, entity_type = split_tag(tag)
+        if prefix == OUTSIDE:
+            converted.append(OUTSIDE)
+        elif prefix in ("B", "S"):
+            converted.append(f"B-{entity_type}")
+        else:  # I or E
+            converted.append(f"I-{entity_type}")
+    return converted
+
+
+def extract_spans(tags: Sequence[str]) -> set[tuple[int, int, str]]:
+    """Extract entity spans ``(start, end_exclusive, type)`` from tags.
+
+    Accepts either BIO or BIOES input; the prefixes are interpreted
+    permissively (an ``I`` with no open chunk starts a new one, matching
+    the conlleval convention), so this is safe on noisy model predictions.
+    """
+    spans: set[tuple[int, int, str]] = set()
+    start: int | None = None
+    open_type = ""
+    for position, tag in enumerate(tags):
+        prefix, entity_type = split_tag(tag)
+        begins = prefix in ("B", "S") or (prefix in ("I", "E") and open_type != entity_type)
+        if start is not None and (prefix == OUTSIDE or begins):
+            spans.add((start, position, open_type))
+            start = None
+        if prefix == OUTSIDE:
+            open_type = ""
+            continue
+        if begins or start is None:
+            start = position
+            open_type = entity_type
+        if prefix in ("E", "S"):
+            spans.add((start, position + 1, open_type))
+            start = None
+            open_type = ""
+    if start is not None:
+        spans.add((start, len(tags), open_type))
+    return spans

@@ -1,0 +1,110 @@
+"""Token vocabulary with stable integer ids.
+
+A :class:`Vocabulary` maps tokens to dense integer ids, reserving id 0 for
+padding and id 1 for unknown tokens.  Vocabularies can be built
+incrementally and then frozen; once frozen, unseen tokens map to the UNK id
+instead of being added, which is the behaviour models need at test time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import DataError
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """Bidirectional token/id mapping with PAD and UNK specials.
+
+    Parameters
+    ----------
+    tokens:
+        Optional initial tokens, added in iteration order after the two
+        special tokens.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._token_to_id: dict[str, int] = {PAD_TOKEN: 0, UNK_TOKEN: 1}
+        self._id_to_token: list[str] = [PAD_TOKEN, UNK_TOKEN]
+        self._frozen = False
+        for token in tokens:
+            self.add(token)
+
+    @property
+    def pad_id(self) -> int:
+        """Id of the padding token (always 0)."""
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        """Id of the unknown token (always 1)."""
+        return 1
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the vocabulary rejects new tokens."""
+        return self._frozen
+
+    def freeze(self) -> "Vocabulary":
+        """Stop accepting new tokens; unseen tokens map to UNK afterwards."""
+        self._frozen = True
+        return self
+
+    def add(self, token: str) -> int:
+        """Add ``token`` and return its id (existing id if already present).
+
+        Raises
+        ------
+        DataError
+            If the vocabulary is frozen and the token is new.
+        """
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        if self._frozen:
+            raise DataError(f"vocabulary is frozen; cannot add token {token!r}")
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def id_of(self, token: str) -> int:
+        """Return the id for ``token``, or the UNK id when unseen."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        """Return the token string for ``token_id``.
+
+        Raises
+        ------
+        DataError
+            If the id is out of range.
+        """
+        if not 0 <= token_id < len(self._id_to_token):
+            raise DataError(f"token id {token_id} out of range [0, {len(self)})")
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Encode a token sequence to ids, adding new tokens if unfrozen."""
+        if self._frozen:
+            return [self.id_of(token) for token in tokens]
+        return [self.add(token) for token in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Decode an id sequence back to token strings."""
+        return [self.token_of(i) for i in ids]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._frozen else "open"
+        return f"Vocabulary(size={len(self)}, {state})"

@@ -1,0 +1,14 @@
+"""Evaluation metrics and learning-curve utilities."""
+
+from .curves import LearningCurve, area_under_curve, mean_curve, samples_to_target
+from .metrics import accuracy_score, evaluate_model, span_f1
+
+__all__ = [
+    "LearningCurve",
+    "accuracy_score",
+    "area_under_curve",
+    "evaluate_model",
+    "mean_curve",
+    "samples_to_target",
+    "span_f1",
+]

@@ -1,0 +1,121 @@
+"""Learning curves and the paper's derived measurements.
+
+The paper compares strategies two ways (Sec. 5.2): the model's metric at
+equal labeled-set sizes (Figures 3-4) and the number of annotated samples
+required to reach a target metric (Table 5).  Both live here, plus the
+area-under-curve summary used as a tiebreak in analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """Metric as a function of labeled-set size.
+
+    Attributes
+    ----------
+    counts:
+        Labeled-sample counts, strictly increasing.
+    values:
+        Metric value observed at each count.
+    label:
+        Display name (usually the strategy name).
+    """
+
+    counts: np.ndarray
+    values: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if counts.shape != values.shape or counts.ndim != 1:
+            raise ConfigurationError(
+                f"counts {counts.shape} and values {values.shape} must be 1-D "
+                "and aligned"
+            )
+        if len(counts) == 0:
+            raise ConfigurationError("learning curve must have at least one point")
+        if len(counts) > 1 and not (np.diff(counts) > 0).all():
+            raise ConfigurationError("counts must be strictly increasing")
+        object.__setattr__(self, "counts", counts)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def value_at(self, count: int) -> float:
+        """Metric at the largest recorded count <= ``count``.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``count`` precedes the first recorded point.
+        """
+        eligible = np.flatnonzero(self.counts <= count)
+        if eligible.size == 0:
+            raise ConfigurationError(
+                f"no curve point at or before count {count} "
+                f"(first point is {int(self.counts[0])})"
+            )
+        return float(self.values[eligible[-1]])
+
+
+def samples_to_target(curve: LearningCurve, target: float) -> "int | None":
+    """Smallest labeled count whose metric reaches ``target``.
+
+    Returns ``None`` when the curve never reaches the target — rendered
+    as e.g. "500+" in Table 5 of the paper.
+    """
+    reached = np.flatnonzero(curve.values >= target)
+    if reached.size == 0:
+        return None
+    return int(curve.counts[reached[0]])
+
+
+def area_under_curve(curve: LearningCurve) -> float:
+    """Trapezoidal area under the curve, normalised by the count span.
+
+    A single-point curve returns its value.
+    """
+    if len(curve) == 1:
+        return float(curve.values[0])
+    span = float(curve.counts[-1] - curve.counts[0])
+    return float(np.trapezoid(curve.values, curve.counts) / span)
+
+
+def mean_curve(curves: "list[LearningCurve]", label: str = "") -> LearningCurve:
+    """Pointwise mean of curves sharing the same counts (repeat averaging).
+
+    Raises
+    ------
+    ConfigurationError
+        If the curves' counts differ.
+    """
+    if not curves:
+        raise ConfigurationError("mean_curve needs at least one curve")
+    reference = curves[0].counts
+    for curve in curves[1:]:
+        if not np.array_equal(curve.counts, reference):
+            raise ConfigurationError("curves have mismatched counts")
+    stacked = np.vstack([curve.values for curve in curves])
+    return LearningCurve(
+        counts=reference.copy(),
+        values=stacked.mean(axis=0),
+        label=label or curves[0].label,
+    )
+
+
+def curve_std(curves: "list[LearningCurve]") -> np.ndarray:
+    """Pointwise standard deviation across repeat curves."""
+    if not curves:
+        raise ConfigurationError("curve_std needs at least one curve")
+    stacked = np.vstack([curve.values for curve in curves])
+    return stacked.std(axis=0)

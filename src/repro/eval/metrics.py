@@ -1,0 +1,105 @@
+"""Task metrics: classification accuracy and entity-level span F1.
+
+The paper reports accuracy for text classification (following Kim 2014)
+and average F1 for NER (following Ma & Hovy 2016, i.e. exact-span
+precision/recall over decoded entities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.datasets import SequenceDataset, TextDataset
+from ..data.tagging import extract_spans
+from ..exceptions import ConfigurationError
+from ..models.base import Classifier, SequenceLabeler
+
+
+def accuracy_score(gold: np.ndarray, predicted: np.ndarray) -> float:
+    """Fraction of matching labels."""
+    gold = np.asarray(gold)
+    predicted = np.asarray(predicted)
+    if gold.shape != predicted.shape:
+        raise ConfigurationError(
+            f"shape mismatch: gold {gold.shape} vs predicted {predicted.shape}"
+        )
+    if gold.size == 0:
+        return 0.0
+    return float((gold == predicted).mean())
+
+
+@dataclass(frozen=True)
+class SpanF1:
+    """Entity-level precision / recall / F1 with raw counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    predicted_spans: int
+    gold_spans: int
+
+
+def span_f1(
+    gold_tag_sequences: "list[list[str]]",
+    predicted_tag_sequences: "list[list[str]]",
+) -> SpanF1:
+    """Exact-match entity F1 over string tag sequences (BIO or BIOES)."""
+    if len(gold_tag_sequences) != len(predicted_tag_sequences):
+        raise ConfigurationError(
+            f"{len(gold_tag_sequences)} gold vs "
+            f"{len(predicted_tag_sequences)} predicted sentences"
+        )
+    true_positives = 0
+    n_predicted = 0
+    n_gold = 0
+    for gold_tags, predicted_tags in zip(gold_tag_sequences, predicted_tag_sequences):
+        gold_set = extract_spans(gold_tags)
+        predicted_set = extract_spans(predicted_tags)
+        true_positives += len(gold_set & predicted_set)
+        n_predicted += len(predicted_set)
+        n_gold += len(gold_set)
+    precision = true_positives / n_predicted if n_predicted else 0.0
+    recall = true_positives / n_gold if n_gold else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return SpanF1(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=true_positives,
+        predicted_spans=n_predicted,
+        gold_spans=n_gold,
+    )
+
+
+def sequence_model_f1(model: SequenceLabeler, dataset: SequenceDataset) -> float:
+    """Span F1 of a labeler's Viterbi predictions on ``dataset``."""
+    predicted = model.predict_tags(dataset)
+    gold_strings = [dataset.tags_as_strings(i) for i in range(len(dataset))]
+    predicted_strings = [
+        [dataset.tag_names[t] for t in tags] for tags in predicted
+    ]
+    return span_f1(gold_strings, predicted_strings).f1
+
+
+def evaluate_model(
+    model: "Classifier | SequenceLabeler",
+    dataset: "TextDataset | SequenceDataset",
+) -> float:
+    """The paper's default metric for the model family.
+
+    Accuracy for classifiers, entity span F1 for sequence labelers.
+    """
+    if isinstance(model, Classifier):
+        if not isinstance(dataset, TextDataset):
+            raise ConfigurationError("classifier evaluation needs a TextDataset")
+        return model.accuracy(dataset)
+    if isinstance(model, SequenceLabeler):
+        if not isinstance(dataset, SequenceDataset):
+            raise ConfigurationError(
+                "sequence-labeler evaluation needs a SequenceDataset"
+            )
+        return sequence_model_f1(model, dataset)
+    raise ConfigurationError(f"cannot evaluate a {type(model).__name__}")

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class DataError(ReproError):
+    """A dataset, vocabulary, or tagging scheme is malformed."""
+
+
+class NotFittedError(ReproError):
+    """A model or ranker was used before :meth:`fit` was called."""
+
+
+class PoolError(ReproError):
+    """An illegal labeled/unlabeled pool operation was attempted.
+
+    Examples include labeling an index twice or selecting more samples
+    than remain in the unlabeled pool.
+    """
+
+
+class HistoryError(ReproError):
+    """An inconsistent write or read was attempted on a history store."""
+
+
+class StrategyError(ReproError):
+    """A query strategy was used with an incompatible model or dataset."""

@@ -1,0 +1,16 @@
+"""Experiment orchestration: seeded multi-repeat runs and paper-style reports."""
+
+from .ascii_plot import plot_curves
+from .config import ExperimentConfig
+from .reporting import format_curve_table, format_table, format_target_table
+from .runner import StrategyResult, run_comparison
+
+__all__ = [
+    "ExperimentConfig",
+    "StrategyResult",
+    "format_curve_table",
+    "format_table",
+    "format_target_table",
+    "plot_curves",
+    "run_comparison",
+]

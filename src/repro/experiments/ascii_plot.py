@@ -1,0 +1,93 @@
+"""Terminal line plots of learning curves.
+
+The paper's Figures 3-5 are multi-series line plots; in a terminal-only
+environment the closest faithful rendering is a character grid.
+:func:`plot_curves` draws several learning curves into one chart with a
+per-series marker, a y-axis in metric units, and an x-axis in labeled
+counts — enough to eyeball crossovers and gaps the way the paper's
+figures are read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..eval.curves import LearningCurve
+from ..exceptions import ConfigurationError
+
+#: Series markers, assigned in input order and reused cyclically.
+MARKERS = "*o+x#@%&"
+
+
+def plot_curves(
+    curves: "Mapping[str, LearningCurve]",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render ``curves`` as a multi-line ASCII chart with a legend.
+
+    Later series draw over earlier ones where they collide, so list the
+    most important series last.
+
+    Raises
+    ------
+    ConfigurationError
+        If no curves are given or the plot area is too small.
+    """
+    if not curves:
+        raise ConfigurationError("no curves to plot")
+    if width < 10 or height < 4:
+        raise ConfigurationError(f"plot area {width}x{height} too small")
+
+    x_min = min(int(curve.counts.min()) for curve in curves.values())
+    x_max = max(int(curve.counts.max()) for curve in curves.values())
+    y_min = min(float(curve.values.min()) for curve in curves.values())
+    y_max = max(float(curve.values.max()) for curve in curves.values())
+    if x_max == x_min:
+        x_max = x_min + 1
+    if np.isclose(y_max, y_min):
+        y_max = y_min + 1e-9
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+
+    legend = []
+    for series_index, (name, curve) in enumerate(curves.items()):
+        marker = MARKERS[series_index % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        # Linear interpolation across columns keeps the polyline connected.
+        columns = np.arange(to_col(curve.counts[0]), to_col(curve.counts[-1]) + 1)
+        xs = x_min + columns / (width - 1) * (x_max - x_min)
+        ys = np.interp(xs, curve.counts, curve.values)
+        for column, y in zip(columns, ys):
+            grid[to_row(float(y))][column] = marker
+
+    y_labels = [f"{y_max:.3f}", f"{(y_min + y_max) / 2:.3f}", f"{y_min:.3f}"]
+    label_width = max(len(label) for label in y_labels)
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_labels[0]
+        elif row_index == height // 2:
+            prefix = y_labels[1]
+        elif row_index == height - 1:
+            prefix = y_labels[2]
+        else:
+            prefix = ""
+        lines.append(f"{prefix:>{label_width}} |" + "".join(row))
+    axis = f"{'':>{label_width}} +" + "-" * width
+    left = str(x_min)
+    right = str(x_max)
+    gap = max(1, width - len(left) - len(right))
+    x_axis_labels = f"{'':>{label_width}}  {left}{' ' * gap}{right}"
+    lines.append(axis)
+    lines.append(x_axis_labels)
+    lines.append(f"{'':>{label_width}}  " + "   ".join(legend))
+    return "\n".join(lines)

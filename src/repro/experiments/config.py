@@ -1,0 +1,47 @@
+"""Experiment configuration shared by the runner and the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One active-learning experiment's shape.
+
+    Attributes
+    ----------
+    batch_size:
+        Samples annotated per round (paper: 25 binary text, 100 TREC/NER).
+    rounds:
+        Strategy-driven rounds (paper: 20).
+    initial_size:
+        Random warm-start labeled set (defaults to ``batch_size``).
+    repeats:
+        Independent repetitions averaged into the reported curve (the
+        paper averages over cross-validation folds / repeated runs).
+    seed:
+        Master seed; repetition ``r`` derives its own child stream.
+    """
+
+    batch_size: int = 25
+    rounds: int = 20
+    initial_size: "int | None" = None
+    repeats: int = 3
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+        if self.repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {self.repeats}")
+
+    @property
+    def labels_needed(self) -> int:
+        """Pool size the experiment consumes."""
+        initial = self.initial_size if self.initial_size is not None else self.batch_size
+        return initial + self.rounds * self.batch_size

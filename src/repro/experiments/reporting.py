@@ -1,0 +1,92 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+The benchmarks print their reproduced numbers with these helpers so the
+output can be compared side by side with the paper (EXPERIMENTS.md keeps
+the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..eval.curves import LearningCurve, samples_to_target
+from ..exceptions import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table; floats rendered with 4 decimals."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float) or isinstance(cell, np.floating):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    text_rows = [[render(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in text_rows)) if text_rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curve_table(
+    curves: "Mapping[str, LearningCurve]",
+    counts: "Sequence[int] | None" = None,
+    title: str = "",
+) -> str:
+    """Learning curves as a table: one row per strategy, one column per count."""
+    if not curves:
+        raise ConfigurationError("no curves to format")
+    first = next(iter(curves.values()))
+    checkpoint_counts = list(counts) if counts is not None else first.counts.tolist()
+    headers = ["strategy"] + [str(c) for c in checkpoint_counts]
+    rows = []
+    for name, curve in curves.items():
+        rows.append([name] + [curve.value_at(int(c)) for c in checkpoint_counts])
+    return format_table(headers, rows, title=title)
+
+
+def format_target_table(
+    curves: "Mapping[str, LearningCurve]",
+    targets: Sequence[float],
+    budget: "int | None" = None,
+    title: str = "",
+) -> str:
+    """Table 5 format: annotations needed per strategy to reach each target.
+
+    Unreached targets render as ``"<budget>+"`` (e.g. ``500+``), matching
+    the paper's notation.
+    """
+    if not targets:
+        raise ConfigurationError("no targets given")
+    headers = ["strategy"] + [f"acc>={t}" for t in targets]
+    rows = []
+    for name, curve in curves.items():
+        cells: list[object] = [name]
+        limit = budget if budget is not None else int(curve.counts[-1])
+        for target in targets:
+            needed = samples_to_target(curve, target)
+            cells.append(str(needed) if needed is not None else f"{limit}+")
+        rows.append(cells)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,86 @@
+"""Seeded multi-repeat experiment runner.
+
+Runs a set of strategies over the same dataset/model with matched seeds
+(repetition ``r`` of every strategy shares the same initial labeled set),
+so differences between strategies are not confounded by different random
+starts — the comparison protocol the paper's averaged curves imply.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.loop import ActiveLearningLoop, ALResult
+from ..eval.curves import LearningCurve, curve_std, mean_curve
+from ..exceptions import ConfigurationError
+from ..rng import ensure_rng
+from .config import ExperimentConfig
+
+StrategyFactory = Callable[[], object]
+
+
+@dataclass
+class StrategyResult:
+    """Aggregated outcome of one strategy across repeats."""
+
+    name: str
+    curve: LearningCurve
+    std: np.ndarray
+    runs: list[ALResult]
+
+
+def run_comparison(
+    model_factory: Callable[[], object],
+    strategy_factories: "Mapping[str, StrategyFactory]",
+    train_dataset,
+    test_dataset,
+    config: ExperimentConfig | None = None,
+    metric: "Callable[[object, object], float] | None" = None,
+) -> dict[str, StrategyResult]:
+    """Run every strategy ``config.repeats`` times and average the curves.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable producing a fresh unfitted model.
+    strategy_factories:
+        Mapping from display name to a zero-argument strategy factory
+        (factories, not instances: history-aware strategies are stateful
+        per run).
+
+    Returns
+    -------
+    dict
+        Display name -> :class:`StrategyResult`, in input order.
+    """
+    if not strategy_factories:
+        raise ConfigurationError("no strategies to compare")
+    config = config or ExperimentConfig()
+    repeat_seeds = ensure_rng(config.seed).integers(0, 2**63 - 1, size=config.repeats)
+    results: dict[str, StrategyResult] = {}
+    for name, factory in strategy_factories.items():
+        runs: list[ALResult] = []
+        for repeat, seed in enumerate(repeat_seeds):
+            loop = ActiveLearningLoop(
+                model_prototype=model_factory(),
+                strategy=factory(),
+                train_dataset=train_dataset,
+                test_dataset=test_dataset,
+                batch_size=config.batch_size,
+                rounds=config.rounds,
+                initial_size=config.initial_size,
+                metric=metric,
+                seed_or_rng=int(seed),
+            )
+            runs.append(loop.run())
+        curves = [run.curve(label=name) for run in runs]
+        results[name] = StrategyResult(
+            name=name,
+            curve=mean_curve(curves, label=name),
+            std=curve_std(curves),
+            runs=runs,
+        )
+    return results

@@ -1,0 +1,89 @@
+"""Plain gradient-boosted regression trees (squared loss).
+
+A simple boosting regressor built on :class:`RegressionTree`.  It is used
+directly in tests (as a known-good reference for the tree machinery) and
+documents the boosting skeleton that :class:`~repro.ltr.lambdamart.LambdaMART`
+specialises with LambdaRank gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+from .trees import RegressionTree
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting rounds.
+    learning_rate:
+        Shrinkage applied to each tree's contribution.
+    max_depth, min_samples_leaf:
+        Weak-learner shape.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+    ) -> None:
+        if n_estimators < 1:
+            raise ConfigurationError(f"n_estimators must be >= 1, got {n_estimators}")
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._trees: list[RegressionTree] = []
+        self._base: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostingRegressor":
+        """Fit by repeatedly regressing the residuals."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        if len(features) != len(targets) or len(targets) == 0:
+            raise ConfigurationError(
+                f"{len(features)} feature rows vs {len(targets)} targets"
+            )
+        self._trees = []
+        self._base = float(targets.mean())
+        predictions = np.full(len(targets), self._base)
+        for _ in range(self.n_estimators):
+            residuals = targets - predictions
+            tree = RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            ).fit(features, residuals)
+            predictions += self.learning_rate * tree.predict(features)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict one value per row."""
+        if not self._trees:
+            raise NotFittedError("GradientBoostingRegressor used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        predictions = np.full(len(features), self._base)
+        for tree in self._trees:
+            predictions += self.learning_rate * tree.predict(features)
+        return predictions
+
+    def staged_mse(self, features: np.ndarray, targets: np.ndarray) -> list[float]:
+        """MSE after each boosting stage (diagnostic / tests)."""
+        if not self._trees:
+            raise NotFittedError("GradientBoostingRegressor used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        predictions = np.full(len(features), self._base)
+        errors = []
+        for tree in self._trees:
+            predictions += self.learning_rate * tree.predict(features)
+            errors.append(float(np.mean((predictions - targets) ** 2)))
+        return errors

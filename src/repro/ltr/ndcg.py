@@ -1,0 +1,51 @@
+"""DCG / NDCG ranking metrics.
+
+Uses the exponential-gain form ``(2^rel - 1) / log2(rank + 1)`` standard in
+the LambdaMART literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+def gains(relevance: np.ndarray) -> np.ndarray:
+    """Exponential gains ``2^rel - 1`` for a relevance vector."""
+    return np.exp2(np.asarray(relevance, dtype=np.float64)) - 1.0
+
+
+def discounts(n: int) -> np.ndarray:
+    """Rank discounts ``1 / log2(rank + 1)`` for ranks ``1..n``."""
+    return 1.0 / np.log2(np.arange(2, n + 2, dtype=np.float64))
+
+
+def dcg_at_k(relevance_in_rank_order: np.ndarray, k: int | None = None) -> float:
+    """DCG of a relevance list already sorted by predicted rank."""
+    relevance = np.asarray(relevance_in_rank_order, dtype=np.float64)
+    if k is not None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        relevance = relevance[:k]
+    return float((gains(relevance) * discounts(len(relevance))).sum())
+
+
+def ndcg_at_k(
+    relevance: np.ndarray, scores: np.ndarray, k: int | None = None
+) -> float:
+    """NDCG of ranking ``relevance`` by descending ``scores``.
+
+    Returns 1.0 when the query has no relevant item (ideal DCG is 0),
+    the usual convention so such queries do not penalise the mean.
+    """
+    relevance = np.asarray(relevance, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if relevance.shape != scores.shape:
+        raise ConfigurationError(
+            f"shape mismatch: relevance {relevance.shape} vs scores {scores.shape}"
+        )
+    order = np.argsort(-scores, kind="stable")
+    achieved = dcg_at_k(relevance[order], k)
+    ideal = dcg_at_k(np.sort(relevance)[::-1], k)
+    return achieved / ideal if ideal > 0 else 1.0

@@ -1,0 +1,121 @@
+"""Model protocols used by query strategies and the AL loop.
+
+Two abstract families cover the paper's two tasks:
+
+* :class:`Classifier` — text classification; exposes class probabilities.
+* :class:`SequenceLabeler` — NER; exposes best-path log-probabilities and
+  per-token marginals, which is all LC/entropy/MNLP need.
+
+Optional capabilities (expected gradient lengths for EGL, embedding
+gradients for EGL-word, stochastic predictions for BALD) are discovered
+with the ``supports_*`` helpers so strategies can fail fast with a clear
+error when paired with an incapable model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..data.datasets import SequenceDataset, TextDataset
+
+
+class Classifier(ABC):
+    """A trainable multi-class text classifier."""
+
+    @abstractmethod
+    def fit(self, dataset: TextDataset) -> "Classifier":
+        """Train (from scratch) on ``dataset`` and return ``self``."""
+
+    @abstractmethod
+    def predict_proba(self, dataset: TextDataset) -> np.ndarray:
+        """Return an ``(n, num_classes)`` matrix of class probabilities."""
+
+    @abstractmethod
+    def clone(self) -> "Classifier":
+        """Return an unfitted copy with the same hyper-parameters."""
+
+    def predict(self, dataset: TextDataset) -> np.ndarray:
+        """Return the argmax class per sample."""
+        return self.predict_proba(dataset).argmax(axis=1)
+
+    def accuracy(self, dataset: TextDataset) -> float:
+        """Fraction of samples whose argmax class matches the gold label."""
+        if not len(dataset):
+            return 0.0
+        return float((self.predict(dataset) == dataset.labels).mean())
+
+    # -- optional capabilities, overridden by capable subclasses ---------
+
+    def expected_gradient_lengths(self, dataset: TextDataset) -> np.ndarray:
+        """Eq. (5): per-sample expected loss-gradient norm.
+
+        Raises :class:`NotImplementedError` unless the subclass is
+        EGL-capable; use :func:`supports_gradient_lengths` to probe.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support EGL")
+
+    def expected_embedding_gradients(self, dataset: TextDataset) -> np.ndarray:
+        """Eq. (12): per-sample max-over-words expected embedding-gradient norm."""
+        raise NotImplementedError(f"{type(self).__name__} does not support EGL-word")
+
+    def predict_proba_samples(
+        self, dataset: TextDataset, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return ``(n_samples, n, num_classes)`` MC-dropout probability draws."""
+        raise NotImplementedError(f"{type(self).__name__} does not support MC sampling")
+
+
+class SequenceLabeler(ABC):
+    """A trainable sequence tagger with probabilistic outputs."""
+
+    @abstractmethod
+    def fit(self, dataset: SequenceDataset) -> "SequenceLabeler":
+        """Train (from scratch) on ``dataset`` and return ``self``."""
+
+    @abstractmethod
+    def predict_tags(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        """Return the Viterbi tag-id sequence for every sentence."""
+
+    @abstractmethod
+    def best_path_log_proba(self, dataset: SequenceDataset) -> np.ndarray:
+        """Return ``log p(y* | x)`` of the Viterbi path, per sentence."""
+
+    @abstractmethod
+    def token_marginals(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        """Return per-sentence ``(length, num_tags)`` marginal matrices."""
+
+    @abstractmethod
+    def clone(self) -> "SequenceLabeler":
+        """Return an unfitted copy with the same hyper-parameters."""
+
+    def token_marginal_samples(
+        self, dataset: SequenceDataset, n_samples: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Return per-sentence ``(n_samples, length, num_tags)`` stochastic marginals."""
+        raise NotImplementedError(f"{type(self).__name__} does not support MC sampling")
+
+
+def supports_gradient_lengths(model: object) -> bool:
+    """Whether ``model`` overrides :meth:`Classifier.expected_gradient_lengths`."""
+    return type(model).expected_gradient_lengths is not Classifier.expected_gradient_lengths
+
+
+def supports_embedding_gradients(model: object) -> bool:
+    """Whether ``model`` overrides :meth:`Classifier.expected_embedding_gradients`."""
+    return (
+        type(model).expected_embedding_gradients
+        is not Classifier.expected_embedding_gradients
+    )
+
+
+def supports_stochastic_predictions(model: object) -> bool:
+    """Whether ``model`` supports MC-dropout sampling (classifier or labeler)."""
+    if isinstance(model, Classifier):
+        return type(model).predict_proba_samples is not Classifier.predict_proba_samples
+    if isinstance(model, SequenceLabeler):
+        return (
+            type(model).token_marginal_samples is not SequenceLabeler.token_marginal_samples
+        )
+    return False

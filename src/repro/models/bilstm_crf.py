@@ -1,0 +1,346 @@
+"""BiLSTM-CRF sequence labeler with manual backpropagation.
+
+The paper's NER model is the BiLSTM-CNNs-CRF of Ma & Hovy (2016).  This
+is its numpy equivalent minus the character-CNN: word embeddings
+(initialised from the simulated pretrained vectors) feed a bidirectional
+LSTM whose concatenated states project to CRF emission scores; the CRF
+layer (transitions, forward-backward, Viterbi) is shared with
+:class:`~repro.models.crf.LinearChainCRF` via :mod:`repro.models.crf_core`.
+
+Compared with the feature CRF, this model is slower but supports *true*
+MC dropout for BALD (dropout on the recurrent states at prediction time)
+and learns distributed representations, making it the higher-fidelity
+substrate when runtime allows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.datasets import SequenceDataset
+from ..exceptions import ConfigurationError, NotFittedError
+from ..rng import ensure_rng
+from .base import SequenceLabeler
+from .crf_core import (
+    crf_forward,
+    crf_marginals,
+    crf_sentence_gradients,
+    crf_viterbi,
+)
+from .embeddings import pretrained_for_dataset
+from .layers import Adam, dropout_mask, glorot_init, minibatches
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def _lstm_run(
+    inputs: np.ndarray, w_input: np.ndarray, w_hidden: np.ndarray, bias: np.ndarray
+) -> tuple[np.ndarray, list[dict[str, np.ndarray]]]:
+    """Unroll an LSTM over ``inputs`` (L, D); gates stacked [i, f, g, o]."""
+    length = inputs.shape[0]
+    hidden_dim = w_hidden.shape[0]
+    h_state = np.zeros(hidden_dim)
+    c_state = np.zeros(hidden_dim)
+    states = np.empty((length, hidden_dim))
+    caches: list[dict[str, np.ndarray]] = []
+    for t in range(length):
+        pre = inputs[t] @ w_input + h_state @ w_hidden + bias
+        i = _sigmoid(pre[:hidden_dim])
+        f = _sigmoid(pre[hidden_dim : 2 * hidden_dim])
+        g = np.tanh(pre[2 * hidden_dim : 3 * hidden_dim])
+        o = _sigmoid(pre[3 * hidden_dim :])
+        c_new = f * c_state + i * g
+        tanh_c = np.tanh(c_new)
+        h_new = o * tanh_c
+        caches.append({
+            "x": inputs[t], "h_prev": h_state, "c_prev": c_state,
+            "i": i, "f": f, "g": g, "o": o, "tanh_c": tanh_c,
+        })
+        h_state, c_state = h_new, c_new
+        states[t] = h_new
+    return states, caches
+
+
+def _lstm_back(
+    d_states: np.ndarray,
+    caches: list[dict[str, np.ndarray]],
+    w_input: np.ndarray,
+    w_hidden: np.ndarray,
+    grads: dict[str, np.ndarray],
+    prefix: str,
+) -> np.ndarray:
+    """BPTT: accumulate parameter grads, return input gradients (L, D)."""
+    hidden_dim = w_hidden.shape[0]
+    d_inputs = np.zeros((len(caches), w_input.shape[0]))
+    dh = np.zeros(hidden_dim)
+    dc = np.zeros(hidden_dim)
+    for t in range(len(caches) - 1, -1, -1):
+        cache = caches[t]
+        dh = dh + d_states[t]
+        do = dh * cache["tanh_c"]
+        dc = dc + dh * cache["o"] * (1.0 - cache["tanh_c"] ** 2)
+        di = dc * cache["g"]
+        df = dc * cache["c_prev"]
+        dg = dc * cache["i"]
+        dc_prev = dc * cache["f"]
+        dpre = np.concatenate([
+            di * cache["i"] * (1 - cache["i"]),
+            df * cache["f"] * (1 - cache["f"]),
+            dg * (1 - cache["g"] ** 2),
+            do * cache["o"] * (1 - cache["o"]),
+        ])
+        grads[f"Wx{prefix}"] += np.outer(cache["x"], dpre)
+        grads[f"Wh{prefix}"] += np.outer(cache["h_prev"], dpre)
+        grads[f"b{prefix}"] += dpre
+        d_inputs[t] = w_input @ dpre
+        dh = w_hidden @ dpre
+        dc = dc_prev
+    return d_inputs
+
+
+class BiLSTMCRF(SequenceLabeler):
+    """Bidirectional-LSTM encoder with a CRF output layer.
+
+    Parameters
+    ----------
+    embedding_dim, hidden_dim:
+        Word-vector size and per-direction LSTM state size.
+    dropout:
+        Dropout on the concatenated BiLSTM states (training and MC
+        sampling).
+    epochs, learning_rate, batch_size, l2, seed:
+        Optimisation hyper-parameters (Adam).
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int = 16,
+        hidden_dim: int = 12,
+        dropout: float = 0.25,
+        epochs: int = 4,
+        learning_rate: float = 0.05,
+        batch_size: int = 8,
+        l2: float = 1e-4,
+        seed: int = 0,
+        embedding_matrix: np.ndarray | None = None,
+    ) -> None:
+        if hidden_dim < 1 or embedding_dim < 1:
+            raise ConfigurationError("embedding_dim and hidden_dim must be >= 1")
+        if not 0 <= dropout < 1:
+            raise ConfigurationError(f"dropout must be in [0, 1), got {dropout}")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.dropout = dropout
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self._initial_embedding = embedding_matrix
+        self._params: dict[str, np.ndarray] | None = None
+        self._num_tags: int | None = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _require_fitted(self) -> dict[str, np.ndarray]:
+        if self._params is None:
+            raise NotFittedError("BiLSTMCRF used before fit()")
+        return self._params
+
+    def _init_params(self, dataset: SequenceDataset, rng: np.random.Generator) -> None:
+        if self._initial_embedding is None:
+            self._initial_embedding = pretrained_for_dataset(
+                dataset, dim=self.embedding_dim, seed_or_rng=self.seed
+            )
+        embedding = self._initial_embedding
+        if embedding.shape[0] != len(dataset.vocab):
+            raise ConfigurationError(
+                f"embedding table has {embedding.shape[0]} rows for a "
+                f"vocabulary of {len(dataset.vocab)}"
+            )
+        dim = embedding.shape[1]
+        hidden = self.hidden_dim
+        num_tags = dataset.num_tags
+        params: dict[str, np.ndarray] = {"E": embedding.copy()}
+        for prefix in ("f", "b"):
+            params[f"Wx{prefix}"] = glorot_init(rng, dim, 4 * hidden)
+            params[f"Wh{prefix}"] = glorot_init(rng, hidden, 4 * hidden)
+            bias = np.zeros(4 * hidden)
+            bias[hidden : 2 * hidden] = 1.0  # forget-gate bias trick
+            params[f"b{prefix}"] = bias
+        params["Wo"] = glorot_init(rng, 2 * hidden, num_tags)
+        params["bo"] = np.zeros(num_tags)
+        params["A"] = np.zeros((num_tags, num_tags))
+        params["start"] = np.zeros(num_tags)
+        params["end"] = np.zeros(num_tags)
+        self._params = params
+        self._num_tags = num_tags
+
+    def _encode(
+        self, sentence: np.ndarray, drop_mask: np.ndarray | None
+    ) -> tuple[np.ndarray, dict]:
+        """Emission scores plus the cache the backward pass needs."""
+        params = self._require_fitted()
+        embedded = params["E"][sentence]  # (L, D)
+        forward_states, forward_caches = _lstm_run(
+            embedded, params["Wxf"], params["Whf"], params["bf"]
+        )
+        backward_states_rev, backward_caches = _lstm_run(
+            embedded[::-1], params["Wxb"], params["Whb"], params["bb"]
+        )
+        concat = np.concatenate(
+            [forward_states, backward_states_rev[::-1]], axis=1
+        )  # (L, 2H)
+        dropped = concat if drop_mask is None else concat * drop_mask
+        emissions = dropped @ params["Wo"] + params["bo"]
+        cache = {
+            "sentence": sentence,
+            "dropped": dropped,
+            "drop_mask": drop_mask,
+            "forward_caches": forward_caches,
+            "backward_caches": backward_caches,
+        }
+        return emissions, cache
+
+    # -- training --------------------------------------------------------------
+
+    def fit(self, dataset: SequenceDataset) -> "BiLSTMCRF":
+        if not len(dataset):
+            raise ConfigurationError("cannot fit on an empty dataset")
+        rng = ensure_rng(self.seed)
+        self._init_params(dataset, rng)
+        params = self._params
+        optimizer = Adam(learning_rate=self.learning_rate)
+        hidden = self.hidden_dim
+        for _ in range(self.epochs):
+            for batch in minibatches(len(dataset), self.batch_size, rng):
+                grads = {name: np.zeros_like(v) for name, v in params.items()}
+                for index in batch:
+                    sentence = dataset.sentences[index]
+                    tags = dataset.tag_sequences[index]
+                    mask = dropout_mask(
+                        rng, (len(sentence), 2 * hidden), self.dropout
+                    )
+                    emissions, cache = self._encode(sentence, mask)
+                    d_em, d_a, d_start, d_end, _ = crf_sentence_gradients(
+                        emissions, tags, params["A"], params["start"], params["end"]
+                    )
+                    scale = 1.0 / len(batch)
+                    self._backprop(cache, d_em * scale, grads)
+                    grads["A"] += scale * d_a
+                    grads["start"] += scale * d_start
+                    grads["end"] += scale * d_end
+                for name in ("Wxf", "Whf", "Wxb", "Whb", "Wo"):
+                    grads[name] += self.l2 * params[name]
+                optimizer.update(params, grads)
+        return self
+
+    def _backprop(
+        self, cache: dict, d_emissions: np.ndarray, grads: dict[str, np.ndarray]
+    ) -> None:
+        """Accumulate gradients from d_emissions back to the embeddings."""
+        params = self._require_fitted()
+        hidden = self.hidden_dim
+        grads["Wo"] += cache["dropped"].T @ d_emissions
+        grads["bo"] += d_emissions.sum(axis=0)
+        d_concat = d_emissions @ params["Wo"].T
+        if cache["drop_mask"] is not None:
+            d_concat = d_concat * cache["drop_mask"]
+        d_forward = d_concat[:, :hidden]
+        d_backward = d_concat[:, hidden:]
+        d_inputs = _lstm_back(
+            d_forward, cache["forward_caches"], params["Wxf"], params["Whf"],
+            grads, "f",
+        )
+        d_inputs_rev = _lstm_back(
+            d_backward[::-1], cache["backward_caches"], params["Wxb"], params["Whb"],
+            grads, "b",
+        )
+        d_embedded = d_inputs + d_inputs_rev[::-1]
+        np.add.at(grads["E"], cache["sentence"], d_embedded)
+        grads["E"][0] = 0.0  # PAD stays zero
+
+    def clone(self) -> "BiLSTMCRF":
+        return BiLSTMCRF(
+            embedding_dim=self.embedding_dim,
+            hidden_dim=self.hidden_dim,
+            dropout=self.dropout,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            l2=self.l2,
+            seed=self.seed,
+            embedding_matrix=self._initial_embedding,
+        )
+
+    # -- inference ------------------------------------------------------------------
+
+    def predict_tags(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        params = self._require_fitted()
+        paths = []
+        for sentence in dataset.sentences:
+            emissions, _ = self._encode(sentence, None)
+            path, _ = crf_viterbi(emissions, params["A"], params["start"], params["end"])
+            paths.append(path)
+        return paths
+
+    def best_path_log_proba(self, dataset: SequenceDataset) -> np.ndarray:
+        params = self._require_fitted()
+        log_probas = np.empty(len(dataset))
+        for index, sentence in enumerate(dataset.sentences):
+            emissions, _ = self._encode(sentence, None)
+            _, best = crf_viterbi(emissions, params["A"], params["start"], params["end"])
+            _, log_z = crf_forward(emissions, params["A"], params["start"], params["end"])
+            log_probas[index] = best - log_z
+        return log_probas
+
+    def token_marginals(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        params = self._require_fitted()
+        return [
+            crf_marginals(
+                self._encode(sentence, None)[0],
+                params["A"], params["start"], params["end"],
+            )
+            for sentence in dataset.sentences
+        ]
+
+    def token_marginal_samples(
+        self, dataset: SequenceDataset, n_samples: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """True MC dropout on the recurrent states (BALD for sequences)."""
+        if n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+        params = self._require_fitted()
+        num_tags = int(self._num_tags or 0)
+        results = []
+        for sentence in dataset.sentences:
+            draws = np.empty((n_samples, len(sentence), num_tags))
+            for t in range(n_samples):
+                mask = dropout_mask(
+                    rng, (len(sentence), 2 * self.hidden_dim), self.dropout
+                )
+                emissions, _ = self._encode(sentence, mask)
+                draws[t] = crf_marginals(
+                    emissions, params["A"], params["start"], params["end"]
+                )
+            results.append(draws)
+        return results
+
+    def token_accuracy(self, dataset: SequenceDataset) -> float:
+        """Fraction of tokens whose Viterbi tag matches gold."""
+        predicted = self.predict_tags(dataset)
+        correct = sum(
+            int((p == g).sum()) for p, g in zip(predicted, dataset.tag_sequences)
+        )
+        total = dataset.total_tokens()
+        return correct / total if total else 0.0
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._params is not None else "unfitted"
+        return (
+            f"BiLSTMCRF(dim={self.embedding_dim}, hidden={self.hidden_dim}, {state})"
+        )

@@ -1,0 +1,263 @@
+"""Linear-chain CRF sequence labeler.
+
+Fast stand-in for the paper's BiLSTM-CNNs-CRF NER model (Ma & Hovy
+2016): the neural encoder is replaced by log-linear emission features —
+current word, previous word, next word — while the CRF output layer
+(transition matrix, forward-backward training, Viterbi decoding) is the
+exact shared implementation in :mod:`repro.models.crf_core`, also used by
+the higher-fidelity :class:`~repro.models.bilstm_crf.BiLSTMCRF`.  The
+active-learning strategies only consume the probabilistic interface
+(best-path probability, token marginals), which this model provides in the
+same form the paper's model would.
+
+Stochastic marginals for BALD are produced by *feature dropout*: each of
+the three emission components is dropped independently per draw, a
+sequence-model analogue of MC dropout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.datasets import SequenceDataset
+from ..exceptions import ConfigurationError, NotFittedError
+from ..rng import ensure_rng
+from .base import SequenceLabeler
+from .crf_core import (
+    crf_backward,
+    crf_forward,
+    crf_marginals,
+    crf_path_score,
+    crf_sentence_gradients,
+    crf_viterbi,
+)
+from .layers import Adam, minibatches
+
+_COMPONENTS = ("U_curr", "U_prev", "U_next")
+
+
+class LinearChainCRF(SequenceLabeler):
+    """CRF over word-identity context features.
+
+    Parameters
+    ----------
+    epochs:
+        Training passes over the labeled sentences.
+    learning_rate:
+        Adam step size.
+    l2:
+        L2 penalty on all parameter tables.
+    batch_size:
+        Sentences per gradient step.
+    feature_dropout:
+        Component-drop probability used by :meth:`token_marginal_samples`.
+    seed:
+        Seed for shuffling (parameters start at zero, so init is
+        deterministic anyway).
+    """
+
+    def __init__(
+        self,
+        epochs: int = 8,
+        learning_rate: float = 0.2,
+        l2: float = 1e-4,
+        batch_size: int = 16,
+        feature_dropout: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if not 0 <= feature_dropout < 1:
+            raise ConfigurationError(
+                f"feature_dropout must be in [0, 1), got {feature_dropout}"
+            )
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.batch_size = batch_size
+        self.feature_dropout = feature_dropout
+        self.seed = seed
+        self._params: dict[str, np.ndarray] | None = None
+        self._num_tags: int | None = None
+
+    # -- scores --------------------------------------------------------------
+
+    def _require_fitted(self) -> dict[str, np.ndarray]:
+        if self._params is None:
+            raise NotFittedError("LinearChainCRF used before fit()")
+        return self._params
+
+    def _emissions(
+        self, sentence: np.ndarray, component_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Emission scores, shape ``(length, num_tags)``.
+
+        ``component_mask`` (length 3, values 0/scale) implements feature
+        dropout over the current/previous/next word components.
+        """
+        params = self._require_fitted()
+        prev_ids = np.concatenate([[0], sentence[:-1]])
+        next_ids = np.concatenate([sentence[1:], [0]])
+        parts = (
+            params["U_curr"][sentence],
+            params["U_prev"][prev_ids],
+            params["U_next"][next_ids],
+        )
+        if component_mask is None:
+            emissions = parts[0] + parts[1] + parts[2]
+        else:
+            emissions = sum(m * p for m, p in zip(component_mask, parts))
+        return emissions + params["b"]
+
+    def _forward_log(self, emissions: np.ndarray) -> tuple[np.ndarray, float]:
+        """Forward pass: alpha table and log partition (via crf_core)."""
+        params = self._require_fitted()
+        return crf_forward(emissions, params["A"], params["start"], params["end"])
+
+    def _backward_log(self, emissions: np.ndarray) -> np.ndarray:
+        params = self._require_fitted()
+        return crf_backward(emissions, params["A"], params["end"])
+
+    def _path_score(self, emissions: np.ndarray, tags: np.ndarray) -> float:
+        params = self._require_fitted()
+        return crf_path_score(
+            emissions, tags, params["A"], params["start"], params["end"]
+        )
+
+    # -- training --------------------------------------------------------------
+
+    def fit(self, dataset: SequenceDataset) -> "LinearChainCRF":
+        if not len(dataset):
+            raise ConfigurationError("cannot fit on an empty dataset")
+        rng = ensure_rng(self.seed)
+        vocab_size = len(dataset.vocab)
+        num_tags = dataset.num_tags
+        self._num_tags = num_tags
+        self._params = {
+            "U_curr": np.zeros((vocab_size, num_tags)),
+            "U_prev": np.zeros((vocab_size, num_tags)),
+            "U_next": np.zeros((vocab_size, num_tags)),
+            "b": np.zeros(num_tags),
+            "A": np.zeros((num_tags, num_tags)),
+            "start": np.zeros(num_tags),
+            "end": np.zeros(num_tags),
+        }
+        optimizer = Adam(learning_rate=self.learning_rate)
+        for _ in range(self.epochs):
+            for batch in minibatches(len(dataset), self.batch_size, rng):
+                grads = {name: np.zeros_like(v) for name, v in self._params.items()}
+                for index in batch:
+                    self._accumulate_sentence_grads(
+                        dataset.sentences[index],
+                        dataset.tag_sequences[index],
+                        grads,
+                        scale=1.0 / len(batch),
+                    )
+                for name, value in self._params.items():
+                    grads[name] += self.l2 * value
+                optimizer.update(self._params, grads)
+        return self
+
+    def _accumulate_sentence_grads(
+        self,
+        sentence: np.ndarray,
+        tags: np.ndarray,
+        grads: dict[str, np.ndarray],
+        scale: float,
+    ) -> None:
+        """Add the NLL gradient of one sentence into ``grads``."""
+        params = self._require_fitted()
+        emissions = self._emissions(sentence)
+        d_emissions, d_transitions, d_start, d_end, _ = crf_sentence_gradients(
+            emissions, tags, params["A"], params["start"], params["end"]
+        )
+        d_emissions = d_emissions * scale
+        prev_ids = np.concatenate([[0], sentence[:-1]])
+        next_ids = np.concatenate([sentence[1:], [0]])
+        np.add.at(grads["U_curr"], sentence, d_emissions)
+        np.add.at(grads["U_prev"], prev_ids, d_emissions)
+        np.add.at(grads["U_next"], next_ids, d_emissions)
+        grads["b"] += d_emissions.sum(axis=0)
+        grads["A"] += scale * d_transitions
+        grads["start"] += scale * d_start
+        grads["end"] += scale * d_end
+
+    def clone(self) -> "LinearChainCRF":
+        return LinearChainCRF(
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            l2=self.l2,
+            batch_size=self.batch_size,
+            feature_dropout=self.feature_dropout,
+            seed=self.seed,
+        )
+
+    # -- inference ----------------------------------------------------------------
+
+    def _viterbi(self, emissions: np.ndarray) -> tuple[np.ndarray, float]:
+        params = self._require_fitted()
+        return crf_viterbi(emissions, params["A"], params["start"], params["end"])
+
+    def predict_tags(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        return [
+            self._viterbi(self._emissions(sentence))[0]
+            for sentence in dataset.sentences
+        ]
+
+    def best_path_log_proba(self, dataset: SequenceDataset) -> np.ndarray:
+        """``log p(y*|x)`` per sentence — longer sentences score lower,
+        which reproduces the length bias MNLP (Eq. 13) corrects."""
+        log_probas = np.empty(len(dataset))
+        for index, sentence in enumerate(dataset.sentences):
+            emissions = self._emissions(sentence)
+            _, best_score = self._viterbi(emissions)
+            _, log_z = self._forward_log(emissions)
+            log_probas[index] = best_score - log_z
+        return log_probas
+
+    def token_marginals(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        params = self._require_fitted()
+        return [
+            crf_marginals(
+                self._emissions(sentence),
+                params["A"], params["start"], params["end"],
+            )
+            for sentence in dataset.sentences
+        ]
+
+    def token_marginal_samples(
+        self, dataset: SequenceDataset, n_samples: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Stochastic marginals via feature dropout (sequence-BALD)."""
+        if n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+        params = self._require_fitted()
+        results: list[np.ndarray] = []
+        num_tags = int(self._num_tags or 0)
+        for sentence in dataset.sentences:
+            draws = np.empty((n_samples, len(sentence), num_tags))
+            for t in range(n_samples):
+                keep = rng.random(3) >= self.feature_dropout
+                if not keep.any():
+                    keep[rng.integers(3)] = True  # never drop every component
+                mask = keep / max(keep.mean(), 1e-12)
+                emissions = self._emissions(sentence, component_mask=mask)
+                draws[t] = crf_marginals(
+                    emissions, params["A"], params["start"], params["end"]
+                )
+            results.append(draws)
+        return results
+
+    def token_accuracy(self, dataset: SequenceDataset) -> float:
+        """Fraction of tokens whose Viterbi tag matches gold."""
+        predicted = self.predict_tags(dataset)
+        correct = sum(
+            int((p == g).sum())
+            for p, g in zip(predicted, dataset.tag_sequences)
+        )
+        total = dataset.total_tokens()
+        return correct / total if total else 0.0
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._params is not None else "unfitted"
+        return f"LinearChainCRF(epochs={self.epochs}, lr={self.learning_rate}, {state})"

@@ -1,0 +1,131 @@
+"""Linear-chain CRF primitives shared by the CRF-output models.
+
+Pure functions over an emission matrix ``(L, T)`` and transition
+parameters (``A`` of shape ``(T, T)``, plus start/end vectors): log-space
+forward/backward recursions, Viterbi decoding, gold-path scoring, and the
+negative-log-likelihood gradient w.r.t. emissions and transitions.  Both
+:class:`~repro.models.crf.LinearChainCRF` (log-linear emissions) and
+:class:`~repro.models.bilstm_crf.BiLSTMCRF` (neural emissions) are thin
+parameterisations around these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def logsumexp_axis(matrix: np.ndarray, axis: int) -> np.ndarray:
+    """Max-shifted log-sum-exp along ``axis``."""
+    peak = matrix.max(axis=axis, keepdims=True)
+    return np.log(np.exp(matrix - peak).sum(axis=axis)) + np.squeeze(peak, axis=axis)
+
+
+def crf_forward(
+    emissions: np.ndarray, transitions: np.ndarray,
+    start: np.ndarray, end: np.ndarray,
+) -> tuple[np.ndarray, float]:
+    """Forward recursion: alpha table ``(L, T)`` and log partition."""
+    length = emissions.shape[0]
+    alpha = np.empty_like(emissions)
+    alpha[0] = start + emissions[0]
+    for position in range(1, length):
+        alpha[position] = emissions[position] + logsumexp_axis(
+            alpha[position - 1][:, None] + transitions, axis=0
+        )
+    log_z = float(logsumexp_axis((alpha[length - 1] + end)[None, :], axis=1)[0])
+    return alpha, log_z
+
+
+def crf_backward(
+    emissions: np.ndarray, transitions: np.ndarray, end: np.ndarray
+) -> np.ndarray:
+    """Backward recursion: beta table ``(L, T)``."""
+    length = emissions.shape[0]
+    beta = np.empty_like(emissions)
+    beta[length - 1] = end
+    for position in range(length - 2, -1, -1):
+        beta[position] = logsumexp_axis(
+            transitions + (emissions[position + 1] + beta[position + 1])[None, :],
+            axis=1,
+        )
+    return beta
+
+
+def crf_path_score(
+    emissions: np.ndarray, tags: np.ndarray, transitions: np.ndarray,
+    start: np.ndarray, end: np.ndarray,
+) -> float:
+    """Unnormalised log score of one tag path."""
+    score = float(start[tags[0]] + emissions[0, tags[0]])
+    for position in range(1, len(tags)):
+        score += float(transitions[tags[position - 1], tags[position]])
+        score += float(emissions[position, tags[position]])
+    return score + float(end[tags[-1]])
+
+
+def crf_viterbi(
+    emissions: np.ndarray, transitions: np.ndarray,
+    start: np.ndarray, end: np.ndarray,
+) -> tuple[np.ndarray, float]:
+    """Best tag path and its unnormalised score."""
+    length, num_tags = emissions.shape
+    delta = start + emissions[0]
+    backpointers = np.empty((length, num_tags), dtype=np.int64)
+    for position in range(1, length):
+        candidate = delta[:, None] + transitions
+        backpointers[position] = candidate.argmax(axis=0)
+        delta = candidate.max(axis=0) + emissions[position]
+    delta = delta + end
+    best_last = int(delta.argmax())
+    path = np.empty(length, dtype=np.int64)
+    path[-1] = best_last
+    for position in range(length - 1, 0, -1):
+        path[position - 1] = backpointers[position, path[position]]
+    return path, float(delta[best_last])
+
+
+def crf_marginals(
+    emissions: np.ndarray, transitions: np.ndarray,
+    start: np.ndarray, end: np.ndarray,
+) -> np.ndarray:
+    """Token marginal distributions ``(L, T)``."""
+    alpha, log_z = crf_forward(emissions, transitions, start, end)
+    beta = crf_backward(emissions, transitions, end)
+    return np.exp(alpha + beta - log_z)
+
+
+def crf_sentence_gradients(
+    emissions: np.ndarray,
+    tags: np.ndarray,
+    transitions: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
+    """NLL gradients of one sentence.
+
+    Returns ``(d_emissions, d_transitions, d_start, d_end, nll)`` where
+    ``d_emissions`` has the emission matrix's shape; all gradients are of
+    the *negative* log likelihood, ready for gradient descent.
+    """
+    length = emissions.shape[0]
+    alpha, log_z = crf_forward(emissions, transitions, start, end)
+    beta = crf_backward(emissions, transitions, end)
+    marginals = np.exp(alpha + beta - log_z)
+    d_emissions = marginals.copy()
+    d_emissions[np.arange(length), tags] -= 1.0
+    d_transitions = np.zeros_like(transitions)
+    if length > 1:
+        pairwise = (
+            alpha[:-1, :, None]
+            + transitions[None, :, :]
+            + (emissions[1:] + beta[1:])[:, None, :]
+            - log_z
+        )
+        d_transitions += np.exp(pairwise).sum(axis=0)
+        np.add.at(d_transitions, (tags[:-1], tags[1:]), -1.0)
+    d_start = marginals[0].copy()
+    d_start[tags[0]] -= 1.0
+    d_end = marginals[-1].copy()
+    d_end[tags[-1]] -= 1.0
+    nll = log_z - crf_path_score(emissions, tags, transitions, start, end)
+    return d_emissions, d_transitions, d_start, d_end, nll

@@ -1,0 +1,105 @@
+"""Simulated pre-trained word embeddings.
+
+The paper initialises its models with Word2Vec / per-language pretrained
+vectors.  Offline we cannot download them, so this module produces
+*structured* random embeddings: tokens that belong to the same semantic
+group (e.g. the indicative lexicon of one class, or one entity type's
+gazetteer) share a common direction plus individual noise.  This gives
+models the same warm start pretrained vectors would — class-informative
+geometry before any task training — which is what makes the EGL-word
+strategy meaningful.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..data.datasets import SequenceDataset, TextDataset
+from ..exceptions import ConfigurationError
+from ..rng import ensure_rng
+
+
+def structured_embeddings(
+    vocab_size: int,
+    dim: int,
+    groups: Mapping[str, Sequence[int]] | None = None,
+    group_strength: float = 1.0,
+    noise_scale: float = 0.4,
+    seed_or_rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Return a ``(vocab_size, dim)`` embedding matrix.
+
+    Parameters
+    ----------
+    groups:
+        Optional mapping from group name to token ids; each group gets a
+        shared random unit direction scaled by ``group_strength``.
+    noise_scale:
+        Standard deviation of the per-token Gaussian noise.
+
+    The PAD row (id 0) is zeroed.
+    """
+    if vocab_size < 2:
+        raise ConfigurationError(f"vocab_size must be >= 2, got {vocab_size}")
+    if dim < 1:
+        raise ConfigurationError(f"dim must be >= 1, got {dim}")
+    rng = ensure_rng(seed_or_rng)
+    matrix = rng.normal(0.0, noise_scale, size=(vocab_size, dim))
+    for token_ids in (groups or {}).values():
+        direction = rng.normal(size=dim)
+        direction /= np.linalg.norm(direction)
+        ids = np.asarray(list(token_ids), dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= vocab_size):
+            raise ConfigurationError("group token ids out of vocabulary range")
+        matrix[ids] += group_strength * direction
+    matrix[0] = 0.0  # PAD
+    return matrix
+
+
+def _token_groups(vocab: "Sequence[str]") -> dict[str, list[int]]:
+    """Group token ids by the prefix before the final underscore.
+
+    The synthetic generators name tokens ``c0_17`` (class lexicons),
+    ``PER_3`` (gazetteers), ``trig_LOC_5`` (triggers), ``w42`` / ``en_w7``
+    (background).  Background tokens get no group.
+    """
+    groups: dict[str, list[int]] = {}
+    for token_id, token in enumerate(vocab):
+        if token_id < 2:  # PAD/UNK
+            continue
+        prefix, sep, suffix = token.rpartition("_")
+        if not sep or not suffix.isdigit():
+            continue
+        if prefix.endswith("w") or prefix == "":  # background words
+            continue
+        groups.setdefault(prefix, []).append(token_id)
+    return groups
+
+
+def pretrained_for_dataset(
+    dataset: "TextDataset | SequenceDataset",
+    dim: int = 32,
+    group_strength: float = 1.0,
+    seed_or_rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Simulated pretrained embeddings for a synthetic dataset's vocabulary.
+
+    Tokens from the same class lexicon / gazetteer share a direction; if
+    the dataset carries a ``pretrained_mask`` (see
+    :func:`repro.data.text.make_text_corpus`), uncovered tokens are reset
+    to pure noise, mirroring out-of-vocabulary words under Word2Vec.
+    """
+    rng = ensure_rng(seed_or_rng)
+    groups = _token_groups(list(dataset.vocab))
+    matrix = structured_embeddings(
+        len(dataset.vocab), dim, groups=groups, group_strength=group_strength,
+        seed_or_rng=rng,
+    )
+    mask = getattr(dataset, "pretrained_mask", None)
+    if mask is not None:
+        uncovered = ~np.asarray(mask, dtype=bool)
+        uncovered[0] = False  # keep PAD zeroed, not re-noised
+        matrix[uncovered] = rng.normal(0.0, 0.4, size=(int(uncovered.sum()), dim))
+    return matrix

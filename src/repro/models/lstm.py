@@ -1,0 +1,194 @@
+"""Single-layer numpy LSTM for next-value prediction on short sequences.
+
+The LHS strategy (Sec. 4.4.2 of the paper) treats a sample's historical
+evaluation sequence as a time series and uses "a simple LSTM" to predict
+the next evaluation score, which becomes one of the ranking features.
+Historical sequences are at most a few tens of steps long, so a
+from-scratch LSTM with full BPTT is entirely adequate.
+
+The regressor maps a 1-D input sequence to a scalar prediction of the next
+value: scores are fed one per time step, the final hidden state goes
+through a linear head, and training minimises squared error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..rng import ensure_rng
+from .layers import Adam, glorot_init
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class LSTMRegressor:
+    """Predict the next value of a scalar sequence with an LSTM.
+
+    Parameters
+    ----------
+    hidden_dim:
+        LSTM state size.
+    epochs, learning_rate, seed:
+        Optimisation hyper-parameters (Adam, full-batch BPTT).
+
+    Notes
+    -----
+    :meth:`fit` takes ``sequences`` (list of 1-D arrays) and ``targets``
+    (the value following each sequence).  Sequences may have different
+    lengths; each is unrolled independently.
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int = 8,
+        epochs: int = 60,
+        learning_rate: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if hidden_dim < 1:
+            raise ConfigurationError(f"hidden_dim must be >= 1, got {hidden_dim}")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self._params: dict[str, np.ndarray] | None = None
+
+    # -- parameter layout: gates stacked [i, f, g, o] -----------------------
+
+    def _init_params(self, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        h = self.hidden_dim
+        params = {
+            "Wx": glorot_init(rng, 1 + h, 4 * h, 1, 4 * h),
+            "Wh": glorot_init(rng, 1 + h, 4 * h, h, 4 * h),
+            "b": np.zeros(4 * h),
+            "Wy": glorot_init(rng, h, 1, h, 1),
+            "by": np.zeros(1),
+        }
+        params["b"][h : 2 * h] = 1.0  # forget-gate bias trick
+        return params
+
+    def _step(
+        self,
+        params: dict[str, np.ndarray],
+        x_t: float,
+        h_prev: np.ndarray,
+        c_prev: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        h = self.hidden_dim
+        pre = x_t * params["Wx"][0] + h_prev @ params["Wh"] + params["b"]
+        i = _sigmoid(pre[:h])
+        f = _sigmoid(pre[h : 2 * h])
+        g = np.tanh(pre[2 * h : 3 * h])
+        o = _sigmoid(pre[3 * h :])
+        c = f * c_prev + i * g
+        h_new = o * np.tanh(c)
+        cache = {"i": i, "f": f, "g": g, "o": o, "c": c, "c_prev": c_prev,
+                 "h_prev": h_prev, "x": np.array([x_t]), "tanh_c": np.tanh(c)}
+        return h_new, c, cache
+
+    def _unroll(
+        self, params: dict[str, np.ndarray], sequence: np.ndarray
+    ) -> tuple[np.ndarray, list[dict[str, np.ndarray]]]:
+        h_state = np.zeros(self.hidden_dim)
+        c_state = np.zeros(self.hidden_dim)
+        caches: list[dict[str, np.ndarray]] = []
+        for x_t in sequence:
+            h_state, c_state, cache = self._step(params, float(x_t), h_state, c_state)
+            caches.append(cache)
+        return h_state, caches
+
+    def _bptt(
+        self,
+        params: dict[str, np.ndarray],
+        caches: list[dict[str, np.ndarray]],
+        dh_last: np.ndarray,
+        grads: dict[str, np.ndarray],
+    ) -> None:
+        h = self.hidden_dim
+        dh = dh_last
+        dc = np.zeros(h)
+        for cache in reversed(caches):
+            do = dh * cache["tanh_c"]
+            dc = dc + dh * cache["o"] * (1.0 - cache["tanh_c"] ** 2)
+            di = dc * cache["g"]
+            df = dc * cache["c_prev"]
+            dg = dc * cache["i"]
+            dc_prev = dc * cache["f"]
+            dpre = np.concatenate([
+                di * cache["i"] * (1 - cache["i"]),
+                df * cache["f"] * (1 - cache["f"]),
+                dg * (1 - cache["g"] ** 2),
+                do * cache["o"] * (1 - cache["o"]),
+            ])
+            grads["Wx"][0] += cache["x"][0] * dpre
+            grads["Wh"] += np.outer(cache["h_prev"], dpre)
+            grads["b"] += dpre
+            dh = params["Wh"] @ dpre
+            dc = dc_prev
+
+    # -- public API ----------------------------------------------------------
+
+    def fit(
+        self, sequences: Sequence[np.ndarray], targets: Sequence[float]
+    ) -> "LSTMRegressor":
+        """Train on (sequence, next value) pairs.
+
+        Raises
+        ------
+        ConfigurationError
+            If the inputs are empty, misaligned, or contain an empty
+            sequence.
+        """
+        sequences = [np.asarray(s, dtype=np.float64).ravel() for s in sequences]
+        target_array = np.asarray(list(targets), dtype=np.float64)
+        if not sequences or len(sequences) != len(target_array):
+            raise ConfigurationError(
+                f"{len(sequences)} sequences vs {len(target_array)} targets"
+            )
+        if any(len(s) == 0 for s in sequences):
+            raise ConfigurationError("sequences must be non-empty")
+        rng = ensure_rng(self.seed)
+        params = self._init_params(rng)
+        optimizer = Adam(learning_rate=self.learning_rate)
+        n = len(sequences)
+        for _ in range(self.epochs):
+            grads = {name: np.zeros_like(value) for name, value in params.items()}
+            for sequence, target in zip(sequences, target_array):
+                h_last, caches = self._unroll(params, sequence)
+                prediction = float(h_last @ params["Wy"][:, 0] + params["by"][0])
+                derr = 2.0 * (prediction - target) / n
+                grads["Wy"][:, 0] += derr * h_last
+                grads["by"][0] += derr
+                self._bptt(params, caches, derr * params["Wy"][:, 0], grads)
+            optimizer.update(params, grads)
+        self._params = params
+        return self
+
+    def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        """Predict the next value for each sequence."""
+        if self._params is None:
+            raise NotFittedError("LSTMRegressor used before fit()")
+        predictions = np.empty(len(sequences))
+        for index, sequence in enumerate(sequences):
+            array = np.asarray(sequence, dtype=np.float64).ravel()
+            if len(array) == 0:
+                raise ConfigurationError("cannot predict from an empty sequence")
+            h_last, _ = self._unroll(self._params, array)
+            predictions[index] = h_last @ self._params["Wy"][:, 0] + self._params["by"][0]
+        return predictions
+
+    def mse(self, sequences: Sequence[np.ndarray], targets: Sequence[float]) -> float:
+        """Mean squared error of next-value predictions."""
+        predictions = self.predict(sequences)
+        return float(np.mean((predictions - np.asarray(list(targets))) ** 2))
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._params is not None else "unfitted"
+        return f"LSTMRegressor(hidden={self.hidden_dim}, epochs={self.epochs}, {state})"

@@ -1,0 +1,91 @@
+"""Next-score predictor protocol and implementations.
+
+The LHS strategy trains a predictor on historical evaluation sequences
+"generated on a labeled dataset by a specific query strategy" and uses its
+next-step prediction as a ranking feature (Sec. 4.4.2).  The protocol here
+decouples the strategy from the backing model so the paper's LSTM and the
+cheaper AR alternative are interchangeable (an ablation compares them).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..models.lstm import LSTMRegressor
+from .autoregressive import ARPredictor
+
+
+class NextScorePredictor(ABC):
+    """Predicts the next evaluation score from a historical sequence."""
+
+    @abstractmethod
+    def fit(
+        self, sequences: Sequence[np.ndarray], targets: Sequence[float]
+    ) -> "NextScorePredictor":
+        """Train on (sequence, observed next score) pairs."""
+
+    @abstractmethod
+    def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        """Predict the next score of each sequence."""
+
+    def fit_from_history(self, sequences: Sequence[np.ndarray]) -> "NextScorePredictor":
+        """Train from full sequences by holding out each last element.
+
+        Convenience used by Algorithm 1: a sequence ``[s1..st]`` becomes
+        the pair ``([s1..s(t-1)], st)``.  Sequences shorter than 2 steps
+        are skipped; raises if nothing remains.
+        """
+        inputs = []
+        targets = []
+        for sequence in sequences:
+            array = np.asarray(sequence, dtype=np.float64).ravel()
+            if len(array) >= 2:
+                inputs.append(array[:-1])
+                targets.append(float(array[-1]))
+        if not inputs:
+            raise ConfigurationError(
+                "no sequence of length >= 2; cannot build prediction pairs"
+            )
+        return self.fit(inputs, targets)
+
+
+class LSTMNextScorePredictor(NextScorePredictor):
+    """Paper's choice: a simple LSTM over the score sequence."""
+
+    def __init__(self, hidden_dim: int = 8, epochs: int = 60, seed: int = 0) -> None:
+        self._model = LSTMRegressor(hidden_dim=hidden_dim, epochs=epochs, seed=seed)
+
+    def fit(
+        self, sequences: Sequence[np.ndarray], targets: Sequence[float]
+    ) -> "LSTMNextScorePredictor":
+        self._model.fit(sequences, targets)
+        return self
+
+    def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        return self._model.predict(sequences)
+
+    def __repr__(self) -> str:
+        return f"LSTMNextScorePredictor({self._model!r})"
+
+
+class ARNextScorePredictor(NextScorePredictor):
+    """Cheap alternative: AR(k) ridge regression (ARIMA-lite)."""
+
+    def __init__(self, order: int = 3, ridge: float = 1e-6) -> None:
+        self._model = ARPredictor(order=order, ridge=ridge)
+
+    def fit(
+        self, sequences: Sequence[np.ndarray], targets: Sequence[float]
+    ) -> "ARNextScorePredictor":
+        self._model.fit(sequences, targets)
+        return self
+
+    def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        return self._model.predict(sequences)
+
+    def __repr__(self) -> str:
+        return f"ARNextScorePredictor({self._model!r})"

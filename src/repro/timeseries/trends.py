@@ -1,0 +1,93 @@
+"""Classify historical evaluation sequences into the paper's Figure 2 shapes.
+
+Figure 2 of the paper names four qualitative shapes a sample's score
+sequence can take — (a) relatively stable, (b) increasing, (c)
+decreasing, (d) fluctuating — and the whole method rests on these shapes
+carrying different information.  This module makes the taxonomy
+operational: monotone shapes are detected with the Mann-Kendall test and
+the stable/fluctuating split with a variance threshold, which
+:func:`classify_trends` chooses adaptively as a quantile of the observed
+variances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from enum import Enum
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .mann_kendall import Trend, mann_kendall_test
+
+
+class TrendShape(str, Enum):
+    """The four sequence shapes of the paper's Figure 2."""
+
+    STABLE = "stable (a)"
+    INCREASING = "increasing (b)"
+    DECREASING = "decreasing (c)"
+    FLUCTUATING = "fluctuating (d)"
+
+
+def classify_trend(
+    sequence: "np.ndarray | list[float]",
+    variance_threshold: float,
+    alpha: float = 0.1,
+) -> TrendShape:
+    """Classify one sequence.
+
+    Monotone shapes win over the stable/fluctuating split: a sequence
+    with a significant MK trend is (b)/(c) regardless of its variance.
+
+    Raises
+    ------
+    ConfigurationError
+        If the sequence has fewer than 3 points (MK needs 3) or the
+        threshold is negative.
+    """
+    if variance_threshold < 0:
+        raise ConfigurationError(
+            f"variance_threshold must be non-negative, got {variance_threshold}"
+        )
+    series = np.asarray(sequence, dtype=np.float64).ravel()
+    result = mann_kendall_test(series, alpha=alpha)
+    if result.trend is Trend.INCREASING:
+        return TrendShape.INCREASING
+    if result.trend is Trend.DECREASING:
+        return TrendShape.DECREASING
+    if float(np.var(series)) > variance_threshold:
+        return TrendShape.FLUCTUATING
+    return TrendShape.STABLE
+
+
+def classify_trends(
+    sequences: Sequence["np.ndarray | list[float]"],
+    alpha: float = 0.1,
+    fluctuation_quantile: float = 0.75,
+) -> dict[TrendShape, int]:
+    """Classify many sequences with an adaptive variance threshold.
+
+    The stable/fluctuating cut is placed at the ``fluctuation_quantile``
+    of the sequences' variances, so "fluctuating" means "fluctuates more
+    than most of this collection" — the relative notion the paper uses.
+
+    Returns a count per shape (all four keys always present).
+
+    Raises
+    ------
+    ConfigurationError
+        On an empty collection or an out-of-range quantile.
+    """
+    if not sequences:
+        raise ConfigurationError("no sequences to classify")
+    if not 0 < fluctuation_quantile < 1:
+        raise ConfigurationError(
+            f"fluctuation_quantile must be in (0, 1), got {fluctuation_quantile}"
+        )
+    variances = np.array([np.var(np.asarray(s, dtype=np.float64)) for s in sequences])
+    threshold = float(np.quantile(variances, fluctuation_quantile))
+    counts = {shape: 0 for shape in TrendShape}
+    for sequence in sequences:
+        counts[classify_trend(sequence, threshold, alpha=alpha)] += 1
+    return counts

@@ -1,0 +1,52 @@
+"""Shared fixtures: small seeded datasets and fast model configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.ner import NERCorpusSpec, make_ner_corpus
+from repro.data.text import TextCorpusSpec, make_text_corpus
+from repro.models import LinearSoftmax
+
+
+@pytest.fixture(scope="session")
+def text_dataset():
+    """A small binary classification corpus (600 samples)."""
+    spec = TextCorpusSpec(
+        name="test-binary", num_classes=2, size=600, background_vocab=300,
+        facets_per_class=8, facet_vocab=8, min_length=5, max_length=20,
+    )
+    return make_text_corpus(spec, seed_or_rng=123)
+
+
+@pytest.fixture(scope="session")
+def multiclass_dataset():
+    """A small 4-class corpus (500 samples)."""
+    spec = TextCorpusSpec(
+        name="test-multi", num_classes=4, size=500, background_vocab=250,
+        facets_per_class=6, facet_vocab=8, min_length=5, max_length=18,
+    )
+    return make_text_corpus(spec, seed_or_rng=321)
+
+
+@pytest.fixture(scope="session")
+def ner_dataset():
+    """A small NER corpus (250 sentences)."""
+    spec = NERCorpusSpec(
+        name="test-ner", size=250, background_vocab=200, gazetteer_size=30,
+        mean_length=10.0, length_spread=3.0,
+    )
+    return make_ner_corpus(spec, seed_or_rng=99)
+
+
+@pytest.fixture(scope="session")
+def fitted_classifier(text_dataset):
+    """A LinearSoftmax trained on the first 300 samples."""
+    return LinearSoftmax(epochs=15, seed=0).fit(text_dataset.subset(range(300)))
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(2024)

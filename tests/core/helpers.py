@@ -1,0 +1,31 @@
+"""Helpers for strategy tests: quick SelectionContext construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.history import HistoryStore
+from repro.core.strategies.base import SelectionContext
+
+
+def make_context(
+    dataset,
+    n_labeled: int = 60,
+    round_index: int = 1,
+    history: HistoryStore | None = None,
+    seed: int = 0,
+    model_history: list | None = None,
+) -> SelectionContext:
+    """Context with the first ``n_labeled`` samples labeled."""
+    n = len(dataset)
+    labeled = np.arange(n_labeled)
+    unlabeled = np.arange(n_labeled, n)
+    return SelectionContext(
+        dataset=dataset,
+        unlabeled=unlabeled,
+        labeled=labeled,
+        history=history if history is not None else HistoryStore(n),
+        round_index=round_index,
+        rng=np.random.default_rng(seed),
+        model_history=model_history or [],
+    )

@@ -1,0 +1,90 @@
+"""Tests for labeled/unlabeled pool bookkeeping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pool import Pool
+from repro.exceptions import ConfigurationError, PoolError
+
+
+class TestConstruction:
+    def test_starts_unlabeled(self):
+        pool = Pool(5)
+        assert pool.num_labeled == 0 and pool.num_unlabeled == 5
+
+    def test_initial_labeled(self):
+        pool = Pool(5, initial_labeled=[1, 3])
+        assert pool.labeled_indices.tolist() == [1, 3]
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            Pool(0)
+
+    def test_bad_initial(self):
+        with pytest.raises(PoolError):
+            Pool(3, initial_labeled=[5])
+
+
+class TestLabeling:
+    def test_label_moves_indices(self):
+        pool = Pool(4)
+        pool.label([0, 2])
+        assert pool.labeled_indices.tolist() == [0, 2]
+        assert pool.unlabeled_indices.tolist() == [1, 3]
+
+    def test_counts_update(self):
+        pool = Pool(4)
+        pool.label([3])
+        assert pool.num_labeled == 1 and pool.num_unlabeled == 3
+
+    def test_double_label_rejected(self):
+        pool = Pool(4)
+        pool.label([1])
+        with pytest.raises(PoolError):
+            pool.label([1])
+
+    def test_duplicate_in_one_call_rejected(self):
+        with pytest.raises(PoolError):
+            Pool(4).label([2, 2])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PoolError):
+            Pool(4).label([4])
+
+    def test_negative_rejected(self):
+        with pytest.raises(PoolError):
+            Pool(4).label([-1])
+
+    def test_empty_label_noop(self):
+        pool = Pool(4)
+        pool.label([])
+        assert pool.num_labeled == 0
+
+    def test_scalar_index_accepted(self):
+        pool = Pool(4)
+        pool.label(np.int64(2))
+        assert pool.is_labeled(2)
+
+
+class TestQueries:
+    def test_is_labeled(self):
+        pool = Pool(3, initial_labeled=[0])
+        assert pool.is_labeled(0) and not pool.is_labeled(1)
+
+    def test_is_labeled_out_of_range(self):
+        with pytest.raises(PoolError):
+            Pool(3).is_labeled(3)
+
+    def test_repr(self):
+        assert "labeled=1" in repr(Pool(3, initial_labeled=[0]))
+
+
+@given(st.sets(st.integers(0, 19), max_size=20))
+def test_partition_invariant(labels):
+    pool = Pool(20)
+    if labels:
+        pool.label(sorted(labels))
+    combined = np.concatenate([pool.labeled_indices, pool.unlabeled_indices])
+    assert sorted(combined.tolist()) == list(range(20))
+    assert pool.num_labeled == len(labels)

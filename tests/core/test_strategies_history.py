@@ -1,0 +1,165 @@
+"""Tests for the history-aware strategies: HUS, HKLD, WSHS, FHS."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import HistoryStore
+from repro.core.strategies import FHS, HKLD, HUS, Entropy, LeastConfidence, WSHS
+from repro.exceptions import ConfigurationError, StrategyError
+from repro.models.linear import LinearSoftmax
+
+from .helpers import make_context
+
+
+def run_rounds(strategy, model, dataset, n_rounds=3, n_labeled=60):
+    """Drive a strategy through several rounds sharing one history store."""
+    history = HistoryStore(len(dataset), strategy_name=strategy.base.name)
+    scores = None
+    for round_index in range(1, n_rounds + 1):
+        context = make_context(
+            dataset, n_labeled=n_labeled, round_index=round_index, history=history
+        )
+        scores = strategy.scores(model, context)
+    return scores, history
+
+
+class TestHistoryAwareBase:
+    def test_wrapping_history_aware_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WSHS(WSHS(Entropy()))
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            WSHS(Entropy(), window=0)
+
+    def test_base_scores_recorded_once(self, fitted_classifier, text_dataset):
+        strategy = WSHS(Entropy(), window=3)
+        history = HistoryStore(len(text_dataset))
+        context = make_context(text_dataset, round_index=1, history=history)
+        strategy.scores(fitted_classifier, context)
+        strategy.scores(fitted_classifier, context)  # second call, same round
+        assert history.num_rounds == 1
+
+    def test_history_grows_across_rounds(self, fitted_classifier, text_dataset):
+        strategy = WSHS(Entropy(), window=3)
+        _, history = run_rounds(strategy, fitted_classifier, text_dataset, n_rounds=4)
+        assert history.num_rounds == 4
+
+    def test_model_history_requirement_propagates(self):
+        assert WSHS(Entropy()).requires_model_history == 0
+
+
+class TestWSHS:
+    def test_window_one_degrades_to_base(self, fitted_classifier, text_dataset):
+        """Paper Sec. 4.2: l=1 recovers the primitive strategy."""
+        strategy = WSHS(Entropy(), window=1)
+        history = HistoryStore(len(text_dataset))
+        context = make_context(text_dataset, round_index=1, history=history)
+        scores = strategy.scores(fitted_classifier, context)
+        base = Entropy().scores(fitted_classifier, context)
+        assert np.allclose(scores, base)
+
+    def test_weighted_sum_of_recorded_rounds(self, fitted_classifier, text_dataset):
+        strategy = WSHS(Entropy(), window=3)
+        scores, history = run_rounds(strategy, fitted_classifier, text_dataset, 3)
+        indices = np.arange(60, len(text_dataset))
+        assert np.allclose(scores, history.weighted_sum(indices, 3))
+
+    def test_recent_rounds_weighted_more(self, fitted_classifier):
+        history = HistoryStore(2)
+        history.append(1, np.array([0, 1]), np.array([1.0, 0.0]))
+        history.append(2, np.array([0, 1]), np.array([0.0, 1.0]))
+        # Sample 1 scored high in the *recent* round: must outrank sample 0.
+        weighted = history.weighted_sum(np.array([0, 1]), 2)
+        assert weighted[1] > weighted[0]
+
+    def test_name(self):
+        assert WSHS(Entropy()).name == "WSHS(Entropy)"
+
+
+class TestFHS:
+    def test_round_one_matches_weighted_base(self, fitted_classifier, text_dataset):
+        strategy = FHS(Entropy(), window=3, score_weight=0.5, fluctuation_weight=0.5)
+        history = HistoryStore(len(text_dataset))
+        context = make_context(text_dataset, round_index=1, history=history)
+        scores = strategy.scores(fitted_classifier, context)
+        base = Entropy().scores(fitted_classifier, context)
+        assert np.allclose(scores, 0.5 * base)  # fluctuation is zero at round 1
+
+    def test_combines_score_and_variance(self, fitted_classifier, text_dataset):
+        strategy = FHS(Entropy(), window=3)
+        scores, history = run_rounds(strategy, fitted_classifier, text_dataset, 3)
+        indices = np.arange(60, len(text_dataset))
+        current = history.current_scores(indices)
+        fluct = history.fluctuation(indices, 3)
+        assert np.allclose(scores, 0.5 * current + 0.5 * fluct)
+
+    def test_scaled_variant_rescales(self, fitted_classifier, text_dataset):
+        scaled = FHS(Entropy(), window=3, scale_fluctuation=True)
+        scores, history = run_rounds(scaled, fitted_classifier, text_dataset, 3)
+        assert np.isfinite(scores).all()
+
+    def test_fluctuating_sample_preferred(self):
+        history = HistoryStore(2)
+        history.append(1, np.array([0, 1]), np.array([0.5, 0.1]))
+        history.append(2, np.array([0, 1]), np.array([0.5, 0.9]))
+        # Same current-ish level? sample 1 fluctuates; FHS math on the store:
+        fluct = history.fluctuation(np.array([0, 1]), 2)
+        assert fluct[1] > fluct[0]
+
+    def test_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            FHS(Entropy(), score_weight=-0.1)
+        with pytest.raises(ConfigurationError):
+            FHS(Entropy(), score_weight=0.0, fluctuation_weight=0.0)
+
+    def test_name(self):
+        assert FHS(LeastConfidence()).name == "FHS(LC)"
+
+
+class TestHUS:
+    def test_unweighted_sum(self, fitted_classifier, text_dataset):
+        strategy = HUS(Entropy(), window=3)
+        scores, history = run_rounds(strategy, fitted_classifier, text_dataset, 3)
+        indices = np.arange(60, len(text_dataset))
+        window = history.window_matrix(indices, 3)
+        assert np.allclose(scores, np.nansum(window, axis=1))
+
+    def test_equal_weights_unlike_wshs(self):
+        history = HistoryStore(2)
+        history.append(1, np.array([0, 1]), np.array([1.0, 0.0]))
+        history.append(2, np.array([0, 1]), np.array([0.0, 1.0]))
+        window = history.window_matrix(np.array([0, 1]), 2)
+        hus_scores = np.nansum(window, axis=1)
+        assert hus_scores[0] == hus_scores[1]  # HUS cannot tell them apart
+
+
+class TestHKLD:
+    def test_requires_model_history(self):
+        assert HKLD(committee_size=3).requires_model_history == 3
+
+    def test_first_round_fallback(self, fitted_classifier, text_dataset):
+        context = make_context(text_dataset, model_history=[])
+        scores = HKLD().scores(fitted_classifier, context)
+        assert scores.shape == context.unlabeled.shape
+
+    def test_committee_disagreement(self, text_dataset):
+        train = text_dataset.subset(range(60))
+        old = LinearSoftmax(epochs=2, seed=1).fit(train)
+        new = LinearSoftmax(epochs=15, seed=2).fit(text_dataset.subset(range(120)))
+        context = make_context(text_dataset, n_labeled=120, model_history=[old, new])
+        scores = HKLD(committee_size=2).scores(new, context)
+        assert (scores >= -1e-9).all()
+        assert scores.max() > 0
+
+    def test_rejects_sequence_model(self, ner_dataset):
+        from repro.models.crf import LinearChainCRF
+
+        model = LinearChainCRF(epochs=1).fit(ner_dataset.subset(range(30)))
+        context = make_context(ner_dataset, n_labeled=30)
+        with pytest.raises(StrategyError):
+            HKLD().scores(model, context)
+
+    def test_bad_committee(self):
+        with pytest.raises(ConfigurationError):
+            HKLD(committee_size=1)

@@ -1,0 +1,144 @@
+"""Tests for the state-of-the-art strategies: BALD, MNLP, EGL-word."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import BALD, EGLWord, MNLP, WSHS
+from repro.core.history import HistoryStore
+from repro.exceptions import ConfigurationError, StrategyError
+from repro.models.crf import LinearChainCRF
+from repro.models.linear import LinearSoftmax
+from repro.models.mlp import MLPClassifier
+from repro.models.textcnn import TextCNN
+
+from .helpers import make_context
+
+
+@pytest.fixture(scope="module")
+def mlp(text_dataset):
+    return MLPClassifier(epochs=20, hidden_dim=16, seed=0).fit(
+        text_dataset.subset(range(200))
+    )
+
+
+@pytest.fixture(scope="module")
+def cnn(text_dataset):
+    return TextCNN(embedding_dim=10, filters=6, epochs=3, seed=0).fit(
+        text_dataset.subset(range(150))
+    )
+
+
+@pytest.fixture(scope="module")
+def crf(ner_dataset):
+    return LinearChainCRF(epochs=2, seed=0).fit(ner_dataset.subset(range(80)))
+
+
+class TestBALD:
+    def test_classifier_scores(self, mlp, text_dataset):
+        context = make_context(text_dataset, n_labeled=200)
+        scores = BALD(n_draws=6).scores(mlp, context)
+        assert scores.shape == context.unlabeled.shape
+        assert np.isfinite(scores).all()
+
+    def test_mutual_information_nonnegative_in_expectation(self, mlp, text_dataset):
+        context = make_context(text_dataset, n_labeled=200)
+        scores = BALD(n_draws=24).scores(mlp, context)
+        assert scores.mean() > -1e-6
+
+    def test_sequence_model(self, crf, ner_dataset):
+        context = make_context(ner_dataset, n_labeled=80)
+        scores = BALD(n_draws=4).scores(crf, context)
+        assert scores.shape == context.unlabeled.shape
+
+    def test_rejects_deterministic_model(self, fitted_classifier, text_dataset):
+        context = make_context(text_dataset)
+        with pytest.raises(StrategyError):
+            BALD().scores(fitted_classifier, context)
+
+    def test_bad_draws(self):
+        with pytest.raises(ConfigurationError):
+            BALD(n_draws=1)
+
+    def test_name(self):
+        assert BALD(n_draws=8).name == "BALD(T=8)"
+
+
+class TestMNLP:
+    def test_scores_shape(self, crf, ner_dataset):
+        context = make_context(ner_dataset, n_labeled=80)
+        scores = MNLP().scores(crf, context)
+        assert scores.shape == context.unlabeled.shape
+
+    def test_removes_length_bias(self, crf, ner_dataset):
+        """Eq. 13's purpose: MNLP correlates less with length than LC."""
+        from repro.core.strategies import LeastConfidence
+
+        context = make_context(ner_dataset, n_labeled=80)
+        lengths = context.candidates.lengths()
+        lc_scores = LeastConfidence().scores(crf, context)
+        mnlp_scores = MNLP().scores(crf, context)
+        lc_corr = abs(np.corrcoef(lc_scores, lengths)[0, 1])
+        mnlp_corr = abs(np.corrcoef(mnlp_scores, lengths)[0, 1])
+        assert mnlp_corr < lc_corr
+
+    def test_matches_definition(self, crf, ner_dataset):
+        context = make_context(ner_dataset, n_labeled=80)
+        scores = MNLP().scores(crf, context)
+        log_probas = crf.best_path_log_proba(context.candidates)
+        lengths = np.maximum(context.candidates.lengths(), 1)
+        assert np.allclose(scores, 1.0 - log_probas / lengths)
+
+    def test_rejects_classifier(self, fitted_classifier, text_dataset):
+        context = make_context(text_dataset)
+        with pytest.raises(StrategyError):
+            MNLP().scores(fitted_classifier, context)
+
+
+class TestEGLWord:
+    def test_scores(self, cnn, text_dataset):
+        context = make_context(text_dataset, n_labeled=150)
+        scores = EGLWord().scores(cnn, context)
+        assert scores.shape == context.unlabeled.shape
+        assert (scores >= 0).all()
+
+    def test_matches_model_method(self, cnn, text_dataset):
+        context = make_context(text_dataset, n_labeled=150)
+        scores = EGLWord().scores(cnn, context)
+        expected = cnn.expected_embedding_gradients(context.candidates)
+        assert np.allclose(scores, expected)
+
+    def test_rejects_incapable_model(self, fitted_classifier, text_dataset):
+        context = make_context(text_dataset)
+        with pytest.raises(StrategyError):
+            EGLWord().scores(fitted_classifier, context)
+
+
+class TestHistoryWrappersOverSOTA:
+    """Sec. 4.5: WSHS/FHS must compose with BALD, EGL-word and MNLP."""
+
+    def test_wshs_over_bald(self, mlp, text_dataset):
+        strategy = WSHS(BALD(n_draws=4), window=2)
+        history = HistoryStore(len(text_dataset))
+        for round_index in (1, 2):
+            context = make_context(
+                text_dataset, n_labeled=200, round_index=round_index, history=history
+            )
+            scores = strategy.scores(mlp, context)
+        assert history.num_rounds == 2
+        assert np.isfinite(scores).all()
+
+    def test_wshs_over_mnlp(self, crf, ner_dataset):
+        strategy = WSHS(MNLP(), window=2)
+        history = HistoryStore(len(ner_dataset))
+        context = make_context(ner_dataset, n_labeled=80, history=history)
+        scores = strategy.scores(crf, context)
+        assert scores.shape == context.unlabeled.shape
+
+    def test_fhs_over_egl_word(self, cnn, text_dataset):
+        from repro.core.strategies import FHS
+
+        strategy = FHS(EGLWord(), window=2)
+        history = HistoryStore(len(text_dataset))
+        context = make_context(text_dataset, n_labeled=150, history=history)
+        scores = strategy.scores(cnn, context)
+        assert np.isfinite(scores).all()

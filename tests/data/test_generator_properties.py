@@ -1,0 +1,68 @@
+"""Property-based tests over the synthetic corpus generators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.ner import NERCorpusSpec, make_ner_corpus
+from repro.data.tagging import TagScheme, validate_tags
+from repro.data.text import TextCorpusSpec, make_text_corpus
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_classes=st.integers(2, 4),
+    size=st.integers(20, 80),
+    ambiguous=st.floats(0.0, 0.5),
+    seed=st.integers(0, 1000),
+)
+def test_text_corpus_invariants(num_classes, size, ambiguous, seed):
+    spec = TextCorpusSpec(
+        name="prop", num_classes=num_classes, size=size,
+        background_vocab=120, facets_per_class=4, facet_vocab=5,
+        min_length=4, max_length=12, ambiguous_fraction=ambiguous,
+    )
+    dataset = make_text_corpus(spec, seed_or_rng=seed)
+    assert len(dataset) == size
+    assert dataset.labels.min() >= 0 and dataset.labels.max() < num_classes
+    lengths = dataset.lengths()
+    assert lengths.min() >= 4 and lengths.max() <= 12
+    for sentence in dataset.sentences:
+        assert sentence.min() >= 2  # PAD/UNK never generated
+        assert sentence.max() < len(dataset.vocab)
+    assert dataset.ambiguous_mask.shape == (size,)
+    assert dataset.pretrained_mask.shape == (len(dataset.vocab),)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    size=st.integers(20, 60),
+    mean_length=st.floats(5.0, 25.0),
+    entity_rate=st.floats(0.3, 2.0),
+    seed=st.integers(0, 1000),
+)
+def test_ner_corpus_invariants(size, mean_length, entity_rate, seed):
+    spec = NERCorpusSpec(
+        name="prop", size=size, background_vocab=100, gazetteer_size=15,
+        mean_length=mean_length, length_spread=3.0, entity_rate=entity_rate,
+    )
+    dataset = make_ner_corpus(spec, seed_or_rng=seed)
+    assert len(dataset) == size
+    for i in range(size):
+        tags = dataset.tags_as_strings(i)
+        validate_tags(tags, TagScheme.BIOES)  # every sentence legally tagged
+        assert len(tags) == len(dataset.sentences[i])
+    assert dataset.lengths().min() >= 3
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_generation_is_pure(seed):
+    """Calling the generator twice with one seed yields identical corpora."""
+    spec = TextCorpusSpec(
+        name="pure", num_classes=2, size=30, background_vocab=80,
+        facets_per_class=3, facet_vocab=4, min_length=4, max_length=9,
+    )
+    a = make_text_corpus(spec, seed_or_rng=seed)
+    b = make_text_corpus(spec, seed_or_rng=seed)
+    assert np.array_equal(a.labels, b.labels)
+    assert all(np.array_equal(x, y) for x, y in zip(a.sentences, b.sentences))

@@ -1,0 +1,103 @@
+"""Tests for dataset splitting utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.splits import kfold_indices, stratified_sample, train_dev_test_split
+from repro.exceptions import ConfigurationError
+
+
+class TestTrainDevTest:
+    def test_partition_covers_everything(self):
+        train, dev, test = train_dev_test_split(100, 0.1, 0.2, seed_or_rng=0)
+        combined = np.sort(np.concatenate([train, dev, test]))
+        assert combined.tolist() == list(range(100))
+
+    def test_fraction_sizes(self):
+        train, dev, test = train_dev_test_split(100, 0.1, 0.2, seed_or_rng=0)
+        assert len(dev) == 10 and len(test) == 20 and len(train) == 70
+
+    def test_deterministic(self):
+        a = train_dev_test_split(50, seed_or_rng=3)
+        b = train_dev_test_split(50, seed_or_rng=3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_zero_fractions(self):
+        train, dev, test = train_dev_test_split(10, 0.0, 0.0, seed_or_rng=0)
+        assert len(train) == 10 and len(dev) == 0 and len(test) == 0
+
+    def test_bad_fractions_raise(self):
+        with pytest.raises(ConfigurationError):
+            train_dev_test_split(10, 0.6, 0.5)
+
+    def test_negative_fraction_raises(self):
+        with pytest.raises(ConfigurationError):
+            train_dev_test_split(10, -0.1, 0.1)
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ConfigurationError):
+            train_dev_test_split(0)
+
+
+class TestKFold:
+    def test_each_index_in_exactly_one_test_fold(self):
+        folds = kfold_indices(53, k=5, seed_or_rng=1)
+        all_test = np.concatenate([test for _, test in folds])
+        assert np.sort(all_test).tolist() == list(range(53))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(30, k=3, seed_or_rng=2):
+            assert not set(train) & set(test)
+
+    def test_train_test_cover(self):
+        for train, test in kfold_indices(30, k=3, seed_or_rng=2):
+            assert len(train) + len(test) == 30
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for _, test in kfold_indices(32, k=5, seed_or_rng=0)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_ten_fold_default(self):
+        assert len(kfold_indices(100)) == 10
+
+    def test_k_too_small(self):
+        with pytest.raises(ConfigurationError):
+            kfold_indices(10, k=1)
+
+    def test_k_exceeds_n(self):
+        with pytest.raises(ConfigurationError):
+            kfold_indices(3, k=5)
+
+    @given(st.integers(10, 60), st.integers(2, 6), st.integers(0, 5))
+    def test_partition_property(self, n, k, seed):
+        folds = kfold_indices(n, k=k, seed_or_rng=seed)
+        all_test = np.concatenate([test for _, test in folds])
+        assert np.sort(all_test).tolist() == list(range(n))
+
+
+class TestStratifiedSample:
+    def test_exact_size(self):
+        labels = np.array([0] * 60 + [1] * 40)
+        picked = stratified_sample(labels, 20, seed_or_rng=0)
+        assert len(picked) == 20
+
+    def test_proportions_roughly_preserved(self):
+        labels = np.array([0] * 80 + [1] * 20)
+        picked = stratified_sample(labels, 20, seed_or_rng=0)
+        ones = (labels[picked] == 1).sum()
+        assert 2 <= ones <= 6
+
+    def test_no_duplicates(self):
+        labels = np.array([0, 1] * 25)
+        picked = stratified_sample(labels, 30, seed_or_rng=0)
+        assert len(np.unique(picked)) == 30
+
+    def test_size_zero(self):
+        labels = np.zeros(10, dtype=int)
+        assert len(stratified_sample(labels, 0)) == 0
+
+    def test_oversize_raises(self):
+        with pytest.raises(ConfigurationError):
+            stratified_sample(np.zeros(5, dtype=int), 6)

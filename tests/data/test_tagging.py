@@ -1,0 +1,167 @@
+"""Tests for BIO/BIOES tagging schemes, conversion, and span extraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.tagging import (
+    TagScheme,
+    bio_to_bioes,
+    bioes_to_bio,
+    extract_spans,
+    split_tag,
+    validate_tags,
+)
+from repro.exceptions import DataError
+
+
+class TestSplitTag:
+    def test_outside(self):
+        assert split_tag("O") == ("O", "")
+
+    def test_prefixed(self):
+        assert split_tag("B-PER") == ("B", "PER")
+
+    def test_malformed_raises(self):
+        with pytest.raises(DataError):
+            split_tag("B-")
+
+    def test_bare_prefix_raises(self):
+        with pytest.raises(DataError):
+            split_tag("B")
+
+
+class TestValidateBIO:
+    def test_legal_sequence(self):
+        validate_tags(["O", "B-PER", "I-PER", "O", "B-LOC"], TagScheme.BIO)
+
+    def test_i_without_b_raises(self):
+        with pytest.raises(DataError):
+            validate_tags(["O", "I-PER"], TagScheme.BIO)
+
+    def test_i_type_switch_raises(self):
+        with pytest.raises(DataError):
+            validate_tags(["B-PER", "I-LOC"], TagScheme.BIO)
+
+    def test_bioes_prefix_in_bio_raises(self):
+        with pytest.raises(DataError):
+            validate_tags(["S-PER"], TagScheme.BIO)
+
+    def test_adjacent_b_tags_legal(self):
+        validate_tags(["B-PER", "B-PER"], TagScheme.BIO)
+
+
+class TestValidateBIOES:
+    def test_legal_sequence(self):
+        validate_tags(["O", "B-PER", "E-PER", "S-LOC", "O"], TagScheme.BIOES)
+
+    def test_unclosed_chunk_raises(self):
+        with pytest.raises(DataError):
+            validate_tags(["B-PER", "I-PER"], TagScheme.BIOES)
+
+    def test_chunk_broken_by_o_raises(self):
+        with pytest.raises(DataError):
+            validate_tags(["B-PER", "O"], TagScheme.BIOES)
+
+    def test_s_inside_chunk_raises(self):
+        with pytest.raises(DataError):
+            validate_tags(["B-PER", "S-LOC"], TagScheme.BIOES)
+
+    def test_e_without_open_raises(self):
+        with pytest.raises(DataError):
+            validate_tags(["E-PER"], TagScheme.BIOES)
+
+
+class TestConversion:
+    def test_single_token_chunk_becomes_s(self):
+        assert bio_to_bioes(["B-PER"]) == ["S-PER"]
+
+    def test_multi_token_chunk(self):
+        assert bio_to_bioes(["B-PER", "I-PER", "I-PER"]) == [
+            "B-PER", "I-PER", "E-PER",
+        ]
+
+    def test_outside_preserved(self):
+        assert bio_to_bioes(["O", "O"]) == ["O", "O"]
+
+    def test_adjacent_chunks(self):
+        assert bio_to_bioes(["B-PER", "B-LOC", "I-LOC"]) == [
+            "S-PER", "B-LOC", "E-LOC",
+        ]
+
+    def test_type_switch_closes_chunk(self):
+        # I-LOC after B-PER is illegal BIO and must raise, not convert.
+        with pytest.raises(DataError):
+            bio_to_bioes(["B-PER", "I-LOC"])
+
+    def test_bioes_to_bio_inverse(self):
+        bio = ["O", "B-PER", "I-PER", "O", "B-LOC", "B-MISC", "I-MISC"]
+        assert bioes_to_bio(bio_to_bioes(bio)) == bio
+
+    def test_empty_sequence(self):
+        assert bio_to_bioes([]) == []
+
+
+def _random_bio(draw_entities):
+    """Build a legal BIO sequence from (type, length, gap) triples."""
+    tags = []
+    for entity_type, length, gap in draw_entities:
+        tags.extend(["O"] * gap)
+        tags.append(f"B-{entity_type}")
+        tags.extend([f"I-{entity_type}"] * (length - 1))
+    return tags
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["PER", "ORG", "LOC", "MISC"]),
+            st.integers(1, 4),
+            st.integers(0, 3),
+        ),
+        max_size=8,
+    )
+)
+def test_roundtrip_property(entities):
+    bio = _random_bio(entities)
+    bioes = bio_to_bioes(bio)
+    validate_tags(bioes, TagScheme.BIOES)
+    assert bioes_to_bio(bioes) == bio
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["PER", "ORG"]),
+            st.integers(1, 3),
+            st.integers(1, 3),
+        ),
+        max_size=6,
+    )
+)
+def test_spans_invariant_under_scheme(entities):
+    bio = _random_bio(entities)
+    assert extract_spans(bio) == extract_spans(bio_to_bioes(bio))
+
+
+class TestExtractSpans:
+    def test_simple(self):
+        spans = extract_spans(["O", "B-PER", "I-PER", "O"])
+        assert spans == {(1, 3, "PER")}
+
+    def test_sequence_end_closes(self):
+        assert extract_spans(["B-LOC"]) == {(0, 1, "LOC")}
+
+    def test_bioes_spans(self):
+        spans = extract_spans(["S-PER", "B-LOC", "E-LOC"])
+        assert spans == {(0, 1, "PER"), (1, 3, "LOC")}
+
+    def test_noisy_i_starts_chunk(self):
+        # conlleval convention: orphan I opens a chunk.
+        assert extract_spans(["O", "I-PER"]) == {(1, 2, "PER")}
+
+    def test_type_switch_inside_i(self):
+        spans = extract_spans(["B-PER", "I-LOC"])
+        assert spans == {(0, 1, "PER"), (1, 2, "LOC")}
+
+    def test_empty(self):
+        assert extract_spans([]) == set()

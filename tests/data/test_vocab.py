@@ -1,0 +1,103 @@
+"""Tests for the token vocabulary."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
+from repro.exceptions import DataError
+
+
+class TestSpecials:
+    def test_pad_is_zero(self):
+        assert Vocabulary().pad_id == 0
+
+    def test_unk_is_one(self):
+        assert Vocabulary().unk_id == 1
+
+    def test_specials_present(self):
+        vocab = Vocabulary()
+        assert PAD_TOKEN in vocab and UNK_TOKEN in vocab
+
+    def test_empty_vocab_has_size_two(self):
+        assert len(Vocabulary()) == 2
+
+
+class TestAdd:
+    def test_add_returns_new_id(self):
+        vocab = Vocabulary()
+        assert vocab.add("hello") == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("hello")
+        assert vocab.add("hello") == first
+        assert len(vocab) == 3
+
+    def test_constructor_tokens(self):
+        vocab = Vocabulary(["a", "b", "a"])
+        assert len(vocab) == 4
+        assert vocab.id_of("b") == 3
+
+    def test_frozen_rejects_new(self):
+        vocab = Vocabulary(["a"]).freeze()
+        with pytest.raises(DataError):
+            vocab.add("b")
+
+    def test_frozen_allows_existing(self):
+        vocab = Vocabulary(["a"]).freeze()
+        assert vocab.add("a") == 2
+
+
+class TestLookup:
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["a"]).freeze()
+        assert vocab.id_of("zzz") == vocab.unk_id
+
+    def test_token_of_roundtrip(self):
+        vocab = Vocabulary(["x", "y"])
+        assert vocab.token_of(vocab.id_of("y")) == "y"
+
+    def test_token_of_out_of_range(self):
+        with pytest.raises(DataError):
+            Vocabulary().token_of(99)
+
+    def test_token_of_negative(self):
+        with pytest.raises(DataError):
+            Vocabulary().token_of(-1)
+
+    def test_iteration_order(self):
+        vocab = Vocabulary(["a", "b"])
+        assert list(vocab) == [PAD_TOKEN, UNK_TOKEN, "a", "b"]
+
+
+class TestEncodeDecode:
+    def test_encode_open_adds(self):
+        vocab = Vocabulary()
+        ids = vocab.encode(["a", "b", "a"])
+        assert ids == [2, 3, 2]
+
+    def test_encode_frozen_maps_unknown(self):
+        vocab = Vocabulary(["a"]).freeze()
+        assert vocab.encode(["a", "b"]) == [2, vocab.unk_id]
+
+    def test_decode(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.decode([2, 3]) == ["a", "b"]
+
+    @given(st.lists(st.text(min_size=1, max_size=6), max_size=30))
+    def test_roundtrip_property(self, tokens):
+        vocab = Vocabulary()
+        ids = vocab.encode(tokens)
+        assert vocab.decode(ids) == tokens
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=20))
+    def test_ids_stable_under_freeze(self, tokens):
+        vocab = Vocabulary(["a", "b", "c"])
+        before = vocab.encode(tokens)
+        vocab.freeze()
+        assert vocab.encode(tokens) == before
+
+    def test_repr_mentions_state(self):
+        vocab = Vocabulary()
+        assert "open" in repr(vocab)
+        assert "frozen" in repr(vocab.freeze())

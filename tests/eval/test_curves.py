@@ -1,0 +1,130 @@
+"""Tests for learning curves and derived measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.curves import (
+    LearningCurve,
+    area_under_curve,
+    curve_std,
+    mean_curve,
+    samples_to_target,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def curve():
+    return LearningCurve(
+        counts=np.array([25, 50, 75, 100]),
+        values=np.array([0.5, 0.6, 0.7, 0.72]),
+        label="demo",
+    )
+
+
+class TestConstruction:
+    def test_mismatched_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearningCurve(np.array([1, 2]), np.array([0.1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearningCurve(np.array([]), np.array([]))
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearningCurve(np.array([2, 2]), np.array([0.1, 0.2]))
+
+    def test_len(self, curve):
+        assert len(curve) == 4
+
+
+class TestValueAt:
+    def test_exact_count(self, curve):
+        assert curve.value_at(50) == 0.6
+
+    def test_between_counts_uses_last(self, curve):
+        assert curve.value_at(60) == 0.6
+
+    def test_beyond_last(self, curve):
+        assert curve.value_at(500) == 0.72
+
+    def test_before_first_rejected(self, curve):
+        with pytest.raises(ConfigurationError):
+            curve.value_at(10)
+
+
+class TestSamplesToTarget:
+    def test_reached(self, curve):
+        assert samples_to_target(curve, 0.65) == 75
+
+    def test_reached_at_first(self, curve):
+        assert samples_to_target(curve, 0.4) == 25
+
+    def test_unreached_is_none(self, curve):
+        assert samples_to_target(curve, 0.9) is None
+
+    def test_exact_boundary(self, curve):
+        assert samples_to_target(curve, 0.72) == 100
+
+
+class TestAUC:
+    def test_constant_curve(self):
+        curve = LearningCurve(np.array([0, 10]), np.array([0.5, 0.5]))
+        assert area_under_curve(curve) == pytest.approx(0.5)
+
+    def test_linear_curve(self):
+        curve = LearningCurve(np.array([0, 10]), np.array([0.0, 1.0]))
+        assert area_under_curve(curve) == pytest.approx(0.5)
+
+    def test_single_point(self):
+        curve = LearningCurve(np.array([5]), np.array([0.7]))
+        assert area_under_curve(curve) == 0.7
+
+    def test_higher_curve_higher_auc(self, curve):
+        better = LearningCurve(curve.counts, curve.values + 0.1)
+        assert area_under_curve(better) > area_under_curve(curve)
+
+
+class TestAggregation:
+    def test_mean_curve(self, curve):
+        other = LearningCurve(curve.counts, curve.values + 0.2)
+        mean = mean_curve([curve, other])
+        assert np.allclose(mean.values, curve.values + 0.1)
+
+    def test_mean_single(self, curve):
+        assert np.allclose(mean_curve([curve]).values, curve.values)
+
+    def test_mean_mismatched_counts_rejected(self, curve):
+        other = LearningCurve(np.array([1, 2]), np.array([0.1, 0.2]))
+        with pytest.raises(ConfigurationError):
+            mean_curve([curve, other])
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_curve([])
+
+    def test_std(self, curve):
+        other = LearningCurve(curve.counts, curve.values + 0.2)
+        stds = curve_std([curve, other])
+        assert np.allclose(stds, 0.1)
+
+    def test_label_propagates(self, curve):
+        assert mean_curve([curve], label="renamed").label == "renamed"
+
+
+@given(
+    st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=10),
+    st.floats(0, 1, allow_nan=False),
+)
+def test_samples_to_target_consistency(values, target):
+    counts = np.arange(1, len(values) + 1) * 10
+    curve = LearningCurve(counts, np.array(values))
+    needed = samples_to_target(curve, target)
+    if needed is None:
+        assert (curve.values < target).all()
+    else:
+        assert curve.value_at(needed) >= target
+        earlier = curve.counts < needed
+        assert (curve.values[earlier] < target).all()

@@ -1,0 +1,97 @@
+"""Tests for accuracy and entity span F1."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    accuracy_score,
+    evaluate_model,
+    sequence_model_f1,
+    span_f1,
+)
+from repro.exceptions import ConfigurationError
+from repro.models.crf import LinearChainCRF
+from repro.models.linear import LinearSoftmax
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score(np.array([1, 0, 1]), np.array([1, 0, 1])) == 1.0
+
+    def test_half(self):
+        assert accuracy_score(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_empty_is_zero(self):
+        assert accuracy_score(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            accuracy_score(np.zeros(3), np.zeros(4))
+
+
+class TestSpanF1:
+    def test_perfect_match(self):
+        gold = [["B-PER", "I-PER", "O"]]
+        result = span_f1(gold, gold)
+        assert result.f1 == 1.0 and result.precision == 1.0 and result.recall == 1.0
+
+    def test_no_predictions(self):
+        gold = [["B-PER", "O"]]
+        predicted = [["O", "O"]]
+        result = span_f1(gold, predicted)
+        assert result.f1 == 0.0 and result.recall == 0.0
+
+    def test_partial_overlap_not_counted(self):
+        gold = [["B-PER", "I-PER", "O"]]
+        predicted = [["B-PER", "O", "O"]]  # wrong span boundary
+        result = span_f1(gold, predicted)
+        assert result.true_positives == 0
+
+    def test_type_must_match(self):
+        gold = [["B-PER", "O"]]
+        predicted = [["B-LOC", "O"]]
+        assert span_f1(gold, predicted).true_positives == 0
+
+    def test_known_counts(self):
+        gold = [["B-PER", "O", "B-LOC"], ["O", "B-ORG"]]
+        predicted = [["B-PER", "O", "O"], ["B-MISC", "B-ORG"]]
+        result = span_f1(gold, predicted)
+        assert result.true_positives == 2
+        assert result.gold_spans == 3
+        assert result.predicted_spans == 3
+        assert result.precision == pytest.approx(2 / 3)
+        assert result.recall == pytest.approx(2 / 3)
+
+    def test_mixed_schemes_allowed(self):
+        gold = [["B-PER", "I-PER"]]
+        predicted = [["B-PER", "E-PER"]]  # BIOES prediction of the same span
+        assert span_f1(gold, predicted).f1 == 1.0
+
+    def test_sentence_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            span_f1([["O"]], [["O"], ["O"]])
+
+
+class TestEvaluateModel:
+    def test_classifier_dispatch(self, fitted_classifier, text_dataset):
+        value = evaluate_model(fitted_classifier, text_dataset.subset(range(100)))
+        assert value == fitted_classifier.accuracy(text_dataset.subset(range(100)))
+
+    def test_sequence_dispatch(self, ner_dataset):
+        model = LinearChainCRF(epochs=2, seed=0).fit(ner_dataset.subset(range(100)))
+        test = ner_dataset.subset(range(100, 150))
+        value = evaluate_model(model, test)
+        assert value == sequence_model_f1(model, test)
+        assert 0.0 <= value <= 1.0
+
+    def test_crf_learns_to_nonzero_f1(self, ner_dataset):
+        model = LinearChainCRF(epochs=4, seed=0).fit(ner_dataset.subset(range(150)))
+        assert evaluate_model(model, ner_dataset.subset(range(150, 250))) > 0.3
+
+    def test_wrong_dataset_type(self, fitted_classifier, ner_dataset):
+        with pytest.raises(ConfigurationError):
+            evaluate_model(fitted_classifier, ner_dataset)
+
+    def test_unknown_model(self, text_dataset):
+        with pytest.raises(ConfigurationError):
+            evaluate_model(object(), text_dataset)

@@ -1,0 +1,88 @@
+"""Tests for the ASCII learning-curve plotter."""
+
+import numpy as np
+import pytest
+
+from repro.eval.curves import LearningCurve
+from repro.exceptions import ConfigurationError
+from repro.experiments.ascii_plot import plot_curves
+
+
+@pytest.fixture()
+def curves():
+    counts = np.array([25, 50, 75, 100])
+    return {
+        "low": LearningCurve(counts, np.array([0.5, 0.55, 0.6, 0.65])),
+        "high": LearningCurve(counts, np.array([0.6, 0.7, 0.75, 0.8])),
+    }
+
+
+class TestPlot:
+    def test_contains_legend(self, curves):
+        chart = plot_curves(curves)
+        assert "* low" in chart and "o high" in chart
+
+    def test_contains_axis_extremes(self, curves):
+        chart = plot_curves(curves)
+        assert "25" in chart and "100" in chart
+        assert "0.800" in chart and "0.500" in chart
+
+    def test_grid_dimensions(self, curves):
+        chart = plot_curves(curves, width=40, height=10)
+        plot_lines = chart.splitlines()[:10]
+        assert len(plot_lines) == 10
+        assert all(len(line.split("|", 1)[1]) == 40 for line in plot_lines)
+
+    def test_higher_series_drawn_higher(self, curves):
+        chart = plot_curves(curves, width=30, height=12)
+        rows = chart.splitlines()[:12]
+        top_of = {}
+        for marker in ("*", "o"):
+            top_of[marker] = next(
+                i for i, row in enumerate(rows) if marker in row
+            )
+        assert top_of["o"] < top_of["*"]  # "high" peaks above "low"
+
+    def test_single_point_curve(self):
+        chart = plot_curves({"p": LearningCurve(np.array([10]), np.array([0.4]))})
+        assert "* p" in chart
+
+    def test_flat_curves_do_not_crash(self):
+        counts = np.array([1, 2, 3])
+        chart = plot_curves({"flat": LearningCurve(counts, np.full(3, 0.5))})
+        assert "flat" in chart
+
+    def test_markers_cycle(self):
+        counts = np.array([1, 2])
+        many = {
+            f"s{i}": LearningCurve(counts, np.array([0.1 * i, 0.1 * i + 0.05]))
+            for i in range(10)
+        }
+        chart = plot_curves(many)
+        assert "* s0" in chart and "* s8" in chart  # marker reuse after 8
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plot_curves({})
+
+    def test_tiny_area_rejected(self, curves):
+        with pytest.raises(ConfigurationError):
+            plot_curves(curves, width=5, height=2)
+
+
+class TestCLIPlotFlag:
+    def test_compare_with_plot(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random", "entropy",
+            "--rounds", "2", "--batch-size", "10", "--repeats", "1",
+            "--epochs", "3", "--plot",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "* random" in captured.out
+        assert "o entropy" in captured.out

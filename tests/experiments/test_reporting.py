@@ -1,0 +1,80 @@
+"""Tests for the ASCII report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.curves import LearningCurve
+from repro.exceptions import ConfigurationError
+from repro.experiments.reporting import (
+    format_curve_table,
+    format_table,
+    format_target_table,
+)
+
+
+@pytest.fixture()
+def curves():
+    counts = np.array([25, 50, 75])
+    return {
+        "Entropy": LearningCurve(counts, np.array([0.5, 0.6, 0.7])),
+        "WSHS(Entropy)": LearningCurve(counts, np.array([0.55, 0.66, 0.74])),
+    }
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "b"], [["x", 1.23456]])
+        assert "a" in text and "x" in text and "1.2346" in text
+
+    def test_title_first_line(self):
+        text = format_table(["a"], [["x"]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-strategy-name", 1]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_no_rows_ok(self):
+        assert "a" in format_table(["a"], [])
+
+
+class TestCurveTable:
+    def test_rows_per_strategy(self, curves):
+        text = format_curve_table(curves)
+        assert "Entropy" in text and "WSHS(Entropy)" in text
+
+    def test_custom_checkpoints(self, curves):
+        text = format_curve_table(curves, counts=[50])
+        assert "50" in text
+        assert "0.6000" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_curve_table({})
+
+
+class TestTargetTable:
+    def test_reached_target_shows_count(self, curves):
+        text = format_target_table(curves, targets=[0.65])
+        assert "75" in text
+
+    def test_unreached_shows_budget_plus(self, curves):
+        text = format_target_table(curves, targets=[0.9], budget=500)
+        assert "500+" in text
+
+    def test_default_budget_is_last_count(self, curves):
+        text = format_target_table(curves, targets=[0.9])
+        assert "75+" in text
+
+    def test_empty_targets_rejected(self, curves):
+        with pytest.raises(ConfigurationError):
+            format_target_table(curves, targets=[])

@@ -1,0 +1,61 @@
+"""Tests for the plain gradient-boosting regressor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.ltr.gbm import GradientBoostingRegressor
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(0)
+    features = rng.random((300, 4))
+    targets = 2 * features[:, 0] + np.sin(5 * features[:, 1]) + 0.05 * rng.normal(size=300)
+    return features, targets
+
+
+class TestBoosting:
+    def test_fits_nonlinear_function(self, regression_data):
+        features, targets = regression_data
+        model = GradientBoostingRegressor(n_estimators=80).fit(features, targets)
+        mse = np.mean((model.predict(features) - targets) ** 2)
+        assert mse < 0.05
+
+    def test_staged_mse_decreases(self, regression_data):
+        features, targets = regression_data
+        model = GradientBoostingRegressor(n_estimators=40).fit(features, targets)
+        errors = model.staged_mse(features, targets)
+        assert errors[-1] < errors[0]
+        assert len(errors) == 40
+
+    def test_more_trees_fit_better(self, regression_data):
+        features, targets = regression_data
+        small = GradientBoostingRegressor(n_estimators=5).fit(features, targets)
+        big = GradientBoostingRegressor(n_estimators=60).fit(features, targets)
+        mse = lambda m: np.mean((m.predict(features) - targets) ** 2)
+        assert mse(big) < mse(small)
+
+    def test_base_prediction_is_mean(self):
+        features = np.zeros((10, 1))
+        targets = np.full(10, 3.5)
+        model = GradientBoostingRegressor(n_estimators=1).fit(features, targets)
+        assert np.allclose(model.predict(np.zeros((2, 1))), 3.5)
+
+
+class TestValidation:
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict(np.zeros((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingRegressor().fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_bad_estimators(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingRegressor(n_estimators=0)
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingRegressor(learning_rate=0)

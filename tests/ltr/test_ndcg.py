@@ -1,0 +1,69 @@
+"""Tests for DCG/NDCG utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.ltr.ndcg import dcg_at_k, discounts, gains, ndcg_at_k
+
+
+class TestGainsDiscounts:
+    def test_gains(self):
+        assert gains(np.array([0, 1, 2])).tolist() == [0.0, 1.0, 3.0]
+
+    def test_discounts_first_is_one(self):
+        assert discounts(3)[0] == 1.0
+
+    def test_discounts_decreasing(self):
+        values = discounts(10)
+        assert (np.diff(values) < 0).all()
+
+
+class TestDCG:
+    def test_known_value(self):
+        # rel [3, 2] -> 7/1 + 3/log2(3)
+        expected = 7.0 + 3.0 / np.log2(3)
+        assert dcg_at_k(np.array([3, 2])) == pytest.approx(expected)
+
+    def test_truncation(self):
+        full = dcg_at_k(np.array([1, 1, 1]))
+        truncated = dcg_at_k(np.array([1, 1, 1]), k=2)
+        assert truncated < full
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            dcg_at_k(np.array([1.0]), k=0)
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        relevance = np.array([3, 2, 1, 0])
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        assert ndcg_at_k(relevance, scores) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        relevance = np.array([3, 2, 1, 0])
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        assert ndcg_at_k(relevance, scores) < 1.0
+
+    def test_all_zero_relevance_is_one(self):
+        assert ndcg_at_k(np.zeros(4), np.arange(4.0)) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ndcg_at_k(np.zeros(3), np.zeros(4))
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=2, max_size=12),
+        st.integers(0, 10_000),
+    )
+    def test_bounds_property(self, relevance, seed):
+        scores = np.random.default_rng(seed).random(len(relevance))
+        value = ndcg_at_k(np.array(relevance), scores)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=12))
+    def test_ideal_scores_give_one(self, relevance):
+        relevance_array = np.array(relevance, dtype=float)
+        assert ndcg_at_k(relevance_array, relevance_array) == pytest.approx(1.0)

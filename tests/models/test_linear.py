@@ -1,0 +1,127 @@
+"""Tests for the LinearSoftmax classifier, including its closed-form EGL."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.models.linear import LinearSoftmax
+
+
+class TestFitPredict:
+    def test_learns_separable_data(self, text_dataset):
+        train = text_dataset.subset(range(400))
+        test = text_dataset.subset(range(400, 600))
+        model = LinearSoftmax(epochs=20, seed=0).fit(train)
+        assert model.accuracy(test) > 0.75
+
+    def test_probabilities_shape_and_simplex(self, fitted_classifier, text_dataset):
+        probs = fitted_classifier.predict_proba(text_dataset.subset(range(20)))
+        assert probs.shape == (20, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_predict_matches_argmax(self, fitted_classifier, text_dataset):
+        subset = text_dataset.subset(range(15))
+        probs = fitted_classifier.predict_proba(subset)
+        assert np.array_equal(fitted_classifier.predict(subset), probs.argmax(axis=1))
+
+    def test_deterministic_given_seed(self, text_dataset):
+        train = text_dataset.subset(range(100))
+        a = LinearSoftmax(epochs=5, seed=3).fit(train)
+        b = LinearSoftmax(epochs=5, seed=3).fit(train)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_different_seeds_differ(self, text_dataset):
+        train = text_dataset.subset(range(100))
+        a = LinearSoftmax(epochs=3, seed=1).fit(train)
+        b = LinearSoftmax(epochs=3, seed=2).fit(train)
+        assert not np.allclose(a.weights, b.weights)
+
+    def test_refit_resets(self, text_dataset):
+        model = LinearSoftmax(epochs=5, seed=0)
+        model.fit(text_dataset.subset(range(100)))
+        first = model.weights.copy()
+        model.fit(text_dataset.subset(range(100)))
+        assert np.allclose(model.weights, first)
+
+    def test_empty_dataset_rejected(self, text_dataset):
+        with pytest.raises(ConfigurationError):
+            LinearSoftmax().fit(text_dataset.subset([]))
+
+    def test_accuracy_on_empty_is_zero(self, fitted_classifier, text_dataset):
+        assert fitted_classifier.accuracy(text_dataset.subset([])) == 0.0
+
+
+class TestNotFitted:
+    def test_predict_before_fit(self, text_dataset):
+        with pytest.raises(NotFittedError):
+            LinearSoftmax().predict_proba(text_dataset)
+
+    def test_egl_before_fit(self, text_dataset):
+        with pytest.raises(NotFittedError):
+            LinearSoftmax().expected_gradient_lengths(text_dataset)
+
+    def test_weights_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearSoftmax().weights
+
+
+class TestClone:
+    def test_clone_is_unfitted(self, fitted_classifier):
+        clone = fitted_classifier.clone()
+        with pytest.raises(NotFittedError):
+            clone.weights
+
+    def test_clone_copies_hyperparameters(self):
+        model = LinearSoftmax(epochs=7, learning_rate=0.3, l2=0.01, batch_size=16, seed=5)
+        clone = model.clone()
+        assert (clone.epochs, clone.learning_rate, clone.l2, clone.batch_size, clone.seed) == (
+            7, 0.3, 0.01, 16, 5,
+        )
+
+
+class TestEGL:
+    def test_matches_brute_force(self, fitted_classifier, text_dataset):
+        """The closed form must equal explicit per-label gradient norms."""
+        subset = text_dataset.subset(range(10))
+        scores = fitted_classifier.expected_gradient_lengths(subset)
+        features = subset.bag_of_words()
+        probs = fitted_classifier.predict_proba(subset)
+        for i in range(10):
+            x = features[i]
+            expected = 0.0
+            for label in range(2):
+                residual = probs[i].copy()
+                residual[label] -= 1.0
+                grad_w = np.outer(x, residual)
+                grad_norm = np.sqrt((grad_w**2).sum() + (residual**2).sum())
+                expected += probs[i, label] * grad_norm
+            assert np.isclose(scores[i], expected, rtol=1e-10)
+
+    def test_scores_nonnegative(self, fitted_classifier, text_dataset):
+        scores = fitted_classifier.expected_gradient_lengths(text_dataset.subset(range(50)))
+        assert (scores >= 0).all()
+
+    def test_confident_samples_score_lower(self, fitted_classifier, text_dataset):
+        subset = text_dataset.subset(range(200))
+        scores = fitted_classifier.expected_gradient_lengths(subset)
+        confidence = fitted_classifier.predict_proba(subset).max(axis=1)
+        most_confident = confidence > np.quantile(confidence, 0.9)
+        least_confident = confidence < np.quantile(confidence, 0.1)
+        assert scores[least_confident].mean() > scores[most_confident].mean()
+
+
+class TestValidation:
+    def test_bad_epochs(self):
+        with pytest.raises(ConfigurationError):
+            LinearSoftmax(epochs=0)
+
+    def test_bad_l2(self):
+        with pytest.raises(ConfigurationError):
+            LinearSoftmax(l2=-1)
+
+    def test_repr_shows_state(self, text_dataset):
+        model = LinearSoftmax()
+        assert "unfitted" in repr(model)
+        model.fit(text_dataset.subset(range(50)))
+        assert "fitted" in repr(model)

@@ -1,0 +1,111 @@
+"""Cross-model contract tests: every model family honours the same API."""
+
+import numpy as np
+import pytest
+
+from repro.data.text import TextCorpusSpec, make_text_corpus
+from repro.exceptions import ConfigurationError
+from repro.models import (
+    LinearChainCRF,
+    LinearSoftmax,
+    MLPClassifier,
+    TextCNN,
+    supports_embedding_gradients,
+    supports_gradient_lengths,
+    supports_stochastic_predictions,
+)
+
+CLASSIFIER_FACTORIES = [
+    lambda: LinearSoftmax(epochs=4, seed=0),
+    lambda: MLPClassifier(epochs=6, hidden_dim=8, seed=0),
+    lambda: TextCNN(embedding_dim=8, filters=4, epochs=2, seed=0),
+]
+CLASSIFIER_IDS = ["linear", "mlp", "cnn"]
+
+
+@pytest.mark.parametrize("factory", CLASSIFIER_FACTORIES, ids=CLASSIFIER_IDS)
+class TestClassifierContract:
+    def test_fit_returns_self(self, factory, text_dataset):
+        model = factory()
+        assert model.fit(text_dataset.subset(range(80))) is model
+
+    def test_proba_rows_are_distributions(self, factory, text_dataset):
+        model = factory().fit(text_dataset.subset(range(80)))
+        probs = model.predict_proba(text_dataset.subset(range(20)))
+        assert probs.shape == (20, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= -1e-12).all()
+
+    def test_clone_then_fit_matches_original(self, factory, text_dataset):
+        train = text_dataset.subset(range(80))
+        probe = text_dataset.subset(range(80, 100))
+        original = factory().fit(train)
+        cloned = original.clone().fit(train)
+        assert np.allclose(
+            original.predict_proba(probe), cloned.predict_proba(probe)
+        )
+
+    def test_accuracy_bounds(self, factory, text_dataset):
+        model = factory().fit(text_dataset.subset(range(80)))
+        accuracy = model.accuracy(text_dataset.subset(range(80, 160)))
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestCapabilityFlags:
+    def test_linear_capabilities(self):
+        model = LinearSoftmax()
+        assert supports_gradient_lengths(model)
+        assert not supports_embedding_gradients(model)
+        assert not supports_stochastic_predictions(model)
+
+    def test_mlp_capabilities(self):
+        model = MLPClassifier()
+        assert supports_gradient_lengths(model)
+        assert supports_stochastic_predictions(model)
+        assert not supports_embedding_gradients(model)
+
+    def test_cnn_capabilities(self):
+        model = TextCNN()
+        assert supports_embedding_gradients(model)
+        assert supports_stochastic_predictions(model)
+        assert not supports_gradient_lengths(model)
+
+    def test_crf_capabilities(self):
+        model = LinearChainCRF()
+        assert supports_stochastic_predictions(model)
+
+    def test_bilstm_crf_capabilities(self):
+        from repro.models import BiLSTMCRF
+
+        assert supports_stochastic_predictions(BiLSTMCRF())
+
+    def test_plain_object_has_no_capabilities(self):
+        assert not supports_stochastic_predictions(object())
+
+
+class TestVocabularyMismatch:
+    def test_linear_rejects_different_vocab(self, text_dataset):
+        model = LinearSoftmax(epochs=3, seed=0).fit(text_dataset.subset(range(50)))
+        other = make_text_corpus(
+            TextCorpusSpec(
+                name="other", num_classes=2, size=30, background_vocab=50,
+                facets_per_class=2, facet_vocab=4, min_length=4, max_length=8,
+            ),
+            seed_or_rng=0,
+        )
+        with pytest.raises(ConfigurationError):
+            model.predict_proba(other)
+
+    def test_mlp_rejects_different_vocab(self, text_dataset):
+        model = MLPClassifier(epochs=3, hidden_dim=4, seed=0).fit(
+            text_dataset.subset(range(50))
+        )
+        other = make_text_corpus(
+            TextCorpusSpec(
+                name="other", num_classes=2, size=30, background_vocab=50,
+                facets_per_class=2, facet_vocab=4, min_length=4, max_length=8,
+            ),
+            seed_or_rng=0,
+        )
+        with pytest.raises(ConfigurationError):
+            model.predict_proba(other)

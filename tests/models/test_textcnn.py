@@ -1,0 +1,184 @@
+"""Tests for the numpy TextCNN, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import TextDataset
+from repro.data.vocab import Vocabulary
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.models.layers import one_hot
+from repro.models.textcnn import TextCNN
+
+
+@pytest.fixture(scope="module")
+def tiny_cnn_and_data():
+    """A minuscule CNN fitted on 40 short sentences (for gradient checks)."""
+    rng = np.random.default_rng(0)
+    vocab = Vocabulary([f"t{i}" for i in range(30)])
+    sentences = [rng.integers(2, 32, size=rng.integers(4, 9)) for _ in range(40)]
+    labels = rng.integers(0, 2, size=40)
+    dataset = TextDataset(sentences, labels, vocab, 2, name="tiny")
+    model = TextCNN(
+        embedding_dim=5, filters=3, widths=(2, 3), epochs=2, seed=0,
+        embedding_matrix=rng.normal(size=(32, 5)) * 0.3,
+    ).fit(dataset)
+    return model, dataset
+
+
+@pytest.fixture(scope="module")
+def fitted_cnn(text_dataset):
+    return TextCNN(embedding_dim=12, filters=8, epochs=5, seed=0).fit(
+        text_dataset.subset(range(250))
+    )
+
+
+class TestFitPredict:
+    def test_learns(self, fitted_cnn, text_dataset):
+        test = text_dataset.subset(range(400, 600))
+        assert fitted_cnn.accuracy(test) > 0.7
+
+    def test_probabilities_simplex(self, fitted_cnn, text_dataset):
+        probs = fitted_cnn.predict_proba(text_dataset.subset(range(9)))
+        assert probs.shape == (9, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_batched_prediction_consistent(self, fitted_cnn, text_dataset):
+        big = text_dataset.subset(range(300))
+        probs = fitted_cnn.predict_proba(big)
+        head = fitted_cnn.predict_proba(text_dataset.subset(range(10)))
+        assert np.allclose(probs[:10], head, atol=1e-12)
+
+    def test_not_fitted(self, text_dataset):
+        with pytest.raises(NotFittedError):
+            TextCNN().predict_proba(text_dataset)
+
+    def test_empty_fit_rejected(self, text_dataset):
+        with pytest.raises(ConfigurationError):
+            TextCNN().fit(text_dataset.subset([]))
+
+    def test_short_sentences_padded_to_width(self):
+        vocab = Vocabulary(["a", "b"])
+        dataset = TextDataset([[2], [3, 2]], [0, 1], vocab, 2)
+        model = TextCNN(
+            embedding_dim=4, filters=2, widths=(3,), epochs=1, seed=0,
+            embedding_matrix=np.random.default_rng(0).normal(size=(4, 4)),
+        ).fit(dataset)
+        assert model.predict_proba(dataset).shape == (2, 2)
+
+
+class TestGradients:
+    def test_backward_matches_finite_differences(self, tiny_cnn_and_data):
+        """Analytic gradients of the mean NLL vs central differences."""
+        model, dataset = tiny_cnn_and_data
+        ids = model._padded_ids(dataset)[:6]
+        labels = dataset.labels[:6]
+        targets = one_hot(labels, 2)
+        params = model._params
+
+        cache = model._forward(ids, None)
+        delta_out = (cache.probabilities - targets) / len(ids)
+        # Strip the L2 term: the finite-difference loss below is pure NLL.
+        grads = model._backward(cache, delta_out)
+        for width in model.widths:
+            grads[f"W{width}"] -= model.l2 * params[f"W{width}"]
+        grads["Wo"] -= model.l2 * params["Wo"]
+
+        def loss() -> float:
+            probs = model._forward(ids, None).probabilities
+            picked = probs[np.arange(len(ids)), labels]
+            return float(-np.log(picked).mean())
+
+        epsilon = 1e-6
+        rng = np.random.default_rng(1)
+        for name in ("Wo", "bo", "W2", "bw2", "W3", "bw3", "E"):
+            flat = params[name].reshape(-1)
+            flat_grad = grads[name].reshape(-1)
+            probe = rng.choice(len(flat), size=min(12, len(flat)), replace=False)
+            for k in probe:
+                if name == "E" and k < params["E"].shape[1]:
+                    continue  # PAD row gradient is intentionally zeroed
+                original = flat[k]
+                flat[k] = original + epsilon
+                up = loss()
+                flat[k] = original - epsilon
+                down = loss()
+                flat[k] = original
+                numeric = (up - down) / (2 * epsilon)
+                assert np.isclose(flat_grad[k], numeric, rtol=2e-4, atol=1e-7), (
+                    f"{name}[{k}]: analytic {flat_grad[k]} vs numeric {numeric}"
+                )
+
+    def test_embedding_grads_match_finite_differences(self, tiny_cnn_and_data):
+        """Per-position embedding gradients (EGL-word path) vs differences."""
+        model, dataset = tiny_cnn_and_data
+        ids = model._padded_ids(dataset)[:2]
+        cache = model._forward(ids, None)
+        label = 1
+        delta_out = cache.probabilities.copy()
+        delta_out[:, label] -= 1.0
+        analytic = model._embedding_grads(cache, delta_out)
+
+        # Perturb one embedded position by patching the embedding table for
+        # a unique token id occurring at that position.
+        params = model._params
+        epsilon = 1e-6
+        sample, position = 0, 2
+        token = int(ids[sample, position])
+        occurrences = int((ids == token).sum())
+        if occurrences == 1:  # only valid when the token is unique
+            for dim in range(params["E"].shape[1]):
+                original = params["E"][token, dim]
+                params["E"][token, dim] = original + epsilon
+                up = -np.log(model._forward(ids, None).probabilities[sample, label])
+                params["E"][token, dim] = original - epsilon
+                down = -np.log(model._forward(ids, None).probabilities[sample, label])
+                params["E"][token, dim] = original
+                numeric = (up - down) / (2 * epsilon)
+                assert np.isclose(analytic[sample, position, dim], numeric, rtol=1e-3, atol=1e-8)
+
+
+class TestEGLWord:
+    def test_scores_shape_and_sign(self, fitted_cnn, text_dataset):
+        scores = fitted_cnn.expected_embedding_gradients(text_dataset.subset(range(25)))
+        assert scores.shape == (25,)
+        assert (scores >= 0).all()
+
+    def test_pad_positions_ignored(self, fitted_cnn, text_dataset):
+        """A sentence of only PAD-adjacent tokens still yields finite scores."""
+        scores = fitted_cnn.expected_embedding_gradients(text_dataset.subset(range(5)))
+        assert np.isfinite(scores).all()
+
+
+class TestMCSampling:
+    def test_shape_and_variation(self, fitted_cnn, text_dataset, rng):
+        draws = fitted_cnn.predict_proba_samples(text_dataset.subset(range(6)), 4, rng)
+        assert draws.shape == (4, 6, 2)
+        assert not np.allclose(draws[0], draws[1])
+
+    def test_zero_draws_rejected(self, fitted_cnn, text_dataset, rng):
+        with pytest.raises(ConfigurationError):
+            fitted_cnn.predict_proba_samples(text_dataset.subset(range(2)), 0, rng)
+
+
+class TestValidation:
+    def test_bad_widths(self):
+        with pytest.raises(ConfigurationError):
+            TextCNN(widths=())
+
+    def test_bad_filters(self):
+        with pytest.raises(ConfigurationError):
+            TextCNN(filters=0)
+
+    def test_bad_dropout(self):
+        with pytest.raises(ConfigurationError):
+            TextCNN(dropout=1.5)
+
+    def test_clone_unfitted(self, fitted_cnn, text_dataset):
+        clone = fitted_cnn.clone()
+        with pytest.raises(NotFittedError):
+            clone.predict_proba(text_dataset)
+
+    def test_embedding_mismatch(self, text_dataset):
+        model = TextCNN(embedding_matrix=np.zeros((3, 4)))
+        with pytest.raises(ConfigurationError):
+            model.fit(text_dataset.subset(range(10)))

@@ -1,0 +1,159 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, build_strategy_factory, main
+from repro.core.strategies import FHS, HUS, LHS, Entropy, Random, WSHS
+from repro.exceptions import ConfigurationError
+
+
+class TestStrategySpecs:
+    def test_plain_name(self):
+        assert isinstance(build_strategy_factory("random", 3, None)(), Random)
+
+    def test_case_insensitive(self):
+        assert isinstance(build_strategy_factory("ENTROPY", 3, None)(), Entropy)
+
+    def test_wshs_wrapper(self):
+        strategy = build_strategy_factory("wshs:entropy", 4, None)()
+        assert isinstance(strategy, WSHS)
+        assert isinstance(strategy.base, Entropy)
+        assert strategy.window == 4
+
+    def test_hus_and_fhs_wrappers(self):
+        assert isinstance(build_strategy_factory("hus:lc", 3, None)(), HUS)
+        assert isinstance(build_strategy_factory("fhs:lc", 3, None)(), FHS)
+
+    def test_lhs_requires_ranker(self):
+        with pytest.raises(ConfigurationError):
+            build_strategy_factory("lhs:entropy", 3, None)
+
+    def test_unknown_wrapper(self):
+        with pytest.raises(ConfigurationError):
+            build_strategy_factory("boost:entropy", 3, None)
+
+    def test_unknown_base(self):
+        with pytest.raises(ConfigurationError):
+            build_strategy_factory("wshs:nope", 3, None)()
+
+
+class TestEntryPoints:
+    def test_console_script_target_resolves(self):
+        # pyproject [project.scripts] points at repro.cli:main.
+        from repro.cli import main as entry
+
+        assert callable(entry)
+
+    def test_module_entry_importable(self):
+        import importlib
+
+        module = importlib.import_module("repro.__main__")
+        assert hasattr(module, "main")
+
+
+class TestParser:
+    def test_compare_parses(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "mr", "--strategies", "random", "entropy"]
+        )
+        assert args.command == "compare"
+        assert args.strategies == ["random", "entropy"]
+
+    def test_train_ranker_parses(self):
+        args = build_parser().parse_args(
+            ["train-ranker", "--dataset", "subj", "--output", "r.json"]
+        )
+        assert args.command == "train-ranker"
+        assert args.predictor == "ar"
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCompareCommand:
+    def test_text_comparison_prints_table(self, capsys):
+        code = main([
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random", "wshs:entropy",
+            "--rounds", "2", "--batch-size", "10", "--repeats", "1",
+            "--epochs", "3",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "wshs:entropy" in captured.out
+        assert "accuracy" in captured.out
+
+    def test_targets_table(self, capsys):
+        code = main([
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random",
+            "--rounds", "2", "--batch-size", "10", "--repeats", "1",
+            "--epochs", "3", "--targets", "0.5",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "acc>=0.5" in captured.out
+
+    def test_ner_comparison(self, capsys):
+        code = main([
+            "compare", "--dataset", "conll-en", "--scale", "0.012",
+            "--strategies", "random", "mnlp",
+            "--rounds", "2", "--batch-size", "15", "--repeats", "1",
+            "--epochs", "4",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "span F1" in captured.out
+
+    def test_unknown_dataset_is_error_exit(self, capsys):
+        code = main([
+            "compare", "--dataset", "imagenet",
+            "--strategies", "random",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown dataset" in captured.err
+
+
+class TestTrainRankerCommand:
+    def test_train_and_reuse(self, capsys, tmp_path):
+        ranker_path = tmp_path / "ranker.json"
+        code = main([
+            "train-ranker", "--dataset", "subj", "--scale", "0.06",
+            "--rounds", "2", "--candidates", "6", "--batch-size", "15",
+            "--epochs", "3", "--predictor", "none",
+            "--output", str(ranker_path),
+        ])
+        assert code == 0
+        assert ranker_path.exists()
+        # The saved ranker powers an lhs:<base> comparison.
+        code = main([
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "entropy", "lhs:entropy",
+            "--rounds", "2", "--batch-size", "10", "--repeats", "1",
+            "--epochs", "3", "--ranker", str(ranker_path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "lhs:entropy" in captured.out
+
+    def test_ner_dataset_rejected(self, capsys, tmp_path):
+        code = main([
+            "train-ranker", "--dataset", "conll-en",
+            "--output", str(tmp_path / "r.json"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "text datasets only" in captured.err
+
+    def test_lhs_factory_via_cli_spec(self, tmp_path):
+        ranker_path = tmp_path / "ranker.json"
+        main([
+            "train-ranker", "--dataset", "subj", "--scale", "0.06",
+            "--rounds", "2", "--candidates", "6", "--batch-size", "15",
+            "--epochs", "3", "--predictor", "ar",
+            "--output", str(ranker_path),
+        ])
+        factory = build_strategy_factory("lhs:entropy", 3, str(ranker_path))
+        assert isinstance(factory(), LHS)

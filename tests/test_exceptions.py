@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DataError,
+    HistoryError,
+    NotFittedError,
+    PoolError,
+    ReproError,
+    StrategyError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    DataError,
+    HistoryError,
+    NotFittedError,
+    PoolError,
+    StrategyError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_derives_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_catchable_as_family(error_type):
+    with pytest.raises(ReproError):
+        raise error_type("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_subtypes_are_distinct():
+    assert not issubclass(DataError, PoolError)
+    assert not issubclass(PoolError, DataError)

@@ -1,0 +1,137 @@
+"""Tests for JSON persistence of trained LHS rankers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.ranker_training import RankerTrainingConfig, train_lhs_ranker
+from repro.core.strategies import Entropy, LHS
+from repro.core.loop import ActiveLearningLoop
+from repro.exceptions import DataError
+from repro.ltr.lambdamart import LambdaMART
+from repro.ltr.trees import RegressionTree
+from repro.models.linear import LinearSoftmax
+from repro.persistence import (
+    _tree_from_dict,
+    _tree_to_dict,
+    load_lhs_ranker,
+    save_lhs_ranker,
+)
+
+
+@pytest.fixture(scope="module", params=["ar", "lstm", None], ids=["ar", "lstm", "none"])
+def ranker(request, text_dataset):
+    return train_lhs_ranker(
+        LinearSoftmax(epochs=4, seed=0),
+        text_dataset.subset(range(250)),
+        text_dataset.subset(range(250, 350)),
+        base=Entropy(),
+        config=RankerTrainingConfig(
+            rounds=2, candidates_per_round=6, initial_size=15,
+            predictor=request.param, predictor_rounds=3, eval_size=80,
+        ),
+        seed_or_rng=1,
+    )
+
+
+class TestTreeRoundtrip:
+    def test_predictions_identical(self):
+        rng = np.random.default_rng(0)
+        features = rng.random((100, 4))
+        targets = rng.random(100)
+        tree = RegressionTree(max_depth=3).fit(features, targets)
+        restored = _tree_from_dict(_tree_to_dict(tree))
+        assert np.array_equal(tree.predict(features), restored.predict(features))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(DataError):
+            _tree_to_dict(RegressionTree())
+
+
+class TestRankerRoundtrip:
+    def test_predictions_identical(self, ranker, tmp_path):
+        path = tmp_path / "ranker.json"
+        save_lhs_ranker(ranker, path)
+        restored = load_lhs_ranker(path)
+        features = np.random.default_rng(3).random((12, ranker.extractor.dim))
+        assert np.allclose(
+            ranker.model.predict(features), restored.model.predict(features)
+        )
+
+    def test_extractor_config_preserved(self, ranker, tmp_path):
+        path = tmp_path / "ranker.json"
+        save_lhs_ranker(ranker, path)
+        restored = load_lhs_ranker(path)
+        assert restored.extractor.window == ranker.extractor.window
+        assert restored.extractor.feature_names() == ranker.extractor.feature_names()
+        assert restored.base_name == ranker.base_name
+        assert restored.training_rows == ranker.training_rows
+
+    def test_predictor_preserved(self, ranker, tmp_path):
+        path = tmp_path / "ranker.json"
+        save_lhs_ranker(ranker, path)
+        restored = load_lhs_ranker(path)
+        if ranker.extractor.predictor is None:
+            assert restored.extractor.predictor is None
+        else:
+            sequences = [np.array([0.2, 0.4, 0.6]), np.array([0.9, 0.5])]
+            assert np.allclose(
+                ranker.extractor.predictor.predict(sequences),
+                restored.extractor.predictor.predict(sequences),
+            )
+
+    def test_restored_ranker_runs_in_loop(self, ranker, tmp_path, text_dataset):
+        path = tmp_path / "ranker.json"
+        save_lhs_ranker(ranker, path)
+        restored = load_lhs_ranker(path)
+        loop = ActiveLearningLoop(
+            LinearSoftmax(epochs=3, seed=0),
+            LHS(Entropy(), restored),
+            text_dataset.subset(range(350, 550)),
+            text_dataset.subset(range(550, 600)),
+            batch_size=10,
+            rounds=2,
+            seed_or_rng=0,
+        )
+        assert len(loop.run().curve()) == 3
+
+    def test_file_is_plain_json(self, ranker, tmp_path):
+        path = tmp_path / "ranker.json"
+        save_lhs_ranker(ranker, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.lhs_ranker"
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_lhs_ranker(tmp_path / "nope.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(DataError):
+            load_lhs_ranker(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(DataError):
+            load_lhs_ranker(path)
+
+    def test_unknown_version(self, ranker, tmp_path):
+        path = tmp_path / "ranker.json"
+        save_lhs_ranker(ranker, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DataError):
+            load_lhs_ranker(path)
+
+    def test_unfitted_model_rejected_on_save(self, ranker, tmp_path):
+        from repro.core.ranker_training import LHSRanker
+
+        broken = LHSRanker(model=LambdaMART(), extractor=ranker.extractor)
+        with pytest.raises(DataError):
+            save_lhs_ranker(broken, tmp_path / "x.json")

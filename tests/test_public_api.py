@@ -1,0 +1,32 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+import repro.core.strategies as strategies_pkg
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_strategies_all_resolve(self):
+        for name in strategies_pkg.__all__:
+            assert hasattr(strategies_pkg, name), name
+
+    def test_quickstart_names_available(self):
+        # The README quickstart must keep working.
+        from repro import ActiveLearningLoop, LinearSoftmax, mr  # noqa: F401
+        from repro.core.strategies import Entropy, WSHS  # noqa: F401
+
+    def test_registry_covers_paper_strategies(self):
+        from repro.core.strategies import registered_strategies
+
+        keys = set(registered_strategies())
+        paper_strategies = {
+            "random", "entropy", "lc", "egl", "qbc", "density", "mmr",
+            "hus", "hkld", "wshs", "fhs", "lhs", "bald", "mnlp", "egl-word",
+        }
+        assert paper_strategies <= keys

@@ -1,0 +1,104 @@
+"""Tests for the Mann-Kendall trend test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.mann_kendall import Trend, mann_kendall_test
+
+
+class TestBasicTrends:
+    def test_increasing(self):
+        result = mann_kendall_test(np.arange(12.0))
+        assert result.trend is Trend.INCREASING
+        assert result.z > 0
+
+    def test_decreasing(self):
+        result = mann_kendall_test(np.arange(12.0)[::-1])
+        assert result.trend is Trend.DECREASING
+        assert result.z < 0
+
+    def test_constant_series_no_trend(self):
+        result = mann_kendall_test(np.ones(10))
+        assert result.trend is Trend.NO_TREND
+        assert result.z == 0.0
+
+    def test_alternating_no_trend(self):
+        result = mann_kendall_test([1, 2, 1, 2, 1, 2, 1, 2])
+        assert result.trend is Trend.NO_TREND
+
+    def test_s_statistic_exact(self):
+        # [1, 3, 2]: pairs (1,3)+1 (1,2)+1 (3,2)-1 -> S = 1.
+        assert mann_kendall_test([1, 3, 2]).s == 1
+
+    def test_tau_bounds(self):
+        result = mann_kendall_test(np.arange(10.0))
+        assert np.isclose(result.tau, 1.0)
+
+    def test_p_value_range(self):
+        result = mann_kendall_test([3, 1, 4, 1, 5, 9, 2, 6])
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestVariance:
+    def test_known_variance_no_ties(self):
+        # Var(S) = n(n-1)(2n+5)/18 for n=10 -> 125.
+        assert mann_kendall_test(np.arange(10.0)).variance == pytest.approx(125.0)
+
+    def test_tie_correction_reduces_variance(self):
+        tied = mann_kendall_test([1, 1, 2, 3, 4, 5, 6, 7, 8, 9]).variance
+        assert tied < 125.0
+
+
+class TestHamedRao:
+    def test_autocorrelated_series_inflates_variance(self):
+        rng = np.random.default_rng(0)
+        series = np.cumsum(rng.normal(size=40))  # strongly autocorrelated
+        plain = mann_kendall_test(series)
+        corrected = mann_kendall_test(series, hamed_rao=True)
+        assert corrected.variance >= plain.variance
+
+    def test_white_noise_unaffected_at_short_lags(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=60)
+        plain = mann_kendall_test(series)
+        corrected = mann_kendall_test(series, hamed_rao=True, max_lag=5)
+        assert corrected.variance == pytest.approx(plain.variance, rel=0.3)
+
+    def test_correction_factor_positive(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=60)
+        corrected = mann_kendall_test(series, hamed_rao=True)
+        assert corrected.variance > 0
+
+
+class TestValidation:
+    def test_too_short(self):
+        with pytest.raises(ConfigurationError):
+            mann_kendall_test([1, 2])
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            mann_kendall_test([1, 2, 3], alpha=0)
+
+
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=3, max_size=25))
+def test_antisymmetry_property(values):
+    forward = mann_kendall_test(values)
+    backward = mann_kendall_test(values[::-1])
+    assert forward.s == -backward.s
+    assert np.isclose(forward.variance, backward.variance)
+
+
+@given(
+    st.lists(st.integers(-1000, 1000), min_size=3, max_size=25),
+    st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+    st.integers(-10, 10),
+)
+def test_affine_invariance_property(values, scale, shift):
+    # Integer inputs and exact binary scales keep the pairwise order
+    # unchanged by floating-point rounding.
+    original = mann_kendall_test([float(v) for v in values])
+    transformed = mann_kendall_test([scale * v + shift for v in values])
+    assert original.s == transformed.s

@@ -1,0 +1,64 @@
+"""Tests for the Figure-2 trend-shape classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.trends import TrendShape, classify_trend, classify_trends
+
+
+class TestClassifyTrend:
+    def test_increasing(self):
+        shape = classify_trend(np.linspace(0, 1, 10), variance_threshold=1.0)
+        assert shape is TrendShape.INCREASING
+
+    def test_decreasing(self):
+        shape = classify_trend(np.linspace(1, 0, 10), variance_threshold=1.0)
+        assert shape is TrendShape.DECREASING
+
+    def test_stable(self):
+        series = np.full(8, 0.5) + 1e-4 * np.arange(8) * (-1) ** np.arange(8)
+        assert classify_trend(series, variance_threshold=0.01) is TrendShape.STABLE
+
+    def test_fluctuating(self):
+        series = np.array([0.1, 0.9, 0.2, 0.8, 0.15, 0.85])
+        assert classify_trend(series, variance_threshold=0.01) is TrendShape.FLUCTUATING
+
+    def test_monotone_wins_over_variance(self):
+        # A strong trend has high variance but must classify as a trend.
+        series = np.linspace(0, 10, 12)
+        assert classify_trend(series, variance_threshold=0.0) is TrendShape.INCREASING
+
+    def test_short_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_trend([1.0, 2.0], variance_threshold=0.1)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_trend([1.0, 2.0, 3.0], variance_threshold=-1.0)
+
+
+class TestClassifyTrends:
+    def test_counts_sum_to_total(self, rng):
+        sequences = [rng.random(6) for _ in range(40)]
+        counts = classify_trends(sequences)
+        assert sum(counts.values()) == 40
+
+    def test_all_shapes_keyed(self, rng):
+        counts = classify_trends([rng.random(6) for _ in range(5)])
+        assert set(counts) == set(TrendShape)
+
+    def test_adaptive_threshold_splits_population(self, rng):
+        flat = [np.full(6, 0.5) + 0.001 * rng.random(6) for _ in range(20)]
+        wild = [rng.random(6) for _ in range(20)]
+        counts = classify_trends(flat + wild, fluctuation_quantile=0.5)
+        assert counts[TrendShape.FLUCTUATING] >= 10
+        assert counts[TrendShape.STABLE] >= 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_trends([])
+
+    def test_bad_quantile_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            classify_trends([rng.random(5)], fluctuation_quantile=1.0)
