@@ -1,0 +1,392 @@
+"""Hot-path micro-benchmarks for the simulation stack.
+
+Times the four layers the per-round cost of an active-learning run is
+made of — history append/window ops, LHS feature extraction, LambdaMART
+fit, and a small end-to-end comparison — against inline reference
+implementations of the pre-vectorization code paths, and writes the
+measurements to ``BENCH_hotpaths.json`` at the repo root so later PRs can
+track the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick    # perf smoke
+
+``--quick`` shrinks every workload to seconds-scale; the speedup ratios
+stay meaningful (same asymptotic gap, smaller constants), which makes it
+usable as a CI smoke check that the vectorized paths have not regressed
+to their Python-loop cost shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.features import (
+    RankingFeatureExtractor,
+    _backfill_reference,
+)
+from repro.core.history import HistoryStore
+from repro.core.strategies import Entropy, WSHS
+from repro.core.strategies.base import SelectionContext
+from repro.data.text import TextCorpusSpec, make_text_corpus
+from repro.experiments import ExperimentConfig, run_comparison
+from repro.ltr.lambdamart import (
+    LambdaMART,
+    RankingDataset,
+    _lambda_gradients,
+    _lambda_gradients_reference,
+)
+from repro.ltr.trees import RegressionTree
+from repro.models.linear import LinearSoftmax
+from repro.timeseries.mann_kendall import mann_kendall_test
+
+OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+
+class _LegacyHistoryStore:
+    """The pre-PR append path, verbatim: validation with ``np.unique``
+    plus an ``np.vstack`` reallocation per round (O(rounds^2 * N) total).
+    """
+
+    def __init__(self, n_samples: int) -> None:
+        self.n_samples = n_samples
+        self._matrix = np.full((0, n_samples), np.nan)
+
+    def append(self, indices: np.ndarray, scores: np.ndarray) -> None:
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= self.n_samples:
+                raise ValueError("sample index out of range")
+            if len(np.unique(indices)) != len(indices):
+                raise ValueError("duplicate sample indices in one round")
+        row = np.full(self.n_samples, np.nan)
+        row[indices] = scores
+        self._matrix = np.vstack([self._matrix, row])
+
+
+def _best_of(function, repeats: int) -> float:
+    """Best wall-clock seconds of ``repeats`` calls."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _round_indices(rng: np.random.Generator, n: int, rounds: int) -> list[np.ndarray]:
+    """Per-round evaluated index sets: the pool shrinks as samples label."""
+    batch = max(1, n // (2 * rounds))
+    order = rng.permutation(n)
+    return [np.sort(order[round_index * batch :]) for round_index in range(rounds)]
+
+
+def bench_history_append(rounds: int, n: int, repeats: int) -> dict:
+    rng = np.random.default_rng(0)
+    per_round = _round_indices(rng, n, rounds)
+    score_rows = [rng.random(len(indices)) for indices in per_round]
+
+    def run_new() -> None:
+        store = HistoryStore(n)
+        for round_index, (indices, scores) in enumerate(zip(per_round, score_rows), 1):
+            store.append(round_index, indices, scores)
+
+    def run_legacy() -> None:
+        store = _LegacyHistoryStore(n)
+        for indices, scores in zip(per_round, score_rows):
+            store.append(indices, scores)
+
+    new_seconds = _best_of(run_new, repeats)
+    legacy_seconds = _best_of(run_legacy, max(1, repeats - 1))
+    return {
+        "rounds": rounds,
+        "n_samples": n,
+        "new_seconds": new_seconds,
+        "reference_seconds": legacy_seconds,
+        "speedup": legacy_seconds / new_seconds,
+    }
+
+
+def bench_history_windows(rounds: int, n: int, window: int, repeats: int) -> dict:
+    rng = np.random.default_rng(1)
+    store = HistoryStore(n)
+    for round_index, indices in enumerate(_round_indices(rng, n, rounds), 1):
+        store.append(round_index, indices, rng.random(len(indices)))
+    indices = np.arange(n)
+
+    window_seconds = _best_of(lambda: store.window_matrix(indices, window), repeats)
+    weighted_seconds = _best_of(lambda: store.weighted_sum(indices, window), repeats)
+    current_seconds = _best_of(lambda: store.current_scores(indices), repeats)
+    # Pre-PR current_scores built a full one-column window matrix.
+    reference_current = _best_of(lambda: store.window_matrix(indices, 1)[:, 0], repeats)
+    return {
+        "rounds": rounds,
+        "n_samples": n,
+        "window": window,
+        "window_matrix_seconds": window_seconds,
+        "weighted_sum_seconds": weighted_seconds,
+        "current_scores_seconds": current_seconds,
+        "current_scores_reference_seconds": reference_current,
+        "current_scores_speedup": reference_current / current_seconds,
+    }
+
+
+def _legacy_trend_features(history: HistoryStore, indices: np.ndarray) -> np.ndarray:
+    """The pre-PR per-sample scalar Mann-Kendall loop."""
+    features = np.zeros((len(indices), 2))
+    for row, index in enumerate(indices):
+        sequence = history.sequence(int(index))
+        if len(sequence) >= 3:
+            result = mann_kendall_test(sequence)
+            features[row, 0] = result.z
+            features[row, 1] = result.tau
+    return features
+
+
+def _legacy_extract(
+    history: HistoryStore, indices: np.ndarray, window: int
+) -> np.ndarray:
+    """The pre-PR LHS feature path: loop backfill + scalar MK per sample."""
+    window_matrix = history.window_matrix(indices, window)
+    filled = _backfill_reference(window_matrix)
+    columns = [
+        filled,
+        history.fluctuation(indices, window)[:, None],
+        _legacy_trend_features(history, indices),
+        filled[:, -1][:, None],  # persistence prediction fallback
+    ]
+    return np.hstack(columns)
+
+
+def bench_lhs_features(rounds: int, n: int, window: int, repeats: int) -> dict:
+    rng = np.random.default_rng(2)
+    store = HistoryStore(n)
+    for round_index, indices in enumerate(_round_indices(rng, n, rounds), 1):
+        store.append(round_index, indices, rng.random(len(indices)))
+    indices = np.arange(n)
+    extractor = RankingFeatureExtractor(window=window, use_probabilities=False)
+    context = SelectionContext(
+        dataset=None,
+        unlabeled=indices,
+        labeled=np.empty(0, dtype=np.int64),
+        history=store,
+        round_index=rounds + 1,
+        rng=rng,
+    )
+
+    new_seconds = _best_of(
+        lambda: extractor.extract(None, context, np.arange(n)), repeats
+    )
+    reference_seconds = _best_of(
+        lambda: _legacy_extract(store, indices, window), max(1, repeats - 1)
+    )
+    # The two paths must agree before the timing means anything.
+    np.testing.assert_allclose(
+        extractor.extract(None, context, np.arange(n)),
+        _legacy_extract(store, indices, window),
+        rtol=1e-12,
+        atol=1e-14,
+    )
+    return {
+        "rounds": rounds,
+        "n_samples": n,
+        "window": window,
+        "new_seconds": new_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / new_seconds,
+    }
+
+
+def bench_lambdamart(
+    n_queries: int, query_size: int, n_features: int, n_estimators: int, repeats: int
+) -> dict:
+    rng = np.random.default_rng(3)
+    features = rng.normal(size=(n_queries * query_size, n_features))
+    relevance = rng.integers(0, 4, size=len(features)).astype(np.float64)
+    query_ids = np.repeat(np.arange(n_queries), query_size)
+    data = RankingDataset(features=features, relevance=relevance, query_ids=query_ids)
+    groups = data.groups()
+    scores = rng.normal(size=len(features))
+
+    def gradient_pass(gradient_function) -> None:
+        for rows in groups:
+            gradient_function(scores[rows], relevance[rows], 1.0, None)
+
+    new_grad = _best_of(lambda: gradient_pass(_lambda_gradients), repeats)
+    reference_grad = _best_of(
+        lambda: gradient_pass(_lambda_gradients_reference), max(1, repeats - 1)
+    )
+
+    fit_seconds = _best_of(
+        lambda: LambdaMART(n_estimators=n_estimators, max_depth=3).fit(data),
+        max(1, repeats - 1),
+    )
+
+    tree = RegressionTree(max_depth=4, min_samples_leaf=4).fit(
+        features, rng.normal(size=len(features))
+    )
+    predict_rows = rng.normal(size=(max(20_000, len(features)), n_features))
+    new_predict = _best_of(lambda: tree.predict(predict_rows), repeats)
+    reference_predict = _best_of(
+        lambda: tree._predict_reference(predict_rows), max(1, repeats - 1)
+    )
+    return {
+        "n_queries": n_queries,
+        "query_size": query_size,
+        "n_features": n_features,
+        "gradient_new_seconds": new_grad,
+        "gradient_reference_seconds": reference_grad,
+        "gradient_speedup": reference_grad / new_grad,
+        "fit_seconds": fit_seconds,
+        "tree_predict_new_seconds": new_predict,
+        "tree_predict_reference_seconds": reference_predict,
+        "tree_predict_speedup": reference_predict / new_predict,
+    }
+
+
+def bench_end_to_end(quick: bool) -> dict:
+    spec = TextCorpusSpec(
+        name="bench-e2e",
+        num_classes=2,
+        size=400 if quick else 900,
+        background_vocab=200,
+        facets_per_class=8,
+        facet_vocab=6,
+        min_length=5,
+        max_length=20,
+    )
+    dataset = make_text_corpus(spec, seed_or_rng=0)
+    cut = int(len(dataset) * 0.7)
+    train = dataset.subset(range(cut))
+    test = dataset.subset(range(cut, len(dataset)))
+    config = ExperimentConfig(
+        batch_size=15, rounds=3 if quick else 6, repeats=2 if quick else 4, seed=7
+    )
+    factories = {
+        "Entropy": Entropy,
+        "WSHS(Entropy)": lambda: WSHS(Entropy(), window=3),
+    }
+
+    def run(n_jobs: int) -> None:
+        run_comparison(
+            lambda: LinearSoftmax(epochs=4, seed=0),
+            factories,
+            train,
+            test,
+            config=config,
+            n_jobs=n_jobs,
+        )
+
+    serial_seconds = _best_of(lambda: run(1), 1)
+    parallel_seconds = _best_of(lambda: run(2), 1)
+    return {
+        "pool_size": cut,
+        "rounds": config.rounds,
+        "repeats": config.repeats,
+        "serial_seconds": serial_seconds,
+        "n_jobs2_seconds": parallel_seconds,
+        "parallel_speedup": serial_seconds / parallel_seconds,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="perf smoke mode: seconds-scale workloads, same code paths",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_DEFAULT, help="JSON output path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    arguments = parser.parse_args(argv)
+    quick = arguments.quick
+    repeats = max(1, arguments.repeats if not quick else 1)
+
+    results: dict[str, dict] = {}
+    print(f"[bench_hotpaths] mode={'quick' if quick else 'full'}")
+
+    results["history_append"] = bench_history_append(
+        rounds=60 if quick else 500, n=2_000 if quick else 10_000, repeats=repeats
+    )
+    print(
+        "  history append:       "
+        f"{results['history_append']['speedup']:6.1f}x vs vstack "
+        f"({results['history_append']['new_seconds'] * 1e3:.1f} ms new)"
+    )
+
+    results["history_windows"] = bench_history_windows(
+        rounds=60 if quick else 500,
+        n=2_000 if quick else 10_000,
+        window=5,
+        repeats=repeats,
+    )
+    print(
+        "  current_scores:       "
+        f"{results['history_windows']['current_scores_speedup']:6.1f}x vs "
+        "window_matrix path"
+    )
+
+    results["lhs_features"] = bench_lhs_features(
+        rounds=12 if quick else 40,
+        n=600 if quick else 5_000,
+        window=5,
+        repeats=repeats,
+    )
+    print(
+        "  LHS feature extract:  "
+        f"{results['lhs_features']['speedup']:6.1f}x vs loop backfill + scalar MK "
+        f"({results['lhs_features']['new_seconds'] * 1e3:.1f} ms new)"
+    )
+
+    results["lambdamart"] = bench_lambdamart(
+        n_queries=6 if quick else 24,
+        query_size=30 if quick else 60,
+        n_features=8,
+        n_estimators=4 if quick else 10,
+        repeats=repeats,
+    )
+    print(
+        "  LambdaRank gradients: "
+        f"{results['lambdamart']['gradient_speedup']:6.1f}x vs double loop; "
+        f"tree predict {results['lambdamart']['tree_predict_speedup']:.1f}x vs node walk"
+    )
+
+    results["end_to_end"] = bench_end_to_end(quick)
+    cores = os.cpu_count() or 1
+    print(
+        "  end-to-end runner:    "
+        f"n_jobs=2 {results['end_to_end']['parallel_speedup']:.2f}x vs serial "
+        f"({cores} core{'s' if cores != 1 else ''}; expect < 1x on a single core)"
+    )
+
+    payload = {
+        "benchmark": "hotpaths",
+        "mode": "quick" if quick else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "cpu_count": cores,
+        "results": results,
+    }
+    arguments.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_hotpaths] wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,7 +100,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     results = run_comparison(
-        _model_factory(kind, args.epochs), strategies, train, test, config=config
+        _model_factory(kind, args.epochs), strategies, train, test, config=config,
+        n_jobs=args.n_jobs,
     )
     curves = {name: result.curve for name, result in results.items()}
     metric = "accuracy" if kind == "text" else "span F1"
@@ -175,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--strategies", nargs="+", required=True,
                          help="specs like: random entropy wshs:entropy lhs:lc")
     compare.add_argument("--repeats", type=int, default=3)
+    compare.add_argument("--n-jobs", type=int, default=1,
+                         help="worker processes for (strategy, repeat) cells; "
+                              "results are identical to a serial run")
     compare.add_argument("--targets", nargs="*", type=float, default=[],
                          help="also print annotations-to-target for these values")
     compare.add_argument("--ranker", default=None,

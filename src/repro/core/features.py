@@ -28,7 +28,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..models.base import Classifier
-from ..timeseries.mann_kendall import mann_kendall_test
+from ..timeseries.mann_kendall import mann_kendall_batch
 from ..timeseries.predictor import NextScorePredictor
 from .strategies.base import SelectionContext
 
@@ -140,12 +140,13 @@ class RankingFeatureExtractor:
 
     def _trend_features(self, history, sample_indices: np.ndarray) -> np.ndarray:
         features = np.zeros((len(sample_indices), 2))
-        for row, index in enumerate(sample_indices):
-            sequence = history.sequence(int(index))
-            if len(sequence) >= 3:
-                result = mann_kendall_test(sequence)
-                features[row, 0] = result.z
-                features[row, 1] = result.tau
+        if len(sample_indices) == 0 or history.num_rounds == 0:
+            return features
+        # One batched MK test over all sequences; rows with fewer than 3
+        # observations come back as zeros, matching the per-sample path.
+        result = mann_kendall_batch(history.sequence_matrix(sample_indices))
+        features[:, 0] = result.z
+        features[:, 1] = result.tau
         return features
 
     def _prediction_feature(
@@ -189,8 +190,20 @@ def _window_statistics(filled_window: np.ndarray) -> np.ndarray:
 def _backfill(window: np.ndarray) -> np.ndarray:
     """Replace leading NaNs with each row's earliest observed value.
 
-    Rows with no observations become all zeros.
+    Rows with no observations become all zeros.  Fully vectorized;
+    :func:`_backfill_reference` is the row-loop oracle it is tested
+    against.
     """
+    observed = ~np.isnan(window)
+    any_observed = observed.any(axis=1)
+    first_column = observed.argmax(axis=1)
+    first_value = window[np.arange(len(window)), first_column]
+    fill = np.where(any_observed, first_value, 0.0)
+    return np.where(observed, window, fill[:, None])
+
+
+def _backfill_reference(window: np.ndarray) -> np.ndarray:
+    """Row-loop reference implementation of :func:`_backfill` (oracle)."""
     filled = window.copy()
     for row in range(filled.shape[0]):
         observed = ~np.isnan(filled[row])

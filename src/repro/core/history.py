@@ -11,6 +11,13 @@ NaN for "not evaluated that round" (samples leave the pool once labeled).
 All window operations are right-aligned on the *recorded* entries of each
 sample, so a sample evaluated in rounds 1..t yields the same window
 whether or not other samples were skipped in between.
+
+Storage is a preallocated buffer grown geometrically (doubling), so a run
+of ``R`` appends costs O(R*N) amortized instead of the O(R^2*N) total a
+per-append reallocation would: reallocation happens O(log R) times and
+every append is an in-place row write.  :meth:`nbytes` reports the
+*logical* footprint (recorded rounds only, the quantity Table 2's space
+claim is about); :meth:`capacity_nbytes` reports the allocation.
 """
 
 from __future__ import annotations
@@ -18,6 +25,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ConfigurationError, HistoryError
+
+#: Smallest number of rows allocated once the store is first written to.
+_MIN_CAPACITY = 8
 
 
 class HistoryStore:
@@ -38,8 +48,43 @@ class HistoryStore:
             raise ConfigurationError(f"n_samples must be positive, got {n_samples}")
         self.n_samples = int(n_samples)
         self.strategy_name = strategy_name
-        self._matrix = np.full((0, self.n_samples), np.nan)
-        self._rounds: list[int] = []
+        self._buffer = np.empty((0, self.n_samples), dtype=np.float64)
+        self._round_ids = np.empty(0, dtype=np.int64)
+        self._size = 0
+        # Fast path for current_scores(): most recent score per sample.
+        self._last_score = np.full(self.n_samples, np.nan)
+        # Reusable scratch for the O(N) duplicate-index check in append()
+        # (kept all-False between calls; avoids a per-append sort/unique).
+        self._index_seen = np.zeros(self.n_samples, dtype=bool)
+
+    @property
+    def _matrix(self) -> np.ndarray:
+        """Recorded rounds as a (num_rounds, n_samples) view of the buffer."""
+        return self._buffer[: self._size]
+
+    def _ensure_capacity(self, rows: int) -> None:
+        if rows <= len(self._buffer):
+            return
+        capacity = max(rows, 2 * len(self._buffer), _MIN_CAPACITY)
+        buffer = np.empty((capacity, self.n_samples), dtype=np.float64)
+        buffer[: self._size] = self._buffer[: self._size]
+        self._buffer = buffer
+        round_ids = np.empty(capacity, dtype=np.int64)
+        round_ids[: self._size] = self._round_ids[: self._size]
+        self._round_ids = round_ids
+
+    def _recompute_last_scores(self) -> None:
+        """Rebuild the last-observation cache from the recorded matrix."""
+        matrix = self._matrix
+        observed = ~np.isnan(matrix)
+        any_observed = observed.any(axis=0)
+        # Row index of each sample's most recent observation.
+        last_row = matrix.shape[0] - 1 - observed[::-1].argmax(axis=0)
+        self._last_score = np.where(
+            any_observed,
+            matrix[last_row, np.arange(self.n_samples)],
+            np.nan,
+        )
 
     # -- writing -----------------------------------------------------------
 
@@ -63,35 +108,53 @@ class HistoryStore:
                 f"indices {indices.shape} and scores {scores.shape} must be "
                 "1-D and aligned"
             )
-        if self._rounds and round_index <= self._rounds[-1]:
+        if self._size and round_index <= self._round_ids[self._size - 1]:
             raise HistoryError(
-                f"round {round_index} not after last recorded round {self._rounds[-1]}"
+                f"round {round_index} not after last recorded round "
+                f"{self._round_ids[self._size - 1]}"
             )
         if indices.size:
             if indices.min() < 0 or indices.max() >= self.n_samples:
                 raise HistoryError("sample index out of range")
-            if len(np.unique(indices)) != len(indices):
+            self._index_seen[indices] = True
+            distinct = int(np.count_nonzero(self._index_seen))
+            self._index_seen[indices] = False
+            if distinct != len(indices):
                 raise HistoryError("duplicate sample indices in one round")
-        row = np.full(self.n_samples, np.nan)
+        self._ensure_capacity(self._size + 1)
+        row = self._buffer[self._size]
+        row.fill(np.nan)
         row[indices] = scores
-        self._matrix = np.vstack([self._matrix, row])
-        self._rounds.append(int(round_index))
+        self._round_ids[self._size] = int(round_index)
+        self._last_score[indices] = scores
+        self._size += 1
 
     # -- introspection --------------------------------------------------------
 
     @property
     def num_rounds(self) -> int:
         """Number of rounds recorded so far."""
-        return len(self._rounds)
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Rows currently allocated (>= :attr:`num_rounds`)."""
+        return len(self._buffer)
 
     @property
     def rounds(self) -> list[int]:
         """The recorded round indices, in order."""
-        return list(self._rounds)
+        return self._round_ids[: self._size].tolist()
 
     def has_round(self, round_index: int) -> bool:
-        """Whether ``round_index`` was recorded."""
-        return round_index in self._rounds
+        """Whether ``round_index`` was recorded.
+
+        Round indices are strictly increasing, so this is a binary search
+        rather than a linear scan.
+        """
+        recorded = self._round_ids[: self._size]
+        position = int(np.searchsorted(recorded, round_index))
+        return position < self._size and recorded[position] == round_index
 
     def sequence(self, index: int) -> np.ndarray:
         """Full recorded sequence of sample ``index`` (NaNs dropped)."""
@@ -105,8 +168,19 @@ class HistoryStore:
         return len(self.sequence(index))
 
     def nbytes(self) -> int:
-        """Approximate memory footprint of the stored scores."""
-        return int(self._matrix.nbytes)
+        """Logical memory footprint: recorded rounds only.
+
+        This is the O(rounds * N) quantity of the paper's Table 2 space
+        analysis; the preallocated growth headroom is reported separately
+        by :meth:`capacity_nbytes`.
+        """
+        return int(self._size * self.n_samples * self._buffer.itemsize)
+
+    def capacity_nbytes(self) -> int:
+        """Bytes actually allocated (buffer + round ids + caches)."""
+        return int(
+            self._buffer.nbytes + self._round_ids.nbytes + self._last_score.nbytes
+        )
 
     def prune(self, keep_rounds: int) -> int:
         """Drop all but the most recent ``keep_rounds`` rounds in place.
@@ -123,10 +197,16 @@ class HistoryStore:
         """
         if keep_rounds < 1:
             raise ConfigurationError(f"keep_rounds must be >= 1, got {keep_rounds}")
-        dropped = max(0, self.num_rounds - keep_rounds)
+        dropped = max(0, self._size - keep_rounds)
         if dropped:
-            self._matrix = self._matrix[dropped:].copy()
-            self._rounds = self._rounds[dropped:]
+            keep = self._size - dropped
+            # In-place shift keeps the allocated capacity for future appends.
+            self._buffer[:keep] = self._buffer[dropped : self._size]
+            self._round_ids[:keep] = self._round_ids[dropped : self._size]
+            self._size = keep
+            # A sample whose only observations were in dropped rounds must
+            # go back to "never recorded".
+            self._recompute_last_scores()
         return dropped
 
     def as_of(self, round_index: int) -> "HistoryStore":
@@ -137,10 +217,14 @@ class HistoryStore:
         WSHS/FHS scores of the selected samples).
         """
         truncated = HistoryStore(self.n_samples, strategy_name=self.strategy_name)
-        keep = [i for i, r in enumerate(self._rounds) if r <= round_index]
+        keep = int(
+            np.searchsorted(self._round_ids[: self._size], round_index, side="right")
+        )
         if keep:
-            truncated._matrix = self._matrix[: keep[-1] + 1].copy()
-            truncated._rounds = [self._rounds[i] for i in keep]
+            truncated._buffer = self._buffer[:keep].copy()
+            truncated._round_ids = self._round_ids[:keep].copy()
+            truncated._size = keep
+            truncated._recompute_last_scores()
         return truncated
 
     # -- windowed views ----------------------------------------------------------
@@ -156,7 +240,7 @@ class HistoryStore:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         indices = np.asarray(indices, dtype=np.int64)
         output = np.full((len(indices), window), np.nan)
-        if self.num_rounds == 0 or len(indices) == 0:
+        if self._size == 0 or len(indices) == 0:
             return output
         columns = self._matrix[:, indices]  # (rounds, k)
         observed = ~np.isnan(columns)
@@ -169,9 +253,36 @@ class HistoryStore:
         output[sample_idx, target[valid]] = columns[round_idx, sample_idx]
         return output
 
+    def sequence_matrix(self, indices: np.ndarray) -> np.ndarray:
+        """Full recorded sequences as a left-aligned NaN-padded matrix.
+
+        Returns a ``(len(indices), num_rounds)`` matrix whose row ``r``
+        holds ``sequence(indices[r])`` in columns ``0..len-1`` and NaN
+        after; the batched Mann-Kendall test consumes this directly.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        output = np.full((len(indices), self._size), np.nan)
+        if self._size == 0 or len(indices) == 0:
+            return output
+        columns = self._matrix[:, indices]  # (rounds, k)
+        observed = ~np.isnan(columns)
+        target = observed.cumsum(axis=0) - 1  # left-aligned output column
+        round_idx, sample_idx = np.nonzero(observed)
+        output[sample_idx, target[round_idx, sample_idx]] = columns[
+            round_idx, sample_idx
+        ]
+        return output
+
     def current_scores(self, indices: np.ndarray) -> np.ndarray:
-        """Most recent recorded score per sample (NaN if never recorded)."""
-        return self.window_matrix(indices, 1)[:, 0]
+        """Most recent recorded score per sample (NaN if never recorded).
+
+        O(len(indices)) via the last-observation cache — no window matrix
+        is built.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_samples):
+            raise HistoryError("sample index out of range")
+        return self._last_score[indices]
 
     def weighted_sum(self, indices: np.ndarray, window: int) -> np.ndarray:
         """Eq. (9)-(10): exponentially weighted sum over the window.

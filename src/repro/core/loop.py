@@ -75,6 +75,28 @@ class ALResult:
         return LearningCurve(counts, values, label=label or self.strategy_name)
 
 
+def _validated_model_history(strategy: QueryStrategy) -> int:
+    """``strategy.requires_model_history`` as a checked non-negative int.
+
+    The value doubles as the model-history slice bound
+    (``del model_history[:-keep]``), so a strategy accidentally returning
+    ``True`` would silently keep exactly one model; reject bools and
+    anything else that is not a non-negative integer instead.
+    """
+    keep = strategy.requires_model_history
+    if isinstance(keep, bool) or not isinstance(keep, (int, np.integer)):
+        raise ConfigurationError(
+            f"{type(strategy).__name__}.requires_model_history must be a "
+            f"non-negative int (number of past models to retain), got {keep!r}"
+        )
+    if keep < 0:
+        raise ConfigurationError(
+            f"{type(strategy).__name__}.requires_model_history must be >= 0, "
+            f"got {keep}"
+        )
+    return int(keep)
+
+
 class ActiveLearningLoop:
     """Configured, repeatable pool-based AL experiment.
 
@@ -159,6 +181,7 @@ class ActiveLearningLoop:
         self.reseed_model = reseed_model
         self.history_limit = history_limit
         self._rng = ensure_rng(seed_or_rng)
+        self._keep_models = _validated_model_history(strategy)
 
     def _fresh_model(self, rng: np.random.Generator):
         """Clone the prototype, optionally with a fresh per-round seed."""
@@ -174,7 +197,7 @@ class ActiveLearningLoop:
         initial = rng.choice(n, size=self.initial_size, replace=False)
         pool = Pool(n, initial_labeled=initial)
         history = HistoryStore(n, strategy_name=self.strategy.name)
-        keep_models = self.strategy.requires_model_history
+        keep_models = self._keep_models
         model_history: list = []
         records: list[RoundRecord] = []
         selection_order: list[np.ndarray] = []

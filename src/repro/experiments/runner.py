@@ -4,11 +4,19 @@ Runs a set of strategies over the same dataset/model with matched seeds
 (repetition ``r`` of every strategy shares the same initial labeled set),
 so differences between strategies are not confounded by different random
 starts — the comparison protocol the paper's averaged curves imply.
+
+Every (strategy, repeat) cell is an independent, fully seeded computation,
+so the grid can be fanned out across a process pool (``n_jobs > 1``)
+without changing a single byte of the results: each worker runs the same
+``ActiveLearningLoop`` the serial path would, and the results are
+reassembled in input order regardless of completion order.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from collections.abc import Callable, Mapping
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +40,52 @@ class StrategyResult:
     runs: list[ALResult]
 
 
+#: Shared state for fork-started pool workers.  Factories are usually
+#: lambdas/closures and therefore not picklable, so instead of shipping
+#: them through the executor we stash everything here before forking and
+#: let the children inherit it; only (strategy_index, seed) crosses the
+#: process boundary.
+_POOL_STATE: tuple | None = None
+
+
+def _run_cell(
+    model_factory: Callable[[], object],
+    strategy_factory: StrategyFactory,
+    train_dataset,
+    test_dataset,
+    config: ExperimentConfig,
+    metric,
+    seed: int,
+) -> ALResult:
+    """Run one (strategy, repeat) cell of the comparison grid."""
+    loop = ActiveLearningLoop(
+        model_prototype=model_factory(),
+        strategy=strategy_factory(),
+        train_dataset=train_dataset,
+        test_dataset=test_dataset,
+        batch_size=config.batch_size,
+        rounds=config.rounds,
+        initial_size=config.initial_size,
+        metric=metric,
+        seed_or_rng=int(seed),
+    )
+    return loop.run()
+
+
+def _run_cell_from_state(strategy_index: int, seed: int) -> ALResult:
+    """Pool-worker entry point: look the cell up in the inherited state."""
+    model_factory, factories, train_dataset, test_dataset, config, metric = _POOL_STATE
+    return _run_cell(
+        model_factory,
+        factories[strategy_index],
+        train_dataset,
+        test_dataset,
+        config,
+        metric,
+        seed,
+    )
+
+
 def run_comparison(
     model_factory: Callable[[], object],
     strategy_factories: "Mapping[str, StrategyFactory]",
@@ -39,6 +93,7 @@ def run_comparison(
     test_dataset,
     config: ExperimentConfig | None = None,
     metric: "Callable[[object, object], float] | None" = None,
+    n_jobs: int = 1,
 ) -> dict[str, StrategyResult]:
     """Run every strategy ``config.repeats`` times and average the curves.
 
@@ -50,6 +105,14 @@ def run_comparison(
         Mapping from display name to a zero-argument strategy factory
         (factories, not instances: history-aware strategies are stateful
         per run).
+    n_jobs:
+        Worker processes for the (strategy, repeat) grid.  ``1`` (the
+        default) runs serially in-process.  Higher values fan the cells
+        out over a fork-started process pool; because every cell is
+        seeded independently and results are reassembled in input order,
+        the output is byte-identical to the serial run.  On platforms
+        without the ``fork`` start method the runner silently falls back
+        to serial execution (same results, no speedup).
 
     Returns
     -------
@@ -58,24 +121,67 @@ def run_comparison(
     """
     if not strategy_factories:
         raise ConfigurationError("no strategies to compare")
+    if n_jobs < 1:
+        raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
     config = config or ExperimentConfig()
     repeat_seeds = ensure_rng(config.seed).integers(0, 2**63 - 1, size=config.repeats)
-    results: dict[str, StrategyResult] = {}
-    for name, factory in strategy_factories.items():
-        runs: list[ALResult] = []
-        for repeat, seed in enumerate(repeat_seeds):
-            loop = ActiveLearningLoop(
-                model_prototype=model_factory(),
-                strategy=factory(),
-                train_dataset=train_dataset,
-                test_dataset=test_dataset,
-                batch_size=config.batch_size,
-                rounds=config.rounds,
-                initial_size=config.initial_size,
-                metric=metric,
-                seed_or_rng=int(seed),
+    names = list(strategy_factories)
+    factories = [strategy_factories[name] for name in names]
+    cells = [
+        (strategy_index, repeat_index)
+        for strategy_index in range(len(names))
+        for repeat_index in range(config.repeats)
+    ]
+
+    use_pool = (
+        n_jobs > 1
+        and len(cells) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    cell_results: dict[tuple[int, int], ALResult] = {}
+    if use_pool:
+        global _POOL_STATE
+        _POOL_STATE = (
+            model_factory,
+            factories,
+            train_dataset,
+            test_dataset,
+            config,
+            metric,
+        )
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(cells)), mp_context=context
+            ) as pool:
+                futures = {
+                    cell: pool.submit(
+                        _run_cell_from_state, cell[0], int(repeat_seeds[cell[1]])
+                    )
+                    for cell in cells
+                }
+                for cell, future in futures.items():
+                    cell_results[cell] = future.result()
+        finally:
+            _POOL_STATE = None
+    else:
+        for strategy_index, repeat_index in cells:
+            cell_results[(strategy_index, repeat_index)] = _run_cell(
+                model_factory,
+                factories[strategy_index],
+                train_dataset,
+                test_dataset,
+                config,
+                metric,
+                int(repeat_seeds[repeat_index]),
             )
-            runs.append(loop.run())
+
+    results: dict[str, StrategyResult] = {}
+    for strategy_index, name in enumerate(names):
+        runs = [
+            cell_results[(strategy_index, repeat_index)]
+            for repeat_index in range(config.repeats)
+        ]
         curves = [run.curve(label=name) for run in runs]
         results[name] = StrategyResult(
             name=name,

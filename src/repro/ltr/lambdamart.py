@@ -68,7 +68,53 @@ class RankingDataset:
 def _lambda_gradients(
     scores: np.ndarray, relevance: np.ndarray, sigma: float, k: int | None
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Per-document lambdas and hessian weights for one query."""
+    """Per-document lambdas and hessian weights for one query.
+
+    Vectorized with pairwise broadcasting over the (i, j) document grid;
+    :func:`_lambda_gradients_reference` is the O(n^2) double-loop oracle
+    it is tested against.
+    """
+    n = len(scores)
+    lambdas = np.zeros(n)
+    hessians = np.zeros(n)
+    if n < 2:
+        return lambdas, hessians
+    gain = gains(relevance)
+    ideal = float((np.sort(gain)[::-1] * discounts(n)).sum())
+    if ideal <= 0:
+        return lambdas, hessians
+    # Rank of each document under the current scores (1-based).
+    order = np.argsort(-scores, kind="stable")
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(1, n + 1)
+    discount_of_rank = 1.0 / np.log2(ranks + 1.0)
+    # Active pairs: rel_i > rel_j, minus the pairs the NDCG@k truncation
+    # makes irrelevant (both documents ranked below k).
+    active = relevance[:, None] > relevance[None, :]
+    if k is not None:
+        below = ranks > k
+        active &= ~(below[:, None] & below[None, :])
+    # |NDCG change if i and j swapped positions|.
+    delta = (
+        np.abs(
+            (gain[:, None] - gain[None, :])
+            * (discount_of_rank[:, None] - discount_of_rank[None, :])
+        )
+        / ideal
+    )
+    with np.errstate(over="ignore"):
+        rho = 1.0 / (1.0 + np.exp(sigma * (scores[:, None] - scores[None, :])))
+    step = np.where(active, sigma * delta * rho, 0.0)
+    lambdas = step.sum(axis=1) - step.sum(axis=0)
+    weight = np.where(active, sigma**2 * delta * rho * (1.0 - rho), 0.0)
+    hessians = weight.sum(axis=1) + weight.sum(axis=0)
+    return lambdas, hessians
+
+
+def _lambda_gradients_reference(
+    scores: np.ndarray, relevance: np.ndarray, sigma: float, k: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Double-loop reference for :func:`_lambda_gradients` (oracle)."""
     n = len(scores)
     lambdas = np.zeros(n)
     hessians = np.zeros(n)
@@ -77,7 +123,6 @@ def _lambda_gradients(
     ideal = float((np.sort(gains(relevance))[::-1] * discounts(n)).sum())
     if ideal <= 0:
         return lambdas, hessians
-    # Rank of each document under the current scores (1-based).
     order = np.argsort(-scores, kind="stable")
     ranks = np.empty(n, dtype=np.int64)
     ranks[order] = np.arange(1, n + 1)
@@ -87,7 +132,6 @@ def _lambda_gradients(
         for j in range(n):
             if relevance[i] <= relevance[j]:
                 continue
-            # |NDCG change if i and j swapped positions|.
             delta = abs(
                 (gain[i] - gain[j]) * (discount_of_rank[i] - discount_of_rank[j])
             ) / ideal

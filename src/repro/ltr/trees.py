@@ -5,6 +5,12 @@ LambdaMART.  Splits greedily on squared-error reduction of the gradient
 targets; when per-row ``hessians`` are given, leaf predictions are the
 Newton step ``sum(gradients) / (sum(hessians) + ridge)`` as in the
 LambdaMART algorithm, otherwise the leaf mean.
+
+Split search is the vectorized sort-and-cumsum scan (every cut point of a
+feature is evaluated in one pass of array arithmetic).  Prediction routes
+all rows level by level through a flattened array form of the tree —
+O(depth) vectorized steps instead of a Python node walk per row; the node
+walk survives as the oracle :meth:`RegressionTree._predict_reference`.
 """
 
 from __future__ import annotations
@@ -64,6 +70,7 @@ class RegressionTree:
         self.min_gain = min_gain
         self.newton_ridge = newton_ridge
         self._root: _Node | None = None
+        self._flat_value: np.ndarray | None = None
 
     # -- fitting -----------------------------------------------------------
 
@@ -97,6 +104,7 @@ class RegressionTree:
         self._root = self._build(
             features, targets, hessians, np.arange(len(targets)), depth=0
         )
+        self._flatten()
         return self
 
     def _leaf_value(
@@ -168,8 +176,64 @@ class RegressionTree:
 
     # -- prediction -----------------------------------------------------------
 
+    def _flatten(self) -> None:
+        """Lay the fitted tree out as parallel arrays for batch routing.
+
+        Leaves are encoded as self-loops (both children point back at the
+        leaf itself, split feature 0, threshold 0), so the routing loop
+        needs no per-level leaf masking: after ``depth`` steps every row
+        sits at its leaf.
+        """
+        index_of: dict[int, int] = {}
+        stack = [self._root]
+        ordered: list[_Node] = []
+        while stack:
+            node = stack.pop()
+            index_of[id(node)] = len(ordered)
+            ordered.append(node)
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+        count = len(ordered)
+        self._flat_feature = np.zeros(count, dtype=np.int64)
+        self._flat_threshold = np.zeros(count)
+        self._flat_left = np.arange(count, dtype=np.int64)
+        self._flat_right = np.arange(count, dtype=np.int64)
+        self._flat_value = np.array([node.value for node in ordered])
+        self._flat_depth = 0
+        for index, node in enumerate(ordered):
+            if node.is_leaf:
+                continue
+            self._flat_feature[index] = node.feature
+            self._flat_threshold[index] = node.threshold
+            self._flat_left[index] = index_of[id(node.left)]
+            self._flat_right[index] = index_of[id(node.right)]
+        self._flat_depth = self.depth()
+
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Predict one value per row."""
+        """Predict one value per row (vectorized level-by-level routing)."""
+        if self._root is None:
+            raise NotFittedError("RegressionTree used before fit()")
+        if self._flat_value is None:
+            # Trees deserialized from JSON get _root assigned directly.
+            self._flatten()
+        features = np.asarray(features, dtype=np.float64)
+        rows = np.arange(len(features))
+        node_index = np.zeros(len(features), dtype=np.int64)
+        for _ in range(self._flat_depth):
+            go_left = (
+                features[rows, self._flat_feature[node_index]]
+                <= self._flat_threshold[node_index]
+            )
+            node_index = np.where(
+                go_left,
+                self._flat_left[node_index],
+                self._flat_right[node_index],
+            )
+        return self._flat_value[node_index]
+
+    def _predict_reference(self, features: np.ndarray) -> np.ndarray:
+        """Per-row node-walk reference for :meth:`predict` (oracle)."""
         if self._root is None:
             raise NotFittedError("RegressionTree used before fit()")
         features = np.asarray(features, dtype=np.float64)

@@ -14,7 +14,13 @@ implements both from scratch:
 """
 
 from .autoregressive import ARPredictor, fit_ar_coefficients
-from .mann_kendall import MKResult, Trend, mann_kendall_test
+from .mann_kendall import (
+    MKBatchResult,
+    MKResult,
+    Trend,
+    mann_kendall_batch,
+    mann_kendall_test,
+)
 from .predictor import ARNextScorePredictor, LSTMNextScorePredictor, NextScorePredictor
 from .trends import TrendShape, classify_trend, classify_trends
 
@@ -22,6 +28,7 @@ __all__ = [
     "ARNextScorePredictor",
     "ARPredictor",
     "LSTMNextScorePredictor",
+    "MKBatchResult",
     "MKResult",
     "NextScorePredictor",
     "Trend",
@@ -29,5 +36,6 @@ __all__ = [
     "classify_trend",
     "classify_trends",
     "fit_ar_coefficients",
+    "mann_kendall_batch",
     "mann_kendall_test",
 ]

@@ -10,7 +10,11 @@ modified test for autocorrelated data).  Both variants are implemented:
   correction computed from the ranks' autocorrelation.
 
 The normalised statistic ``z`` (and the derived :class:`Trend` label) is
-what the feature extractor consumes.
+what the feature extractor consumes.  :func:`mann_kendall_batch` runs the
+classical test on every row of a NaN-padded sequence matrix at once — the
+per-round hot path of the LHS feature extractor — and is numerically
+identical to calling :func:`mann_kendall_test` row by row (the scalar
+test stays as the reference oracle; see the equivalence tests).
 """
 
 from __future__ import annotations
@@ -93,6 +97,125 @@ def _hamed_rao_correction(values: np.ndarray, max_lag: int | None = None) -> flo
             correction += (n - lag) * (n - lag - 1) * (n - lag - 2) * rho
     factor = 1.0 + 2.0 / (n * (n - 1) * (n - 2)) * correction
     return max(factor, 1e-6)
+
+
+@dataclass(frozen=True)
+class MKBatchResult:
+    """Row-wise outcome of a batched Mann-Kendall test.
+
+    Each attribute is an array with one entry per input row.  Rows with
+    fewer than 3 recorded (non-NaN) values are not testable: they get
+    ``s = variance = z = tau = 0`` and ``p_value = 1`` (the neutral
+    "no evidence of trend" outcome the feature extractor expects).
+    """
+
+    s: np.ndarray
+    variance: np.ndarray
+    z: np.ndarray
+    p_value: np.ndarray
+    tau: np.ndarray
+    #: Number of recorded values per row.
+    lengths: np.ndarray
+
+
+def _batch_s_statistic(values: np.ndarray, max_pairs: int = 1 << 22) -> np.ndarray:
+    """Row-wise S statistic of left-aligned NaN-padded sequences.
+
+    The pairwise sign matrix is materialised in row chunks so memory
+    stays bounded by ``max_pairs`` floats regardless of batch size.
+    """
+    k, m = values.shape
+    s = np.zeros(k)
+    if m < 2:
+        return s
+    i_idx, j_idx = np.triu_indices(m, k=1)
+    chunk = max(1, int(max_pairs // len(i_idx)))
+    for start in range(0, k, chunk):
+        block = values[start : start + chunk]
+        # Pairs touching a NaN pad produce NaN signs; nansum drops them.
+        differences = block[:, j_idx] - block[:, i_idx]
+        s[start : start + chunk] = np.nansum(np.sign(differences), axis=1)
+    return s
+
+
+def _batch_tie_term(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Row-wise ``sum_g t_g (t_g - 1) (2 t_g + 5)`` over tie groups.
+
+    Works on sorted rows (NaNs last): each position contributes the
+    telescoping increment ``f(p+1) - f(p)`` of its 0-based position ``p``
+    within its tie group, which sums to ``f(t_g)`` per group without any
+    per-row ``np.unique``.
+    """
+    k, m = values.shape
+    if m == 0:
+        return np.zeros(k)
+    ordered = np.sort(values, axis=1)  # NaNs sort to the end
+    new_group = np.ones((k, m), dtype=bool)
+    new_group[:, 1:] = ordered[:, 1:] != ordered[:, :-1]
+    position = np.arange(m)
+    group_start = np.maximum.accumulate(np.where(new_group, position, 0), axis=1)
+    in_group = position[None, :] - group_start  # p, 0-based
+
+    def f(t: np.ndarray) -> np.ndarray:
+        return t * (t - 1.0) * (2.0 * t + 5.0)
+
+    increments = f(in_group + 1.0) - f(in_group)
+    increments[position[None, :] >= lengths[:, None]] = 0.0  # NaN padding
+    return increments.sum(axis=1)
+
+
+def mann_kendall_batch(sequences: np.ndarray) -> MKBatchResult:
+    """Classical Mann-Kendall test on every row of a sequence matrix.
+
+    Parameters
+    ----------
+    sequences:
+        2-D float matrix; NaN marks "no observation".  Valid values are
+        taken in their order of appearance within each row, so any
+        padding layout (leading, trailing, interleaved) is accepted.
+
+    Returns
+    -------
+    MKBatchResult
+        Per-row s / variance / z / p-value / tau, bit-identical to the
+        scalar :func:`mann_kendall_test` on each row's compacted values.
+    """
+    sequences = np.asarray(sequences, dtype=np.float64)
+    if sequences.ndim != 2:
+        raise ConfigurationError(
+            f"sequences must be 2-D, got shape {sequences.shape}"
+        )
+    k, _ = sequences.shape
+    observed = ~np.isnan(sequences)
+    lengths = observed.sum(axis=1)
+    width = int(lengths.max()) if k else 0
+    # Compact every row to the left so pad NaNs never sit between values.
+    values = np.full((k, width), np.nan)
+    row_idx, col_idx = np.nonzero(observed)
+    values[row_idx, observed.cumsum(axis=1)[row_idx, col_idx] - 1] = sequences[
+        row_idx, col_idx
+    ]
+
+    n = lengths.astype(np.float64)
+    s = _batch_s_statistic(values)
+    variance = n * (n - 1.0) * (2.0 * n + 5.0) / 18.0
+    variance -= _batch_tie_term(values, lengths) / 18.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = np.where(
+            s > 0, (s - 1.0) / np.sqrt(variance), (s + 1.0) / np.sqrt(variance)
+        )
+    z = np.where((variance <= 0) | (s == 0), 0.0, z)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tau = np.where(n >= 2, s / (n * (n - 1.0) / 2.0), 0.0)
+    testable = lengths >= 3
+    s = np.where(testable, s, 0.0)
+    variance = np.where(testable, variance, 0.0)
+    z = np.where(testable, z, 0.0)
+    tau = np.where(testable, tau, 0.0)
+    p_value = np.where(testable, 2.0 * (1.0 - norm.cdf(np.abs(z))), 1.0)
+    return MKBatchResult(
+        s=s, variance=variance, z=z, p_value=p_value, tau=tau, lengths=lengths
+    )
 
 
 def mann_kendall_test(

@@ -2,10 +2,16 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
-from repro.core.features import RankingFeatureExtractor, _backfill
+from repro.core.features import (
+    RankingFeatureExtractor,
+    _backfill,
+    _backfill_reference,
+)
 from repro.core.history import HistoryStore
 from repro.exceptions import ConfigurationError
+from repro.timeseries.mann_kendall import mann_kendall_test
 from repro.timeseries.predictor import ARNextScorePredictor
 
 from .helpers import make_context
@@ -30,6 +36,82 @@ class TestBackfill:
     def test_full_row_unchanged(self):
         window = np.array([[0.1, 0.2]])
         assert _backfill(window)[0].tolist() == [0.1, 0.2]
+
+
+class TestBackfillEquivalence:
+    """The vectorized backfill must match the row-loop oracle exactly."""
+
+    def test_mixed_rows(self):
+        window = np.array(
+            [
+                [np.nan, np.nan, 0.4, 0.6],
+                [np.nan, np.nan, np.nan, np.nan],
+                [0.1, 0.2, 0.3, 0.4],
+                [np.nan, 0.7, np.nan, 0.9],
+            ]
+        )
+        np.testing.assert_array_equal(_backfill(window), _backfill_reference(window))
+
+    def test_empty(self):
+        window = np.empty((0, 3))
+        np.testing.assert_array_equal(_backfill(window), _backfill_reference(window))
+
+    def test_input_not_mutated(self):
+        window = np.array([[np.nan, 0.5]])
+        _backfill(window)
+        assert np.isnan(window[0, 0])
+
+    @given(
+        st.lists(
+            st.lists(
+                st.one_of(st.none(), st.floats(-10, 10, allow_nan=False)),
+                min_size=1,
+                max_size=6,
+            ).map(lambda row: [np.nan if v is None else v for v in row]),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_equivalence_property(self, ragged_rows):
+        width = max(len(row) for row in ragged_rows)
+        window = np.full((len(ragged_rows), width), np.nan)
+        for index, row in enumerate(ragged_rows):
+            window[index, : len(row)] = row
+        np.testing.assert_array_equal(_backfill(window), _backfill_reference(window))
+
+
+class TestTrendEquivalence:
+    """Batched trend features must match the per-sample scalar MK loop."""
+
+    def _reference_trend(self, history, sample_indices):
+        features = np.zeros((len(sample_indices), 2))
+        for row, index in enumerate(sample_indices):
+            sequence = history.sequence(int(index))
+            if len(sequence) >= 3:
+                result = mann_kendall_test(sequence)
+                features[row, 0] = result.z
+                features[row, 1] = result.tau
+        return features
+
+    def test_matches_scalar_loop_with_ragged_histories(self):
+        rng = np.random.default_rng(3)
+        n = 30
+        store = HistoryStore(n)
+        for round_index in range(1, 9):
+            # Samples keep leaving the pool, so sequence lengths vary 0..8.
+            evaluated = np.sort(
+                rng.choice(n, size=rng.integers(1, n + 1), replace=False)
+            )
+            store.append(round_index, evaluated, rng.random(len(evaluated)))
+        extractor = RankingFeatureExtractor(window=3)
+        indices = np.arange(n)
+        batched = extractor._trend_features(store, indices)
+        np.testing.assert_array_equal(batched, self._reference_trend(store, indices))
+
+    def test_empty_history(self):
+        extractor = RankingFeatureExtractor(window=3)
+        store = HistoryStore(5)
+        assert np.allclose(extractor._trend_features(store, np.arange(5)), 0.0)
 
 
 class TestFeatureLayout:

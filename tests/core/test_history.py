@@ -76,6 +76,96 @@ class TestSequences:
     def test_nbytes_positive(self, store):
         assert store.nbytes() > 0
 
+    def test_nbytes_is_logical_footprint(self, store):
+        # Exactly recorded_rounds * n_samples * 8, independent of the
+        # preallocated growth headroom (the Table 2 space quantity).
+        assert store.nbytes() == 3 * 6 * 8
+        assert store.capacity >= store.num_rounds
+        assert store.capacity_nbytes() >= store.capacity * 6 * 8
+
+    def test_nbytes_unchanged_by_capacity_growth(self):
+        history = HistoryStore(4)
+        history.append(1, np.arange(4), np.zeros(4))
+        before = history.nbytes()
+        history.append(2, np.arange(4), np.zeros(4))
+        assert history.nbytes() == 2 * before
+
+
+class TestAmortizedGrowth:
+    """Append must stay amortized O(N): capacity doubles, it does not
+    reallocate every call (the pre-vectorization vstack behavior)."""
+
+    def test_buffer_reallocations_logarithmic(self):
+        history = HistoryStore(16)
+        buffer_ids = set()
+        rounds = 400
+        for round_index in range(1, rounds + 1):
+            history.append(round_index, np.arange(16), np.zeros(16))
+            buffer_ids.add(id(history._buffer))
+        # Geometric doubling: ~log2(400) distinct buffers, not 400.
+        assert len(buffer_ids) <= int(np.log2(rounds)) + 3
+
+    def test_capacity_bounded_by_doubling(self):
+        history = HistoryStore(8)
+        for round_index in range(1, 101):
+            history.append(round_index, np.arange(8), np.zeros(8))
+        assert history.num_rounds <= history.capacity < 2 * 101
+
+    def test_sequences_survive_reallocation(self):
+        history = HistoryStore(3)
+        values = np.linspace(0.0, 1.0, 50)
+        for round_index, value in enumerate(values, start=1):
+            history.append(round_index, np.array([0]), np.array([value]))
+        assert np.allclose(history.sequence(0), values)
+
+
+class TestCurrentScoresFastPath:
+    def test_after_prune_drops_stale_observations(self):
+        history = HistoryStore(3)
+        history.append(1, np.array([0, 1]), np.array([0.1, 0.2]))
+        history.append(2, np.array([1]), np.array([0.3]))
+        history.prune(1)
+        current = history.current_scores(np.arange(3))
+        # Sample 0's only observation was in the dropped round.
+        assert np.isnan(current[0])
+        assert current[1] == 0.3
+        assert np.isnan(current[2])
+
+    def test_as_of_copy_consistent(self, store):
+        truncated = store.as_of(2)
+        np.testing.assert_array_equal(
+            truncated.current_scores(np.arange(6)),
+            truncated.window_matrix(np.arange(6), 1)[:, 0],
+        )
+
+    def test_matches_window_matrix_path(self, store):
+        indices = np.arange(6)
+        np.testing.assert_array_equal(
+            store.current_scores(indices), store.window_matrix(indices, 1)[:, 0]
+        )
+
+    def test_out_of_range_rejected(self, store):
+        with pytest.raises(HistoryError):
+            store.current_scores(np.array([99]))
+
+
+class TestSequenceMatrix:
+    def test_left_aligned_rows(self, store):
+        matrix = store.sequence_matrix(np.array([0, 4, 5]))
+        assert matrix.shape == (3, 3)
+        assert matrix[0].tolist() == [0.1, 0.15, 0.12]
+        assert matrix[1, :2].tolist() == [0.5, 0.55] and np.isnan(matrix[1, 2])
+        assert matrix[2, 0] == 0.6 and np.isnan(matrix[2, 1:]).all()
+
+    def test_empty_store(self):
+        assert HistoryStore(4).sequence_matrix(np.arange(4)).shape == (4, 0)
+
+    def test_rows_match_sequence(self, store):
+        matrix = store.sequence_matrix(np.arange(6))
+        for row, index in enumerate(range(6)):
+            observed = matrix[row][~np.isnan(matrix[row])]
+            np.testing.assert_array_equal(observed, store.sequence(index))
+
 
 class TestWindowMatrix:
     def test_right_alignment(self, store):

@@ -128,3 +128,47 @@ class TestValidation:
         result = make_loop(text_dataset, Random(), metric=metric).run()
         assert len(calls) == 5
         assert (result.curve().values == 0.5).all()
+
+
+class TestModelHistoryValidation:
+    """requires_model_history doubles as a slice bound, so it must be a
+    checked non-negative int — a strategy returning True would silently
+    keep exactly one model."""
+
+    def _strategy_with(self, value):
+        class BadStrategy(Random):
+            requires_model_history = value
+
+        return BadStrategy()
+
+    def test_bool_rejected(self, text_dataset):
+        with pytest.raises(ConfigurationError, match="requires_model_history"):
+            make_loop(text_dataset, self._strategy_with(True))
+
+    def test_negative_rejected(self, text_dataset):
+        with pytest.raises(ConfigurationError, match="requires_model_history"):
+            make_loop(text_dataset, self._strategy_with(-1))
+
+    def test_non_numeric_rejected(self, text_dataset):
+        with pytest.raises(ConfigurationError, match="requires_model_history"):
+            make_loop(text_dataset, self._strategy_with("2"))
+
+    def test_numpy_integer_accepted(self, text_dataset):
+        result = make_loop(
+            text_dataset, self._strategy_with(np.int64(1)), rounds=2
+        ).run()
+        assert len(result.curve()) == 3
+
+    def test_history_trimmed_to_requested_count(self, text_dataset):
+        seen_lengths = []
+
+        class Probe(Random):
+            requires_model_history = 2
+
+            def scores(self, model, context):
+                seen_lengths.append(len(context.model_history))
+                return super().scores(model, context)
+
+        make_loop(text_dataset, Probe(), rounds=4).run()
+        assert seen_lengths[0] == 1  # only the first round's model so far
+        assert max(seen_lengths) == 2  # never more than requested

@@ -98,3 +98,32 @@ class TestRunComparison:
 
         a, b = run(), run()
         assert np.allclose(a["Random"].curve.values, b["Random"].curve.values)
+
+
+class TestParallelRunner:
+    def _run(self, text_dataset, n_jobs):
+        return run_comparison(
+            lambda: LinearSoftmax(epochs=4, seed=0),
+            {"Random": Random, "Entropy": Entropy},
+            text_dataset.subset(range(200)),
+            text_dataset.subset(range(200, 300)),
+            config=ExperimentConfig(batch_size=15, rounds=2, repeats=2, seed=9),
+            n_jobs=n_jobs,
+        )
+
+    def test_parallel_byte_identical_to_serial(self, text_dataset):
+        serial = self._run(text_dataset, n_jobs=1)
+        parallel = self._run(text_dataset, n_jobs=2)
+        assert set(serial) == set(parallel)
+        for name in serial:
+            a, b = serial[name], parallel[name]
+            assert a.curve.values.tobytes() == b.curve.values.tobytes()
+            assert a.std.tobytes() == b.std.tobytes()
+            for run_a, run_b in zip(a.runs, b.runs):
+                for record_a, record_b in zip(run_a.records, run_b.records):
+                    assert record_a.metric == record_b.metric
+                    assert np.array_equal(record_a.selected, record_b.selected)
+
+    def test_invalid_n_jobs_rejected(self, text_dataset):
+        with pytest.raises(ConfigurationError):
+            self._run(text_dataset, n_jobs=0)

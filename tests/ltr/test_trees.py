@@ -92,3 +92,50 @@ class TestValidation:
     def test_bad_min_samples(self):
         with pytest.raises(ConfigurationError):
             RegressionTree(min_samples_leaf=0)
+
+
+class TestPredictEquivalence:
+    """Vectorized routing must match the per-row node walk exactly."""
+
+    def test_random_trees(self):
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            features = rng.normal(size=(rng.integers(12, 120), rng.integers(1, 5)))
+            targets = rng.normal(size=len(features))
+            hessians = rng.random(len(features)) + 0.1 if trial % 2 else None
+            tree = RegressionTree(
+                max_depth=int(rng.integers(0, 5)), min_samples_leaf=2
+            ).fit(features, targets, hessians=hessians)
+            probe = rng.normal(size=(64, features.shape[1]))
+            np.testing.assert_array_equal(
+                tree.predict(probe), tree._predict_reference(probe)
+            )
+
+    def test_values_exactly_on_thresholds(self):
+        # <= threshold goes left in both implementations.
+        features = np.array([[0.0], [1.0], [2.0], [3.0], [4.0], [5.0]])
+        targets = np.array([0.0, 0.0, 0.0, 1.0, 1.0, 1.0])
+        tree = RegressionTree(max_depth=2, min_samples_leaf=1).fit(features, targets)
+        probe = np.array([[tree._root.threshold]])
+        np.testing.assert_array_equal(
+            tree.predict(probe), tree._predict_reference(probe)
+        )
+
+    def test_stump_and_empty_probe(self):
+        features = np.array([[0.0], [1.0]])
+        tree = RegressionTree(max_depth=0).fit(features, np.array([1.0, 3.0]))
+        np.testing.assert_array_equal(tree.predict(features), [2.0, 2.0])
+        assert tree.predict(np.empty((0, 1))).shape == (0,)
+
+    def test_deserialized_tree_predicts(self):
+        # Persistence assigns _root directly without fit(); predict must
+        # flatten lazily instead of requiring the fit-time arrays.
+        rng = np.random.default_rng(5)
+        features = rng.normal(size=(40, 3))
+        fitted = RegressionTree(max_depth=3, min_samples_leaf=2).fit(
+            features, rng.normal(size=40)
+        )
+        clone = RegressionTree(max_depth=3, min_samples_leaf=2)
+        clone._root = fitted._root
+        probe = rng.normal(size=(16, 3))
+        np.testing.assert_array_equal(clone.predict(probe), fitted.predict(probe))

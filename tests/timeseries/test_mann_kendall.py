@@ -5,7 +5,11 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.exceptions import ConfigurationError
-from repro.timeseries.mann_kendall import Trend, mann_kendall_test
+from repro.timeseries.mann_kendall import (
+    Trend,
+    mann_kendall_batch,
+    mann_kendall_test,
+)
 
 
 class TestBasicTrends:
@@ -102,3 +106,87 @@ def test_affine_invariance_property(values, scale, shift):
     original = mann_kendall_test([float(v) for v in values])
     transformed = mann_kendall_test([scale * v + shift for v in values])
     assert original.s == transformed.s
+
+
+class TestBatch:
+    """mann_kendall_batch must agree bit-for-bit with the scalar oracle."""
+
+    def _assert_matches_scalar(self, matrix):
+        result = mann_kendall_batch(matrix)
+        for row, padded in enumerate(np.asarray(matrix, dtype=np.float64)):
+            values = padded[~np.isnan(padded)]
+            assert result.lengths[row] == len(values)
+            if len(values) >= 3:
+                reference = mann_kendall_test(values)
+                assert result.s[row] == reference.s
+                assert result.variance[row] == reference.variance
+                assert result.z[row] == reference.z
+                assert result.tau[row] == reference.tau
+                assert result.p_value[row] == reference.p_value
+            else:
+                assert result.s[row] == 0.0
+                assert result.variance[row] == 0.0
+                assert result.z[row] == 0.0
+                assert result.tau[row] == 0.0
+                assert result.p_value[row] == 1.0
+
+    def test_random_sequences(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(40, 12))
+        self._assert_matches_scalar(matrix)
+
+    def test_tied_sequences(self):
+        rng = np.random.default_rng(1)
+        # Heavy ties exercise the tie-corrected variance term.
+        matrix = rng.choice([0.1, 0.2, 0.3], size=(40, 10)).astype(np.float64)
+        self._assert_matches_scalar(matrix)
+
+    def test_constant_rows_zero_variance(self):
+        result = mann_kendall_batch(np.ones((3, 8)))
+        assert (result.z == 0.0).all()
+        assert (result.variance == 0.0).all()
+
+    def test_ragged_nan_padding(self):
+        matrix = np.array(
+            [
+                [0.3, 0.1, 0.2, np.nan, np.nan],
+                [np.nan, np.nan, np.nan, np.nan, np.nan],
+                [0.5, np.nan, 0.4, np.nan, 0.3],  # interleaved padding
+                [0.9, 0.8, np.nan, np.nan, np.nan],  # too short to test
+            ]
+        )
+        self._assert_matches_scalar(matrix)
+
+    def test_interleaved_padding_equals_compacted(self):
+        interleaved = np.array([[np.nan, 1.0, np.nan, 3.0, 2.0, np.nan]])
+        compact = np.array([[1.0, 3.0, 2.0]])
+        a = mann_kendall_batch(interleaved)
+        b = mann_kendall_batch(compact)
+        assert a.s[0] == b.s[0] and a.z[0] == b.z[0] and a.tau[0] == b.tau[0]
+
+    def test_empty_batch(self):
+        result = mann_kendall_batch(np.empty((0, 5)))
+        assert result.z.shape == (0,)
+
+    def test_all_nan_batch(self):
+        result = mann_kendall_batch(np.full((4, 6), np.nan))
+        assert (result.p_value == 1.0).all()
+        assert (result.lengths == 0).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            mann_kendall_batch(np.arange(5.0))
+
+    @given(
+        st.lists(
+            st.lists(st.floats(-50, 50, allow_nan=False), min_size=0, max_size=10),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_batch_equals_scalar_property(self, ragged_rows):
+        width = max(len(row) for row in ragged_rows)
+        matrix = np.full((len(ragged_rows), max(width, 1)), np.nan)
+        for index, row in enumerate(ragged_rows):
+            matrix[index, : len(row)] = row
+        self._assert_matches_scalar(matrix)
