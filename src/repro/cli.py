@@ -33,7 +33,7 @@ from .data import (
     trec,
 )
 from .exceptions import ConfigurationError, ReproError
-from .experiments import ExperimentConfig, plot_curves, run_comparison
+from .experiments import ExperimentConfig, RetryPolicy, plot_curves, run_comparison
 from .experiments.reporting import format_curve_table, format_target_table
 from .models import LinearChainCRF, LinearSoftmax
 from .persistence import load_lhs_ranker, save_lhs_ranker
@@ -87,6 +87,8 @@ def _model_factory(kind: str, epochs: int):
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        raise ConfigurationError("--resume requires --checkpoint-dir")
     dataset, kind = _load_dataset(args.dataset, args.scale, args.seed)
     train, test = _split(dataset, args.test_fraction)
     strategies = {
@@ -102,7 +104,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = run_comparison(
         _model_factory(kind, args.epochs), strategies, train, test, config=config,
         n_jobs=args.n_jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        retry=RetryPolicy(max_attempts=args.max_retries + 1),
+        on_error=args.on_error,
     )
+    for result in results.values():
+        for failure in result.failures:
+            print(
+                f"warning: dropped cell ({failure.strategy!r}, repeat "
+                f"{failure.repeat}) after {failure.attempts} attempt(s): "
+                f"{failure.error}",
+                file=sys.stderr,
+            )
     curves = {name: result.curve for name, result in results.items()}
     metric = "accuracy" if kind == "text" else "span F1"
     print(format_curve_table(
@@ -185,6 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ranker file for lhs:<base> strategies")
     compare.add_argument("--plot", action="store_true",
                          help="also draw the curves as an ASCII chart")
+    compare.add_argument("--checkpoint-dir", default=None,
+                         help="write each completed (strategy, repeat) cell to "
+                              "this directory as a JSON checkpoint; an "
+                              "interrupted run can then restart with --resume")
+    compare.add_argument("--resume", action="store_true",
+                         help="reuse completed cells already checkpointed in "
+                              "--checkpoint-dir instead of recomputing them")
+    compare.add_argument("--max-retries", type=int, default=0,
+                         help="extra attempts for a failing cell before it "
+                              "counts as permanently failed (default 0)")
+    compare.add_argument("--on-error", choices=["raise", "skip"], default="raise",
+                         help="'skip' drops permanently failed cells from the "
+                              "averages (with a warning) instead of aborting")
     compare.set_defaults(handler=_cmd_compare)
 
     train = subparsers.add_parser(
@@ -207,6 +234,15 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        hint = ""
+        if getattr(args, "checkpoint_dir", None):
+            hint = (
+                f"; completed cells are checkpointed in {args.checkpoint_dir} "
+                "— rerun with --resume to continue"
+            )
+        print(f"interrupted{hint}", file=sys.stderr)
+        return 130
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

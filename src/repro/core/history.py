@@ -167,6 +167,20 @@ class HistoryStore:
         """Number of recorded scores for sample ``index``."""
         return len(self.sequence(index))
 
+    def iter_rounds(self):
+        """Yield ``(round_index, indices, scores)`` per recorded round.
+
+        Each triple holds the recorded (non-NaN) entries of one round's
+        row in ascending index order — exactly what :meth:`append` was
+        given — so replaying the triples into an empty store reconstructs
+        this one.  NaN encodes "not evaluated", so a literal NaN score
+        would not survive the round trip; strategies never record NaN.
+        """
+        for row in range(self._size):
+            data = self._buffer[row]
+            indices = np.flatnonzero(~np.isnan(data))
+            yield int(self._round_ids[row]), indices, data[indices]
+
     def nbytes(self) -> int:
         """Logical memory footprint: recorded rounds only.
 

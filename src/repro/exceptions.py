@@ -38,3 +38,22 @@ class HistoryError(ReproError):
 
 class StrategyError(ReproError):
     """A query strategy was used with an incompatible model or dataset."""
+
+
+class ExecutionError(ReproError):
+    """An experiment cell failed permanently.
+
+    Raised by the comparison runner when a (strategy, repeat) cell keeps
+    failing after its retry budget is exhausted, when worker processes
+    keep dying without making progress, or when every repeat of a
+    strategy failed and there is nothing left to aggregate.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is corrupt or does not match the current run.
+
+    Stale checkpoints (written by a run with a different configuration,
+    seed, or strategy set) are rejected with this error instead of being
+    silently reused.
+    """

@@ -1,12 +1,16 @@
 """Experiment orchestration: seeded multi-repeat runs and paper-style reports."""
 
 from .ascii_plot import plot_curves
+from .checkpoint import CheckpointStore
 from .config import ExperimentConfig
 from .reporting import format_curve_table, format_table, format_target_table
-from .runner import StrategyResult, run_comparison
+from .runner import CellFailure, RetryPolicy, StrategyResult, run_comparison
 
 __all__ = [
+    "CellFailure",
+    "CheckpointStore",
     "ExperimentConfig",
+    "RetryPolicy",
     "StrategyResult",
     "format_curve_table",
     "format_table",

@@ -1,0 +1,224 @@
+"""Per-cell checkpoints for interrupted comparison grids.
+
+A comparison grid retrains the task model ``strategies * repeats *
+(rounds + 1)`` times, so a crash near the end of ``run_comparison``
+throws away hours of work.  This module snapshots every completed
+``(strategy, repeat)`` cell to its own JSON file as it finishes — the
+full :class:`~repro.core.loop.ALResult` audit trail: per-round records,
+selection order, and the history store contents — so a restarted run can
+load the finished cells and recompute only the missing ones, with
+results byte-identical to an uninterrupted run.
+
+Like :mod:`repro.persistence`, checkpoints are plain JSON (no pickle):
+inspectable, diffable, and safe to load from an untrusted directory.
+Every file carries a fingerprint of the run that wrote it (strategy
+name, repeat index, cell seed, experiment configuration); a checkpoint
+whose fingerprint does not match the resuming run is *stale* and is
+rejected with :class:`~repro.exceptions.CheckpointError` rather than
+silently reused — resuming must never mix cells from different
+experiments.  Writes go through :func:`repro.ioutil.atomic_write_text`,
+so a crash mid-write can never leave a truncated document behind.
+
+The ``final_model`` of a cell is deliberately not serialised: it is not
+part of the aggregated comparison output, and keeping checkpoints
+model-agnostic keeps them small and format-stable.  Resumed cells carry
+``final_model=None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+import numpy as np
+
+from ..core.history import HistoryStore
+from ..core.loop import ALResult, RoundRecord
+from ..exceptions import CheckpointError, HistoryError
+from ..ioutil import atomic_write_text
+from .config import ExperimentConfig
+
+#: Format marker at the top of every cell checkpoint document.
+CHECKPOINT_FORMAT = "repro.al_cell"
+CHECKPOINT_VERSION = 1
+
+
+# -- history store -----------------------------------------------------------
+
+
+def history_to_dict(history: HistoryStore) -> dict:
+    """Serialise a history store as per-round sparse (indices, scores) rows."""
+    return {
+        "n_samples": history.n_samples,
+        "strategy_name": history.strategy_name,
+        "rounds": [
+            {
+                "round": round_index,
+                "indices": indices.tolist(),
+                "scores": scores.tolist(),
+            }
+            for round_index, indices, scores in history.iter_rounds()
+        ],
+    }
+
+
+def history_from_dict(payload: dict) -> HistoryStore:
+    """Rebuild a history store by replaying the recorded rounds."""
+    history = HistoryStore(
+        int(payload["n_samples"]), strategy_name=str(payload["strategy_name"])
+    )
+    for row in payload["rounds"]:
+        history.append(
+            int(row["round"]),
+            np.asarray(row["indices"], dtype=np.int64),
+            np.asarray(row["scores"], dtype=np.float64),
+        )
+    return history
+
+
+# -- ALResult ----------------------------------------------------------------
+
+
+def result_to_dict(result: ALResult) -> dict:
+    """Serialise an :class:`ALResult` (``final_model`` is dropped)."""
+    return {
+        "strategy_name": result.strategy_name,
+        "records": [
+            {
+                "round_index": record.round_index,
+                "labeled_count": record.labeled_count,
+                "metric": record.metric,
+                "selected": record.selected.tolist(),
+                "selected_scores": record.selected_scores.tolist(),
+            }
+            for record in result.records
+        ],
+        "selection_order": [selected.tolist() for selected in result.selection_order],
+        "history": history_to_dict(result.history),
+    }
+
+
+def result_from_dict(payload: dict) -> ALResult:
+    """Rebuild an :class:`ALResult` written by :func:`result_to_dict`.
+
+    Floats round-trip exactly through JSON (``repr`` serialisation), so
+    curves and records compare byte-identical to the originals.
+    """
+    records = [
+        RoundRecord(
+            round_index=int(record["round_index"]),
+            labeled_count=int(record["labeled_count"]),
+            metric=float(record["metric"]),
+            selected=np.asarray(record["selected"], dtype=np.int64),
+            selected_scores=np.asarray(record["selected_scores"], dtype=np.float64),
+        )
+        for record in payload["records"]
+    ]
+    return ALResult(
+        strategy_name=str(payload["strategy_name"]),
+        records=records,
+        history=history_from_dict(payload["history"]),
+        final_model=None,
+        selection_order=[
+            np.asarray(selected, dtype=np.int64)
+            for selected in payload["selection_order"]
+        ],
+    )
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class CheckpointStore:
+    """Directory of per-cell checkpoint files for one comparison run.
+
+    Parameters
+    ----------
+    directory:
+        Where cell files live; created (with parents) if missing.
+    config:
+        The run's :class:`ExperimentConfig`; its shape fields become part
+        of every cell fingerprint so checkpoints from a differently
+        configured run are detected as stale.
+    """
+
+    def __init__(self, directory: "str | Path", config: ExperimentConfig) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._config_fingerprint = {
+            "batch_size": config.batch_size,
+            "rounds": config.rounds,
+            "initial_size": config.initial_size,
+            "repeats": config.repeats,
+            "seed": config.seed,
+        }
+
+    def cell_path(self, strategy: str, repeat: int) -> Path:
+        """The checkpoint file for one ``(strategy, repeat)`` cell.
+
+        Strategy display names may contain characters that are unsafe in
+        file names (``wshs:entropy``), so the name is slugged for
+        readability and disambiguated with a short hash of the exact
+        name.
+        """
+        digest = hashlib.sha1(strategy.encode("utf-8")).hexdigest()[:8]
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", strategy)[:40] or "strategy"
+        return self.directory / f"cell_{slug}.{digest}_r{int(repeat)}.json"
+
+    def save(self, strategy: str, repeat: int, seed: int, result: ALResult) -> Path:
+        """Atomically write one completed cell; returns the file path."""
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "strategy": strategy,
+            "repeat": int(repeat),
+            "seed": int(seed),
+            "config": self._config_fingerprint,
+            "result": result_to_dict(result),
+        }
+        path = self.cell_path(strategy, repeat)
+        atomic_write_text(path, json.dumps(payload))
+        return path
+
+    def load(self, strategy: str, repeat: int, seed: int) -> "ALResult | None":
+        """Load one cell, or ``None`` when no checkpoint exists for it.
+
+        Raises
+        ------
+        CheckpointError
+            If the file exists but is unreadable, not a cell checkpoint,
+            from an unsupported format version, or stale (its fingerprint
+            does not match this run's strategy/repeat/seed/config).
+        """
+        path = self.cell_path(strategy, repeat)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(f"corrupt checkpoint {path}: {error}") from error
+        if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(f"{path} is not a comparison-cell checkpoint")
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {payload.get('version')!r} in {path}"
+            )
+        expected = {
+            "strategy": strategy,
+            "repeat": int(repeat),
+            "seed": int(seed),
+            "config": self._config_fingerprint,
+        }
+        actual = {key: payload.get(key) for key in expected}
+        if actual != expected:
+            raise CheckpointError(
+                f"stale checkpoint {path}: it was written by a different run "
+                f"(expected {expected}, found {actual}); clear the checkpoint "
+                "directory or rerun without resume"
+            )
+        try:
+            return result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError, HistoryError) as error:
+            raise CheckpointError(f"corrupt checkpoint {path}: {error}") from error

@@ -10,34 +10,90 @@ so the grid can be fanned out across a process pool (``n_jobs > 1``)
 without changing a single byte of the results: each worker runs the same
 ``ActiveLearningLoop`` the serial path would, and the results are
 reassembled in input order regardless of completion order.
+
+The grid is also fault tolerant.  Completed cells can be checkpointed to
+a directory as they finish (``checkpoint_dir``) and skipped on restart;
+failing cells are retried up to :class:`RetryPolicy` bounds; a worker
+process dying (OOM kill, segfault — surfacing as ``BrokenProcessPool``)
+resubmits the lost cells to a fresh pool instead of aborting the grid;
+and ``on_error="skip"`` degrades gracefully, aggregating the surviving
+repeats and attaching a per-cell failure log to each
+:class:`StrategyResult` instead of raising.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from collections.abc import Callable, Mapping
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.loop import ActiveLearningLoop, ALResult
 from ..eval.curves import LearningCurve, curve_std, mean_curve
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ExecutionError
 from ..rng import ensure_rng
+from .checkpoint import CheckpointStore
 from .config import ExperimentConfig
 
 StrategyFactory = Callable[[], object]
 
+#: Recognised partial-failure handling modes of :func:`run_comparison`.
+_ON_ERROR_MODES = ("raise", "skip")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget for failing (strategy, repeat) cells.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per cell, including the first; ``1`` disables
+        retries.  The same bound limits consecutive *unproductive* pool
+        rebuilds after worker deaths: when a broken pool is rebuilt
+        ``max_attempts`` times without a single cell completing, the
+        still-pending cells are treated as permanently failed (worker
+        deaths cannot be attributed to one cell, so they are bounded by
+        progress rather than counted per cell).
+    """
+
+    max_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Audit record of one permanently failed (strategy, repeat) cell."""
+
+    strategy: str
+    repeat: int
+    attempts: int
+    error: str
+
 
 @dataclass
 class StrategyResult:
-    """Aggregated outcome of one strategy across repeats."""
+    """Aggregated outcome of one strategy across repeats.
+
+    ``runs`` holds the successful repeats only (all of them unless the
+    grid ran with ``on_error="skip"`` and some cells failed); ``curve``
+    and ``std`` aggregate exactly those runs.  ``failures`` is the audit
+    log of the repeats that were dropped.
+    """
 
     name: str
     curve: LearningCurve
     std: np.ndarray
     runs: list[ALResult]
+    failures: list[CellFailure] = field(default_factory=list)
 
 
 #: Shared state for fork-started pool workers.  Factories are usually
@@ -86,6 +142,204 @@ def _run_cell_from_state(strategy_index: int, seed: int) -> ALResult:
     )
 
 
+class _CellGrid:
+    """Bookkeeping for one grid execution: pending cells, retries, results.
+
+    A *cell* is a ``(strategy_index, repeat_index)`` tuple.  Cells move
+    from ``pending`` to either ``results`` (success, checkpointed if a
+    store is attached) or ``failures`` (permanent failure under
+    ``on_error="skip"``); under ``on_error="raise"`` a permanent failure
+    raises :class:`ExecutionError` instead.
+    """
+
+    def __init__(
+        self,
+        names: list[str],
+        repeat_seeds: np.ndarray,
+        policy: RetryPolicy,
+        on_error: str,
+        store: "CheckpointStore | None",
+    ) -> None:
+        self.names = names
+        self.repeat_seeds = repeat_seeds
+        self.policy = policy
+        self.on_error = on_error
+        self.store = store
+        self.pending: list[tuple[int, int]] = [
+            (strategy_index, repeat_index)
+            for strategy_index in range(len(names))
+            for repeat_index in range(len(repeat_seeds))
+        ]
+        self.results: dict[tuple[int, int], ALResult] = {}
+        self.failures: dict[tuple[int, int], CellFailure] = {}
+        self.attempts: dict[tuple[int, int], int] = {}
+
+    def describe(self, cell: "tuple[int, int]") -> str:
+        return f"({self.names[cell[0]]!r}, repeat {cell[1]})"
+
+    def cell_seed(self, cell: "tuple[int, int]") -> int:
+        return int(self.repeat_seeds[cell[1]])
+
+    def resume(self) -> None:
+        """Load already-completed cells from the checkpoint store."""
+        if self.store is None:
+            return
+        for cell in list(self.pending):
+            loaded = self.store.load(
+                self.names[cell[0]], cell[1], self.cell_seed(cell)
+            )
+            if loaded is not None:
+                self.results[cell] = loaded
+                self.pending.remove(cell)
+
+    def record_success(self, cell: "tuple[int, int]", result: ALResult) -> None:
+        self.results[cell] = result
+        self.pending.remove(cell)
+        if self.store is not None:
+            self.store.save(self.names[cell[0]], cell[1], self.cell_seed(cell), result)
+
+    def record_error(self, cell: "tuple[int, int]", error: Exception) -> bool:
+        """Count one failed attempt; True if the cell should be retried.
+
+        Raises
+        ------
+        ExecutionError
+            When the retry budget is exhausted and ``on_error="raise"``.
+        """
+        attempts = self.attempts.get(cell, 0) + 1
+        self.attempts[cell] = attempts
+        if attempts < self.policy.max_attempts:
+            return True
+        message = (
+            f"cell {self.describe(cell)} failed after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: {error}"
+        )
+        if self.on_error == "raise":
+            raise ExecutionError(message) from error
+        self.failures[cell] = CellFailure(
+            strategy=self.names[cell[0]],
+            repeat=cell[1],
+            attempts=attempts,
+            error=f"{type(error).__name__}: {error}",
+        )
+        self.pending.remove(cell)
+        return False
+
+    def record_lost_cells(self, rebuilds: int) -> None:
+        """Settle the cells still pending after too many broken pools."""
+        lost = list(self.pending)
+        message = (
+            f"worker pool kept breaking ({rebuilds} consecutive rebuilds with "
+            f"no completed cell); lost cells: "
+            + ", ".join(self.describe(cell) for cell in lost)
+        )
+        if self.on_error == "raise":
+            raise ExecutionError(message)
+        for cell in lost:
+            self.failures[cell] = CellFailure(
+                strategy=self.names[cell[0]],
+                repeat=cell[1],
+                attempts=self.attempts.get(cell, 0),
+                error="worker process died (BrokenProcessPool)",
+            )
+            self.pending.remove(cell)
+
+
+def _run_serial(
+    grid: _CellGrid,
+    model_factory,
+    factories,
+    train_dataset,
+    test_dataset,
+    config,
+    metric,
+) -> None:
+    """In-process execution with per-cell retry."""
+    for cell in list(grid.pending):
+        while True:
+            try:
+                result = _run_cell(
+                    model_factory,
+                    factories[cell[0]],
+                    train_dataset,
+                    test_dataset,
+                    config,
+                    metric,
+                    grid.cell_seed(cell),
+                )
+            except Exception as error:
+                if grid.record_error(cell, error):
+                    continue
+                break
+            grid.record_success(cell, result)
+            break
+
+
+def _run_pool(grid: _CellGrid, n_jobs: int) -> None:
+    """Process-pool execution with retry and broken-pool resubmission.
+
+    Each iteration of the outer loop owns one pool.  Cells that raise
+    *inside* a worker are retried on the same pool; when the pool itself
+    breaks (a worker died), the not-yet-settled cells are resubmitted to
+    a fresh pool.  Consecutive rebuilds that settle nothing are bounded
+    by the retry policy, so a cell that reliably kills its worker cannot
+    rebuild pools forever.  On any fatal error the outstanding futures
+    are cancelled so no workers are left running stranded cells.
+    """
+    context = multiprocessing.get_context("fork")
+    unproductive_rebuilds = 0
+    while grid.pending:
+        pending_before = len(grid.pending)
+        pool = ProcessPoolExecutor(
+            max_workers=min(n_jobs, pending_before), mp_context=context
+        )
+        futures: dict = {}
+        try:
+            for cell in grid.pending:
+                futures[pool.submit(_run_cell_from_state, cell[0], grid.cell_seed(cell))] = cell
+            outstanding = set(futures)
+            broke = False
+            while outstanding and not broke:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cell = futures[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        broke = True
+                    except Exception as error:  # raised inside the worker
+                        if grid.record_error(cell, error):
+                            try:
+                                retry = pool.submit(
+                                    _run_cell_from_state, cell[0], grid.cell_seed(cell)
+                                )
+                            except BrokenProcessPool:
+                                broke = True
+                            else:
+                                futures[retry] = cell
+                                outstanding.add(retry)
+                    else:
+                        grid.record_success(cell, result)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        if not grid.pending:
+            return
+        # Reaching here means the pool broke mid-grid: the still-pending
+        # cells were lost with their workers.  Rebuild and resubmit, but
+        # only as long as pools keep making progress.
+        if len(grid.pending) < pending_before:
+            unproductive_rebuilds = 0
+        else:
+            unproductive_rebuilds += 1
+        if unproductive_rebuilds >= grid.policy.max_attempts:
+            grid.record_lost_cells(unproductive_rebuilds)
+            return
+
+
 def run_comparison(
     model_factory: Callable[[], object],
     strategy_factories: "Mapping[str, StrategyFactory]",
@@ -94,6 +348,10 @@ def run_comparison(
     config: ExperimentConfig | None = None,
     metric: "Callable[[object, object], float] | None" = None,
     n_jobs: int = 1,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = True,
+    retry: "RetryPolicy | None" = None,
+    on_error: str = "raise",
 ) -> dict[str, StrategyResult]:
     """Run every strategy ``config.repeats`` times and average the curves.
 
@@ -113,6 +371,30 @@ def run_comparison(
         the output is byte-identical to the serial run.  On platforms
         without the ``fork`` start method the runner silently falls back
         to serial execution (same results, no speedup).
+    checkpoint_dir:
+        When set, every completed cell is written to this directory as a
+        JSON checkpoint the moment it finishes (atomically — a crash
+        mid-write never leaves a corrupt file), and with ``resume=True``
+        cells already checkpointed by a previous identically-configured
+        run are loaded instead of recomputed.  A resumed grid produces
+        results byte-identical to an uninterrupted run.
+    resume:
+        Whether to reuse existing checkpoints in ``checkpoint_dir``.
+        With ``False``, existing cell files are ignored and overwritten.
+        Checkpoints whose fingerprint does not match this run raise
+        :class:`~repro.exceptions.CheckpointError` rather than being
+        silently reused.
+    retry:
+        Per-cell retry budget (default: no retries).  Retrying reruns
+        the whole cell from its seed, so a successful retry is
+        indistinguishable from a first-attempt success.
+    on_error:
+        ``"raise"`` (default) aborts the grid on the first permanently
+        failed cell, cancelling outstanding work.  ``"skip"`` drops the
+        failed cells, aggregates each strategy over its surviving
+        repeats, and records the failures on
+        :attr:`StrategyResult.failures`.  A strategy whose repeats *all*
+        failed still raises — there is nothing left to aggregate.
 
     Returns
     -------
@@ -123,22 +405,25 @@ def run_comparison(
         raise ConfigurationError("no strategies to compare")
     if n_jobs < 1:
         raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+    if on_error not in _ON_ERROR_MODES:
+        raise ConfigurationError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
     config = config or ExperimentConfig()
     repeat_seeds = ensure_rng(config.seed).integers(0, 2**63 - 1, size=config.repeats)
     names = list(strategy_factories)
     factories = [strategy_factories[name] for name in names]
-    cells = [
-        (strategy_index, repeat_index)
-        for strategy_index in range(len(names))
-        for repeat_index in range(config.repeats)
-    ]
+    store = CheckpointStore(checkpoint_dir, config) if checkpoint_dir else None
+
+    grid = _CellGrid(names, repeat_seeds, retry or RetryPolicy(), on_error, store)
+    if resume:
+        grid.resume()
 
     use_pool = (
         n_jobs > 1
-        and len(cells) > 1
+        and len(grid.pending) > 1
         and "fork" in multiprocessing.get_all_start_methods()
     )
-    cell_results: dict[tuple[int, int], ALResult] = {}
     if use_pool:
         global _POOL_STATE
         _POOL_STATE = (
@@ -150,43 +435,35 @@ def run_comparison(
             metric,
         )
         try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(cells)), mp_context=context
-            ) as pool:
-                futures = {
-                    cell: pool.submit(
-                        _run_cell_from_state, cell[0], int(repeat_seeds[cell[1]])
-                    )
-                    for cell in cells
-                }
-                for cell, future in futures.items():
-                    cell_results[cell] = future.result()
+            _run_pool(grid, n_jobs)
         finally:
             _POOL_STATE = None
     else:
-        for strategy_index, repeat_index in cells:
-            cell_results[(strategy_index, repeat_index)] = _run_cell(
-                model_factory,
-                factories[strategy_index],
-                train_dataset,
-                test_dataset,
-                config,
-                metric,
-                int(repeat_seeds[repeat_index]),
-            )
+        _run_serial(
+            grid, model_factory, factories, train_dataset, test_dataset, config, metric
+        )
 
     results: dict[str, StrategyResult] = {}
     for strategy_index, name in enumerate(names):
         runs = [
-            cell_results[(strategy_index, repeat_index)]
+            grid.results[(strategy_index, repeat_index)]
             for repeat_index in range(config.repeats)
+            if (strategy_index, repeat_index) in grid.results
         ]
+        strategy_failures = [
+            grid.failures[cell] for cell in sorted(grid.failures) if cell[0] == strategy_index
+        ]
+        if not runs:
+            raise ExecutionError(
+                f"all {config.repeats} repeats of strategy {name!r} failed; "
+                "nothing to aggregate"
+            )
         curves = [run.curve(label=name) for run in runs]
         results[name] = StrategyResult(
             name=name,
             curve=mean_curve(curves, label=name),
             std=curve_std(curves),
             runs=runs,
+            failures=strategy_failures,
         )
     return results

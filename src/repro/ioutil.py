@@ -1,0 +1,40 @@
+"""Crash-safe filesystem helpers.
+
+Experiment checkpoints and saved rankers are what a run resumes from, so
+a crash in the middle of writing one must never leave a truncated JSON
+document behind.  :func:`atomic_write_text` provides the standard
+POSIX-safe recipe: write the full content to a temporary file *in the
+target directory* (so the rename cannot cross filesystems), then
+``os.replace`` it over the destination in one atomic step.  Readers see
+either the old complete file or the new complete file, never a partial
+write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: "str | Path", text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file is created next to ``path`` and renamed over it
+    only after the content has been fully written and the handle closed,
+    so a crash mid-write leaves the previous file (if any) untouched.
+    """
+    path = Path(path)
+    handle_fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle_fd, "w") as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise

@@ -20,6 +20,7 @@ import numpy as np
 from .core.features import RankingFeatureExtractor
 from .core.ranker_training import LHSRanker
 from .exceptions import DataError
+from .ioutil import atomic_write_text
 from .ltr.lambdamart import LambdaMART
 from .ltr.trees import RegressionTree, _Node
 from .models.lstm import LSTMRegressor
@@ -33,25 +34,39 @@ FORMAT_VERSION = 1
 
 
 def _node_to_dict(node: _Node) -> dict:
-    if node.is_leaf:
-        return {"value": node.value}
-    return {
-        "feature": node.feature,
-        "threshold": node.threshold,
-        "left": _node_to_dict(node.left),
-        "right": _node_to_dict(node.right),
-    }
+    # Iterative traversal: trees loaded from JSON can be deeper than the
+    # interpreter's recursion limit allows.
+    root_payload: dict = {}
+    stack = [(node, root_payload)]
+    while stack:
+        current, payload = stack.pop()
+        if current.is_leaf:
+            payload["value"] = current.value
+        else:
+            payload["feature"] = current.feature
+            payload["threshold"] = current.threshold
+            payload["left"] = {}
+            payload["right"] = {}
+            stack.append((current.right, payload["right"]))
+            stack.append((current.left, payload["left"]))
+    return root_payload
 
 
 def _node_from_dict(payload: dict) -> _Node:
-    if "feature" not in payload:
-        return _Node(value=float(payload["value"]))
-    return _Node(
-        feature=int(payload["feature"]),
-        threshold=float(payload["threshold"]),
-        left=_node_from_dict(payload["left"]),
-        right=_node_from_dict(payload["right"]),
-    )
+    root = _Node()
+    stack = [(payload, root)]
+    while stack:
+        data, node = stack.pop()
+        if "feature" not in data:
+            node.value = float(data["value"])
+        else:
+            node.feature = int(data["feature"])
+            node.threshold = float(data["threshold"])
+            node.left = _Node()
+            node.right = _Node()
+            stack.append((data["right"], node.right))
+            stack.append((data["left"], node.left))
+    return root
 
 
 def _tree_to_dict(tree: RegressionTree) -> dict:
@@ -190,7 +205,11 @@ def _extractor_from_dict(payload: dict) -> RankingFeatureExtractor:
 
 
 def save_lhs_ranker(ranker: LHSRanker, path: "str | Path") -> None:
-    """Write ``ranker`` to ``path`` as a single JSON document."""
+    """Write ``ranker`` to ``path`` as a single JSON document.
+
+    The write is atomic (temp file + ``os.replace``): a crash mid-write
+    leaves any existing file at ``path`` intact rather than truncated.
+    """
     payload = {
         "format": "repro.lhs_ranker",
         "version": FORMAT_VERSION,
@@ -199,7 +218,7 @@ def save_lhs_ranker(ranker: LHSRanker, path: "str | Path") -> None:
         "model": _ranker_model_to_dict(ranker.model),
         "extractor": _extractor_to_dict(ranker.extractor),
     }
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_text(path, json.dumps(payload))
 
 
 def load_lhs_ranker(path: "str | Path") -> LHSRanker:

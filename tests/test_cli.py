@@ -59,6 +59,26 @@ class TestParser:
         assert args.command == "compare"
         assert args.strategies == ["random", "entropy"]
 
+    def test_fault_tolerance_flag_defaults(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "mr", "--strategies", "random"]
+        )
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+        assert args.max_retries == 0
+        assert args.on_error == "raise"
+
+    def test_fault_tolerance_flags_parse(self, tmp_path):
+        args = build_parser().parse_args([
+            "compare", "--dataset", "mr", "--strategies", "random",
+            "--checkpoint-dir", str(tmp_path), "--resume",
+            "--max-retries", "2", "--on-error", "skip",
+        ])
+        assert args.checkpoint_dir == str(tmp_path)
+        assert args.resume is True
+        assert args.max_retries == 2
+        assert args.on_error == "skip"
+
     def test_train_ranker_parses(self):
         args = build_parser().parse_args(
             ["train-ranker", "--dataset", "subj", "--output", "r.json"]
@@ -114,6 +134,85 @@ class TestCompareCommand:
         captured = capsys.readouterr()
         assert code == 2
         assert "unknown dataset" in captured.err
+
+    def test_resume_without_checkpoint_dir_is_error_exit(self, capsys):
+        code = main([
+            "compare", "--dataset", "mr", "--strategies", "random", "--resume",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--resume requires --checkpoint-dir" in captured.err
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        argv = [
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random",
+            "--rounds", "2", "--batch-size", "10", "--repeats", "1",
+            "--epochs", "3", "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        cells = list((tmp_path / "ckpt").glob("cell_*.json"))
+        assert len(cells) == 1
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_on_error_skip_warns_about_dropped_cells(self, capsys, monkeypatch):
+        from repro.experiments import CellFailure
+
+        def fake_run_comparison(*args, **kwargs):
+            assert kwargs["on_error"] == "skip"
+            results = real_run_comparison(*args, **kwargs)
+            next(iter(results.values())).failures.append(
+                CellFailure("random", 1, 2, "InjectedFault: boom")
+            )
+            return results
+
+        import repro.cli as cli_module
+        real_run_comparison = cli_module.run_comparison
+        monkeypatch.setattr(cli_module, "run_comparison", fake_run_comparison)
+        code = main([
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random",
+            "--rounds", "2", "--batch-size", "10", "--repeats", "1",
+            "--epochs", "3", "--on-error", "skip", "--max-retries", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "dropped cell" in captured.err
+        assert "InjectedFault: boom" in captured.err
+
+
+class TestKeyboardInterrupt:
+    def _interrupted_main(self, monkeypatch, argv):
+        import repro.cli as cli_module
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "run_comparison", interrupted)
+        return main(argv)
+
+    def test_exit_code_130(self, capsys, monkeypatch):
+        code = self._interrupted_main(monkeypatch, [
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random",
+        ])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted" in captured.err
+        assert "--resume" not in captured.err
+
+    def test_resume_hint_when_checkpointing(self, capsys, monkeypatch, tmp_path):
+        code = self._interrupted_main(monkeypatch, [
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert str(tmp_path / "ckpt") in captured.err
+        assert "--resume" in captured.err
 
 
 class TestTrainRankerCommand:

@@ -3,8 +3,10 @@
 import pytest
 
 from repro.exceptions import (
+    CheckpointError,
     ConfigurationError,
     DataError,
+    ExecutionError,
     HistoryError,
     NotFittedError,
     PoolError,
@@ -13,8 +15,10 @@ from repro.exceptions import (
 )
 
 ALL_ERRORS = [
+    CheckpointError,
     ConfigurationError,
     DataError,
+    ExecutionError,
     HistoryError,
     NotFittedError,
     PoolError,

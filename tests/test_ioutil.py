@@ -1,0 +1,41 @@
+"""Tests for atomic text writes."""
+
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        atomic_write_text(tmp_path / "out.json", "payload")
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == ["out.json"]
+
+    def test_failed_write_preserves_original_and_cleans_up(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        target.write_text("precious")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(target, "lost")
+        assert target.read_text() == "precious"
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == ["out.json"]
+
+    def test_accepts_str_path(self, tmp_path):
+        atomic_write_text(str(tmp_path / "out.txt"), "x")
+        assert (tmp_path / "out.txt").read_text() == "x"

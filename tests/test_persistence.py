@@ -1,6 +1,7 @@
 """Tests for JSON persistence of trained LHS rankers."""
 
 import json
+import sys
 
 import numpy as np
 import pytest
@@ -10,9 +11,11 @@ from repro.core.strategies import Entropy, LHS
 from repro.core.loop import ActiveLearningLoop
 from repro.exceptions import DataError
 from repro.ltr.lambdamart import LambdaMART
-from repro.ltr.trees import RegressionTree
+from repro.ltr.trees import RegressionTree, _Node
 from repro.models.linear import LinearSoftmax
 from repro.persistence import (
+    _node_from_dict,
+    _node_to_dict,
     _tree_from_dict,
     _tree_to_dict,
     load_lhs_ranker,
@@ -47,6 +50,38 @@ class TestTreeRoundtrip:
     def test_unfitted_rejected(self):
         with pytest.raises(DataError):
             _tree_to_dict(RegressionTree())
+
+    def test_tree_deeper_than_recursion_limit(self):
+        # A degenerate chain far past the interpreter's recursion limit:
+        # only an iterative traversal survives the round trip.  Built and
+        # verified with explicit stacks — even comparing such a payload
+        # with ``==`` would recurse.
+        depth = sys.getrecursionlimit() + 500
+        root = _Node(feature=0, threshold=0.5)
+        node = root
+        for level in range(depth):
+            node.left = _Node(value=float(level))
+            node.right = _Node(feature=0, threshold=0.5)
+            node = node.right
+        node.left = _Node(value=-1.0)
+        node.right = _Node(value=-2.0)
+
+        restored = _node_from_dict(_node_to_dict(root))
+
+        visited = 0
+        stack = [(root, restored)]
+        while stack:
+            original, copy = stack.pop()
+            visited += 1
+            assert original.is_leaf == copy.is_leaf
+            if original.is_leaf:
+                assert original.value == copy.value
+            else:
+                assert original.feature == copy.feature
+                assert original.threshold == copy.threshold
+                stack.append((original.left, copy.left))
+                stack.append((original.right, copy.right))
+        assert visited == 2 * depth + 3
 
 
 class TestRankerRoundtrip:
@@ -101,6 +136,22 @@ class TestRankerRoundtrip:
         save_lhs_ranker(ranker, path)
         payload = json.loads(path.read_text())
         assert payload["format"] == "repro.lhs_ranker"
+
+    def test_save_is_atomic(self, ranker, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "ranker.json"
+        save_lhs_ranker(ranker, path)
+        original = path.read_bytes()
+        # Interrupt the rewrite at the swap: the existing file must stay
+        # intact and no temp file may be left behind.
+        monkeypatch.setattr(
+            os, "replace", lambda src, dst: (_ for _ in ()).throw(OSError("boom"))
+        )
+        with pytest.raises(OSError):
+            save_lhs_ranker(ranker, path)
+        assert path.read_bytes() == original
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == ["ranker.json"]
 
 
 class TestLoadErrors:
