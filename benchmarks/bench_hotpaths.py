@@ -1,11 +1,14 @@
 """Hot-path micro-benchmarks for the simulation stack.
 
-Times the four layers the per-round cost of an active-learning run is
-made of — history append/window ops, LHS feature extraction, LambdaMART
-fit, and a small end-to-end comparison — against inline reference
-implementations of the pre-vectorization code paths, and writes the
-measurements to ``BENCH_hotpaths.json`` at the repo root so later PRs can
-track the perf trajectory.
+Times the layers the per-round cost of an active-learning run is made
+of — history append/window ops, LHS feature extraction, LambdaMART fit,
+a small end-to-end comparison, and the sequence-model kernels (batched
+LSTM predictor inference, bucketed CRF/BiLSTM-CRF tagging, MC-dropout
+reuse, the per-round prediction cache) — against the retained
+``_*_reference`` implementations of the per-sample code paths, and
+writes the measurements to ``BENCH_hotpaths.json`` and
+``BENCH_seqmodels.json`` at the repo root so later PRs can track the
+perf trajectory.
 
 Usage::
 
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import sys
 import time
@@ -39,8 +43,10 @@ from repro.core.features import (
     _backfill_reference,
 )
 from repro.core.history import HistoryStore
+from repro.core.prediction_cache import PredictionCache
 from repro.core.strategies import Entropy, WSHS
 from repro.core.strategies.base import SelectionContext
+from repro.data.ner import NERCorpusSpec, make_ner_corpus
 from repro.data.text import TextCorpusSpec, make_text_corpus
 from repro.experiments import ExperimentConfig, run_comparison
 from repro.ltr.lambdamart import (
@@ -50,10 +56,15 @@ from repro.ltr.lambdamart import (
     _lambda_gradients_reference,
 )
 from repro.ltr.trees import RegressionTree
+from repro.models.bilstm_crf import BiLSTMCRF
+from repro.models.crf import LinearChainCRF
 from repro.models.linear import LinearSoftmax
+from repro.models.lstm import LSTMRegressor
+from repro.models.textcnn import TextCNN
 from repro.timeseries.mann_kendall import mann_kendall_test
 
 OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+SEQ_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_seqmodels.json"
 
 
 class _LegacyHistoryStore:
@@ -289,6 +300,17 @@ def bench_end_to_end(quick: bool) -> dict:
             n_jobs=n_jobs,
         )
 
+    # The runner silently falls back to serial when fork is unavailable
+    # and caps workers at the number of grid cells; record what actually
+    # ran, not just what was requested.
+    cells = len(factories) * config.repeats
+    def effective_jobs(requested: int) -> int:
+        if requested > 1 and cells > 1 and (
+            "fork" in multiprocessing.get_all_start_methods()
+        ):
+            return min(requested, cells)
+        return 1
+
     serial_seconds = _best_of(lambda: run(1), 1)
     parallel_seconds = _best_of(lambda: run(2), 1)
     return {
@@ -297,8 +319,234 @@ def bench_end_to_end(quick: bool) -> dict:
         "repeats": config.repeats,
         "serial_seconds": serial_seconds,
         "n_jobs2_seconds": parallel_seconds,
+        "n_jobs_requested": 2,
+        "n_jobs_used": effective_jobs(2),
         "parallel_speedup": serial_seconds / parallel_seconds,
     }
+
+
+# -- sequence-model kernels (BENCH_seqmodels.json) ---------------------------
+
+
+def _ner_dataset(size: int, seed: int = 11):
+    spec = NERCorpusSpec(
+        name="bench-ner",
+        size=size,
+        background_vocab=150,
+        gazetteer_size=20,
+        mean_length=10.0,
+        length_spread=4.0,
+    )
+    return make_ner_corpus(spec, seed_or_rng=seed)
+
+
+def bench_lstm_predictor(n_sequences: int, repeats: int) -> dict:
+    """Batched LSTM next-score inference vs the per-sequence reference."""
+    rng = np.random.default_rng(4)
+    train = [rng.random(int(k)) for k in rng.integers(3, 12, size=60)]
+    model = LSTMRegressor(hidden_dim=12, epochs=10, seed=0).fit(
+        [s[:-1] for s in train], [s[-1] for s in train]
+    )
+    queries = [rng.random(int(k)) for k in rng.integers(2, 30, size=n_sequences)]
+
+    new_seconds = _best_of(lambda: model.predict(queries), repeats)
+    reference_seconds = _best_of(
+        lambda: model._predict_reference(queries), max(1, repeats - 1)
+    )
+    np.testing.assert_allclose(
+        model.predict(queries), model._predict_reference(queries), atol=1e-10
+    )
+    return {
+        "n_sequences": n_sequences,
+        "hidden_dim": model.hidden_dim,
+        "new_seconds": new_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / new_seconds,
+    }
+
+
+def bench_crf_tagging(n_sentences: int, repeats: int) -> dict:
+    """Bucketed CRF Viterbi + marginals vs the per-sentence reference."""
+    dataset = _ner_dataset(n_sentences)
+    model = LinearChainCRF(epochs=2, seed=0).fit(dataset)
+
+    tags_new = _best_of(lambda: model.predict_tags(dataset), repeats)
+    tags_reference = _best_of(
+        lambda: model._predict_tags_reference(dataset), max(1, repeats - 1)
+    )
+    marginals_new = _best_of(lambda: model.token_marginals(dataset), repeats)
+    marginals_reference = _best_of(
+        lambda: model._token_marginals_reference(dataset), max(1, repeats - 1)
+    )
+    for batched, scalar in zip(
+        model.predict_tags(dataset), model._predict_tags_reference(dataset)
+    ):
+        np.testing.assert_array_equal(batched, scalar)
+    return {
+        "n_sentences": n_sentences,
+        "tags_new_seconds": tags_new,
+        "tags_reference_seconds": tags_reference,
+        "tags_speedup": tags_reference / tags_new,
+        "marginals_new_seconds": marginals_new,
+        "marginals_reference_seconds": marginals_reference,
+        "marginals_speedup": marginals_reference / marginals_new,
+    }
+
+
+def bench_bilstm_tagging(n_sentences: int, repeats: int) -> dict:
+    """Batched BiLSTM-CRF decoding vs the per-sentence encoder reference."""
+    dataset = _ner_dataset(n_sentences, seed=12)
+    model = BiLSTMCRF(epochs=1, seed=0).fit(dataset)
+
+    new_seconds = _best_of(lambda: model.predict_tags(dataset), repeats)
+    reference_seconds = _best_of(
+        lambda: model._predict_tags_reference(dataset), max(1, repeats - 1)
+    )
+    for batched, scalar in zip(
+        model.predict_tags(dataset), model._predict_tags_reference(dataset)
+    ):
+        np.testing.assert_array_equal(batched, scalar)
+    return {
+        "n_sentences": n_sentences,
+        "new_seconds": new_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / new_seconds,
+    }
+
+
+def bench_mc_dropout(n_texts: int, n_draws: int, repeats: int) -> dict:
+    """MC-dropout reuse (frozen sub-graph) vs full re-forward per draw."""
+    spec = TextCorpusSpec(
+        name="bench-mc",
+        num_classes=3,
+        size=n_texts,
+        background_vocab=200,
+        facets_per_class=6,
+        facet_vocab=5,
+        min_length=5,
+        max_length=18,
+    )
+    dataset = make_text_corpus(spec, seed_or_rng=13)
+    model = TextCNN(epochs=2, seed=0).fit(dataset)
+
+    # Fresh generators per call so both paths consume identical streams.
+    new_seconds = _best_of(
+        lambda: model.predict_proba_samples(
+            dataset, n_draws, np.random.default_rng(0)
+        ),
+        repeats,
+    )
+    reference_seconds = _best_of(
+        lambda: model._predict_proba_samples_reference(
+            dataset, n_draws, np.random.default_rng(0)
+        ),
+        max(1, repeats - 1),
+    )
+    np.testing.assert_array_equal(
+        model.predict_proba_samples(dataset, n_draws, np.random.default_rng(0)),
+        model._predict_proba_samples_reference(
+            dataset, n_draws, np.random.default_rng(0)
+        ),
+    )
+    return {
+        "n_texts": n_texts,
+        "n_draws": n_draws,
+        "new_seconds": new_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / new_seconds,
+    }
+
+
+def bench_prediction_cache(n_sentences: int, repeats: int) -> dict:
+    """One round's sequence passes through the cache vs recomputed."""
+    dataset = _ner_dataset(n_sentences, seed=14)
+    model = LinearChainCRF(epochs=2, seed=0).fit(dataset)
+
+    def round_cached() -> None:
+        cache = PredictionCache()
+        cache.predict_tags(model, dataset)
+        cache.best_path_log_proba(model, dataset)
+        cache.token_marginals(model, dataset)
+        cache.predict_tags(model, dataset)  # e.g. metric + strategy overlap
+
+    def round_uncached() -> None:
+        model.predict_tags(dataset)
+        model.best_path_log_proba(dataset)
+        model.token_marginals(dataset)
+        model.predict_tags(dataset)
+
+    cached_seconds = _best_of(round_cached, repeats)
+    uncached_seconds = _best_of(round_uncached, max(1, repeats - 1))
+    return {
+        "n_sentences": n_sentences,
+        "cached_seconds": cached_seconds,
+        "uncached_seconds": uncached_seconds,
+        "speedup": uncached_seconds / cached_seconds,
+    }
+
+
+def run_seqmodels(quick: bool, repeats: int, output: Path) -> dict:
+    """Run the sequence-model suite and write ``BENCH_seqmodels.json``."""
+    results: dict[str, dict] = {}
+    print(f"[bench_seqmodels] mode={'quick' if quick else 'full'}")
+
+    results["lstm_predictor"] = bench_lstm_predictor(
+        n_sequences=400 if quick else 3_000, repeats=repeats
+    )
+    print(
+        "  LSTM predictor:       "
+        f"{results['lstm_predictor']['speedup']:6.1f}x vs per-sequence forward "
+        f"({results['lstm_predictor']['new_seconds'] * 1e3:.1f} ms new)"
+    )
+
+    results["crf_tagging"] = bench_crf_tagging(
+        n_sentences=150 if quick else 1_500, repeats=repeats
+    )
+    print(
+        "  CRF tagging:          "
+        f"{results['crf_tagging']['tags_speedup']:6.1f}x Viterbi, "
+        f"{results['crf_tagging']['marginals_speedup']:.1f}x marginals "
+        "vs per-sentence lattices"
+    )
+
+    results["bilstm_crf_tagging"] = bench_bilstm_tagging(
+        n_sentences=100 if quick else 500, repeats=repeats
+    )
+    print(
+        "  BiLSTM-CRF tagging:   "
+        f"{results['bilstm_crf_tagging']['speedup']:6.1f}x vs per-sentence encoder"
+    )
+
+    results["mc_dropout_reuse"] = bench_mc_dropout(
+        n_texts=200 if quick else 800,
+        n_draws=5 if quick else 10,
+        repeats=repeats,
+    )
+    print(
+        "  MC-dropout reuse:     "
+        f"{results['mc_dropout_reuse']['speedup']:6.1f}x vs full forward per draw"
+    )
+
+    results["prediction_cache"] = bench_prediction_cache(
+        n_sentences=120 if quick else 400, repeats=repeats
+    )
+    print(
+        "  prediction cache:     "
+        f"{results['prediction_cache']['speedup']:6.1f}x on one round's "
+        "sequence passes"
+    )
+
+    payload = {
+        "benchmark": "seqmodels",
+        "mode": "quick" if quick else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "results": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_seqmodels] wrote {output}")
+    return results
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -312,11 +560,27 @@ def main(argv: "list[str] | None" = None) -> int:
         "--output", type=Path, default=OUTPUT_DEFAULT, help="JSON output path"
     )
     parser.add_argument(
+        "--seq-output",
+        type=Path,
+        default=SEQ_OUTPUT_DEFAULT,
+        help="sequence-model JSON output path",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("all", "hotpaths", "seqmodels"),
+        default="all",
+        help="which benchmark suite(s) to run",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (best-of)"
     )
     arguments = parser.parse_args(argv)
     quick = arguments.quick
     repeats = max(1, arguments.repeats if not quick else 1)
+
+    if arguments.suite == "seqmodels":
+        run_seqmodels(quick, repeats, arguments.seq_output)
+        return 0
 
     results: dict[str, dict] = {}
     print(f"[bench_hotpaths] mode={'quick' if quick else 'full'}")
@@ -381,10 +645,14 @@ def main(argv: "list[str] | None" = None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "numpy": np.__version__,
         "cpu_count": cores,
+        "n_jobs_used": results["end_to_end"]["n_jobs_used"],
         "results": results,
     }
     arguments.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[bench_hotpaths] wrote {arguments.output}")
+
+    if arguments.suite == "all":
+        run_seqmodels(quick, repeats, arguments.seq_output)
     return 0
 
 

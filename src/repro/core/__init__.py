@@ -7,6 +7,7 @@
   the historical baselines (HUS/HKLD), and the proposed WSHS/FHS/LHS.
 * :mod:`repro.core.features` — ranking-feature extraction for LHS.
 * :mod:`repro.core.loop` — the pool-based active-learning driver.
+* :mod:`repro.core.prediction_cache` — per-round forward-pass memoisation.
 * :mod:`repro.core.ranker_training` — Algorithm 1 (training the LHS ranker).
 """
 
@@ -14,6 +15,7 @@ from .features import RankingFeatureExtractor
 from .history import HistoryStore
 from .loop import ActiveLearningLoop, ALResult, RoundRecord
 from .pool import Pool
+from .prediction_cache import PredictionCache
 from .ranker_training import LHSRanker, train_lhs_ranker
 
 __all__ = [
@@ -22,6 +24,7 @@ __all__ = [
     "HistoryStore",
     "LHSRanker",
     "Pool",
+    "PredictionCache",
     "RankingFeatureExtractor",
     "RoundRecord",
     "train_lhs_ranker",

@@ -155,12 +155,15 @@ class RankingFeatureExtractor:
         last = filled_window[:, -1]
         if self.predictor is None:
             return last[:, None]  # persistence fallback
-        sequences = [history.sequence(int(i)) for i in sample_indices]
-        usable = [row for row, s in enumerate(sequences) if len(s) >= 1]
+        # One padded batch for the whole candidate set instead of a
+        # Python list of per-sample sequences.
+        values, lengths = history.padded_sequences(sample_indices)
+        usable = np.flatnonzero(lengths >= 1)
         predictions = last.copy()
-        if usable:
-            predicted = self.predictor.predict([sequences[row] for row in usable])
-            predictions[np.asarray(usable)] = predicted
+        if len(usable):
+            predictions[usable] = self.predictor.predict_padded(
+                values[usable], lengths[usable]
+            )
         return predictions[:, None]
 
     def _probability_features(

@@ -287,6 +287,21 @@ class HistoryStore:
         ]
         return output
 
+    def padded_sequences(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Recorded sequences as a zero-padded matrix plus lengths.
+
+        Returns ``(values, lengths)`` where row ``r`` of ``values`` holds
+        ``sequence(indices[r])`` left-aligned and zero-padded to the
+        longest sequence among ``indices`` — the input layout of
+        :meth:`repro.models.lstm.LSTMRegressor.predict_padded`, so LHS
+        feature extraction feeds the whole candidate pool to the
+        next-score predictor in one batched call.
+        """
+        matrix = self.sequence_matrix(indices)
+        lengths = (~np.isnan(matrix)).sum(axis=1).astype(np.int64)
+        width = int(lengths.max()) if len(lengths) else 0
+        return np.nan_to_num(matrix[:, :width], nan=0.0), lengths
+
     def current_scores(self, indices: np.ndarray) -> np.ndarray:
         """Most recent recorded score per sample (NaN if never recorded).
 

@@ -26,6 +26,7 @@ from ..exceptions import ConfigurationError
 from ..rng import ensure_rng
 from .history import HistoryStore
 from .pool import Pool
+from .prediction_cache import PredictionCache
 from .strategies.base import QueryStrategy, SelectionContext
 
 
@@ -202,12 +203,19 @@ class ActiveLearningLoop:
         records: list[RoundRecord] = []
         selection_order: list[np.ndarray] = []
         model = None
+        cache = PredictionCache()
 
         for round_index in range(self.rounds + 1):
+            # The previous round's model is gone; keeping its entries
+            # would only pin dead models and recycle their ids.
+            cache.clear()
             model = self._fresh_model(rng).fit(
                 self.train_dataset.subset(pool.labeled_indices)
             )
-            metric_value = self.metric(model, self.test_dataset)
+            if self.metric is evaluate_model:
+                metric_value = evaluate_model(model, self.test_dataset, cache=cache)
+            else:
+                metric_value = self.metric(model, self.test_dataset)
             if keep_models:
                 model_history.append(model)
                 del model_history[:-keep_models]
@@ -230,6 +238,7 @@ class ActiveLearningLoop:
                 round_index=round_index + 1,
                 rng=rng,
                 model_history=list(model_history),
+                cache=cache,
             )
             selected = self.strategy.select(model, context, self.batch_size)
             score_vector = history.current_scores(selected)

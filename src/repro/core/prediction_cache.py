@@ -1,0 +1,126 @@
+"""Per-round memoisation of model forward passes.
+
+One active-learning round runs the same fitted model over the same
+datasets several times: ``evaluate_model`` decodes the test split,
+strategy scoring reads probabilities or marginals on the candidate pool,
+and multi-pass strategies (BALD, QBC, combined scores) revisit the same
+predictions.  :class:`PredictionCache` keys each forward pass by
+``(kind, model identity, dataset identity)`` so every pass happens once
+per round; :class:`~repro.core.loop.ActiveLearningLoop` clears it when a
+new model is fitted.
+
+Identity is ``id()`` with the model/dataset objects pinned inside the
+cache entry, so an id cannot be recycled while its entry is alive.  The
+pins are also why the cache must be cleared per round — entries would
+otherwise keep every round's model reachable.
+
+For CRF-output labelers that expose ``emissions(dataset)``
+(:class:`~repro.models.crf.LinearChainCRF`,
+:class:`~repro.models.bilstm_crf.BiLSTMCRF`), the emission matrices are
+cached once and shared by Viterbi decoding, path log-probabilities, and
+token marginals, so e.g. span-F1 evaluation plus an MNLP score reuse the
+same encoder pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..data.datasets import SequenceDataset, TextDataset
+from ..models.base import Classifier, SequenceLabeler
+
+
+class PredictionCache:
+    """Memoise deterministic forward passes within one AL round.
+
+    Stochastic passes (MC-dropout draws) are never cached — they must
+    consume the round RNG exactly as often as the uncached code would.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all entries (and the model/dataset pins keeping them alive)."""
+        self._store.clear()
+
+    def _memo(self, kind: str, model, dataset, compute: Callable):
+        key = (kind, id(model), id(dataset))
+        if key in self._store:
+            self.hits += 1
+            return self._store[key][2]
+        self.misses += 1
+        value = compute()
+        self._store[key] = (model, dataset, value)
+        return value
+
+    # -- classifier passes -------------------------------------------------
+
+    def predict_proba(self, model: Classifier, dataset: TextDataset) -> np.ndarray:
+        """Cached ``model.predict_proba(dataset)``."""
+        return self._memo(
+            "proba", model, dataset, lambda: model.predict_proba(dataset)
+        )
+
+    def predict(self, model: Classifier, dataset: TextDataset) -> np.ndarray:
+        """Argmax classes, derived from the cached probability matrix."""
+        return self._memo(
+            "predict",
+            model,
+            dataset,
+            lambda: self.predict_proba(model, dataset).argmax(axis=1),
+        )
+
+    # -- sequence-labeler passes -------------------------------------------
+
+    def _emissions(self, model: SequenceLabeler, dataset: SequenceDataset):
+        """Cached emission matrices, or ``None`` if the model has none."""
+        if not hasattr(model, "emissions"):
+            return None
+        return self._memo(
+            "emissions", model, dataset, lambda: model.emissions(dataset)
+        )
+
+    def predict_tags(
+        self, model: SequenceLabeler, dataset: SequenceDataset
+    ) -> list[np.ndarray]:
+        """Cached Viterbi decode, sharing cached emissions when available."""
+        emissions = self._emissions(model, dataset)
+        if emissions is None:
+            compute = lambda: model.predict_tags(dataset)  # noqa: E731
+        else:
+            compute = lambda: model.predict_tags(dataset, emissions=emissions)  # noqa: E731
+        return self._memo("tags", model, dataset, compute)
+
+    def best_path_log_proba(
+        self, model: SequenceLabeler, dataset: SequenceDataset
+    ) -> np.ndarray:
+        """Cached Viterbi-path log-probabilities, sharing cached emissions."""
+        emissions = self._emissions(model, dataset)
+        if emissions is None:
+            compute = lambda: model.best_path_log_proba(dataset)  # noqa: E731
+        else:
+            compute = lambda: model.best_path_log_proba(  # noqa: E731
+                dataset, emissions=emissions
+            )
+        return self._memo("logp", model, dataset, compute)
+
+    def token_marginals(
+        self, model: SequenceLabeler, dataset: SequenceDataset
+    ) -> list[np.ndarray]:
+        """Cached token marginals, sharing cached emissions when available."""
+        emissions = self._emissions(model, dataset)
+        if emissions is None:
+            compute = lambda: model.token_marginals(dataset)  # noqa: E731
+        else:
+            compute = lambda: model.token_marginals(  # noqa: E731
+                dataset, emissions=emissions
+            )
+        return self._memo("marginals", model, dataset, compute)

@@ -20,6 +20,8 @@ trained on Subj to MR and SST-2.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +40,8 @@ from .history import HistoryStore
 from .pool import Pool
 from .strategies.base import QueryStrategy, SelectionContext
 from .strategies.uncertainty import Entropy, LeastConfidence
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -224,6 +228,7 @@ def train_lhs_ranker(
             for i in range(warmup.n_samples)
             if warmup.sequence_length(i) >= 2
         ]
+        too_short = warmup.n_samples - len(sequences)
         if len(sequences) > config.max_predictor_sequences:
             keep = predictor_rng.choice(
                 len(sequences), size=config.max_predictor_sequences, replace=False
@@ -231,7 +236,20 @@ def train_lhs_ranker(
             sequences = [sequences[i] for i in keep]
         if sequences:
             predictor.fit_from_history(sequences)
+            skipped = too_short + predictor.last_skipped_count
+            if skipped:
+                logger.info(
+                    "LHS predictor fit on %d sequences; %d skipped as shorter "
+                    "than 2 recorded scores",
+                    len(sequences) - predictor.last_skipped_count,
+                    skipped,
+                )
         else:
+            logger.warning(
+                "LHS predictor disabled: all %d warmup sequences shorter than "
+                "2 recorded scores; falling back to persistence feature",
+                too_short,
+            )
             predictor = None
 
     extractor = RankingFeatureExtractor(

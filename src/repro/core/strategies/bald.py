@@ -48,6 +48,12 @@ class BALD(QueryStrategy):
                 f"BALD requires MC-dropout sampling; {type(model).__name__} "
                 "does not provide it"
             )
+        return context.memoize_scores(
+            ("bald", self.n_draws, id(model)),
+            lambda: self._mutual_information(model, context),
+        )
+
+    def _mutual_information(self, model, context: SelectionContext) -> np.ndarray:
         if isinstance(model, Classifier):
             draws = model.predict_proba_samples(
                 context.candidates, self.n_draws, context.rng

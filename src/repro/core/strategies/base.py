@@ -26,6 +26,7 @@ from ...data.datasets import SequenceDataset, TextDataset
 from ...exceptions import ConfigurationError, StrategyError
 from ...models.base import Classifier, SequenceLabeler
 from ..history import HistoryStore
+from ..prediction_cache import PredictionCache
 
 
 @dataclass
@@ -59,8 +60,12 @@ class SelectionContext:
     round_index: int
     rng: np.random.Generator
     model_history: list = field(default_factory=list)
+    #: Shared per-round forward-pass cache; the loop passes its own so
+    #: strategy scoring and metric evaluation reuse predictions.  A
+    #: stand-alone context (tests, diagnostics) gets a private one.
+    cache: PredictionCache = field(default_factory=PredictionCache, repr=False)
     _candidates: "TextDataset | SequenceDataset | None" = field(default=None, repr=False)
-    _proba_cache: dict = field(default_factory=dict, repr=False)
+    _memo: dict = field(default_factory=dict, repr=False)
 
     @property
     def candidates(self) -> "TextDataset | SequenceDataset":
@@ -71,24 +76,28 @@ class SelectionContext:
 
     def probabilities(self, model: Classifier) -> np.ndarray:
         """Cached ``predict_proba`` of ``model`` on the candidates."""
-        key = ("proba", id(model))
-        if key not in self._proba_cache:
-            self._proba_cache[key] = model.predict_proba(self.candidates)
-        return self._proba_cache[key]
+        return self.cache.predict_proba(model, self.candidates)
 
     def token_marginals(self, model: SequenceLabeler) -> list[np.ndarray]:
         """Cached token marginals of ``model`` on the candidates."""
-        key = ("marginals", id(model))
-        if key not in self._proba_cache:
-            self._proba_cache[key] = model.token_marginals(self.candidates)
-        return self._proba_cache[key]
+        return self.cache.token_marginals(model, self.candidates)
 
     def best_path_log_proba(self, model: SequenceLabeler) -> np.ndarray:
         """Cached Viterbi-path log-probabilities on the candidates."""
-        key = ("logp", id(model))
-        if key not in self._proba_cache:
-            self._proba_cache[key] = model.best_path_log_proba(self.candidates)
-        return self._proba_cache[key]
+        return self.cache.best_path_log_proba(model, self.candidates)
+
+    def memoize_scores(self, key: tuple, compute: Callable[[], np.ndarray]) -> np.ndarray:
+        """Round-scoped memo for expensive multi-pass score vectors.
+
+        BALD and QBC use this so a second ``scores`` call within the
+        same round (e.g. a combined strategy plus a diagnostic probe)
+        returns the first call's vector instead of re-running MC draws or
+        retraining the committee — which would also consume extra RNG
+        state and perturb every later selection.
+        """
+        if key not in self._memo:
+            self._memo[key] = compute()
+        return self._memo[key]
 
 
 class QueryStrategy(ABC):

@@ -38,6 +38,12 @@ class QBC(QueryStrategy):
     def scores(self, model, context: SelectionContext) -> np.ndarray:
         if not isinstance(model, Classifier):
             raise StrategyError(f"QBC cannot score a {type(model).__name__}")
+        return context.memoize_scores(
+            ("qbc", self.committee_size, id(model)),
+            lambda: self._disagreement(model, context),
+        )
+
+    def _disagreement(self, model, context: SelectionContext) -> np.ndarray:
         labeled = context.labeled
         if len(labeled) < 2:
             return context.rng.random(len(context.unlabeled))

@@ -74,9 +74,24 @@ def span_f1(
     )
 
 
-def sequence_model_f1(model: SequenceLabeler, dataset: SequenceDataset) -> float:
-    """Span F1 of a labeler's Viterbi predictions on ``dataset``."""
-    predicted = model.predict_tags(dataset)
+def sequence_model_f1(
+    model: SequenceLabeler,
+    dataset: SequenceDataset,
+    *,
+    cache=None,
+) -> float:
+    """Span F1 of a labeler's Viterbi predictions on ``dataset``.
+
+    ``cache`` is an optional
+    :class:`~repro.core.prediction_cache.PredictionCache`; when given,
+    the Viterbi decode is shared with any other pass over the same
+    fitted model and dataset this round.
+    """
+    predicted = (
+        cache.predict_tags(model, dataset)
+        if cache is not None
+        else model.predict_tags(dataset)
+    )
     gold_strings = [dataset.tags_as_strings(i) for i in range(len(dataset))]
     predicted_strings = [
         [dataset.tag_names[t] for t in tags] for tags in predicted
@@ -87,19 +102,27 @@ def sequence_model_f1(model: SequenceLabeler, dataset: SequenceDataset) -> float
 def evaluate_model(
     model: "Classifier | SequenceLabeler",
     dataset: "TextDataset | SequenceDataset",
+    *,
+    cache=None,
 ) -> float:
     """The paper's default metric for the model family.
 
     Accuracy for classifiers, entity span F1 for sequence labelers.
+    ``cache`` is an optional per-round
+    :class:`~repro.core.prediction_cache.PredictionCache` that shares
+    the forward pass with other consumers of the same model/dataset.
     """
     if isinstance(model, Classifier):
         if not isinstance(dataset, TextDataset):
             raise ConfigurationError("classifier evaluation needs a TextDataset")
+        if cache is not None and len(dataset):
+            predicted = cache.predict(model, dataset)
+            return float((predicted == dataset.labels).mean())
         return model.accuracy(dataset)
     if isinstance(model, SequenceLabeler):
         if not isinstance(dataset, SequenceDataset):
             raise ConfigurationError(
                 "sequence-labeler evaluation needs a SequenceDataset"
             )
-        return sequence_model_f1(model, dataset)
+        return sequence_model_f1(model, dataset, cache=cache)
     raise ConfigurationError(f"cannot evaluate a {type(model).__name__}")

@@ -21,18 +21,18 @@ from ..data.datasets import SequenceDataset
 from ..exceptions import ConfigurationError, NotFittedError
 from ..rng import ensure_rng
 from .base import SequenceLabeler
+from .batching import length_buckets
 from .crf_core import (
     crf_forward,
+    crf_forward_batch,
     crf_marginals,
+    crf_marginals_batch,
     crf_sentence_gradients,
     crf_viterbi,
+    crf_viterbi_batch,
 )
 from .embeddings import pretrained_for_dataset
-from .layers import Adam, dropout_mask, glorot_init, minibatches
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+from .layers import Adam, dropout_mask, glorot_init, minibatches, sigmoid
 
 
 def _lstm_run(
@@ -47,10 +47,10 @@ def _lstm_run(
     caches: list[dict[str, np.ndarray]] = []
     for t in range(length):
         pre = inputs[t] @ w_input + h_state @ w_hidden + bias
-        i = _sigmoid(pre[:hidden_dim])
-        f = _sigmoid(pre[hidden_dim : 2 * hidden_dim])
+        i = sigmoid(pre[:hidden_dim])
+        f = sigmoid(pre[hidden_dim : 2 * hidden_dim])
         g = np.tanh(pre[2 * hidden_dim : 3 * hidden_dim])
-        o = _sigmoid(pre[3 * hidden_dim :])
+        o = sigmoid(pre[3 * hidden_dim :])
         c_new = f * c_state + i * g
         tanh_c = np.tanh(c_new)
         h_new = o * tanh_c
@@ -61,6 +61,32 @@ def _lstm_run(
         h_state, c_state = h_new, c_new
         states[t] = h_new
     return states, caches
+
+
+def _lstm_run_batch(
+    inputs: np.ndarray, w_input: np.ndarray, w_hidden: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """Inference-only LSTM over a same-length batch ``(B, L, D)``.
+
+    Returns the hidden states ``(B, L, H)``.  No caches are kept (the
+    training path still uses :func:`_lstm_run` per sentence) and no
+    masking is needed because callers bucket sentences by exact length.
+    """
+    batch, length, _ = inputs.shape
+    hidden_dim = w_hidden.shape[0]
+    h_state = np.zeros((batch, hidden_dim))
+    c_state = np.zeros((batch, hidden_dim))
+    states = np.empty((batch, length, hidden_dim))
+    for t in range(length):
+        pre = inputs[:, t] @ w_input + h_state @ w_hidden + bias
+        i = sigmoid(pre[:, :hidden_dim])
+        f = sigmoid(pre[:, hidden_dim : 2 * hidden_dim])
+        g = np.tanh(pre[:, 2 * hidden_dim : 3 * hidden_dim])
+        o = sigmoid(pre[:, 3 * hidden_dim :])
+        c_state = f * c_state + i * g
+        h_state = o * np.tanh(c_state)
+        states[:, t] = h_state
+    return states
 
 
 def _lstm_back(
@@ -279,7 +305,134 @@ class BiLSTMCRF(SequenceLabeler):
 
     # -- inference ------------------------------------------------------------------
 
-    def predict_tags(self, dataset: SequenceDataset) -> list[np.ndarray]:
+    def encoder_states(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        """Deterministic concatenated BiLSTM states ``(L, 2H)`` per sentence.
+
+        Sentences are grouped into exact-length buckets and each bucket
+        runs through both LSTM directions as one ``(B, L, D)`` tensor.
+        The batched recurrence performs one matrix-matrix product per
+        step instead of ``B`` matrix-vector products, which BLAS may
+        reduce in a different order, so states agree with the
+        per-sentence encoder to ~1e-15 rather than bit-for-bit.
+        """
+        params = self._require_fitted()
+        sentences = dataset.sentences
+        output: list[np.ndarray | None] = [None] * len(sentences)
+        for length, rows in length_buckets([len(s) for s in sentences]):
+            ids = np.stack([sentences[int(r)] for r in rows])
+            embedded = params["E"][ids]  # (B, L, D)
+            forward = _lstm_run_batch(
+                embedded, params["Wxf"], params["Whf"], params["bf"]
+            )
+            backward_rev = _lstm_run_batch(
+                embedded[:, ::-1], params["Wxb"], params["Whb"], params["bb"]
+            )
+            concat = np.concatenate([forward, backward_rev[:, ::-1]], axis=2)
+            for row, states in zip(rows, concat):
+                output[int(row)] = states
+        return output
+
+    def emissions(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        """Dropout-free emission matrices ``(L, T)`` for every sentence."""
+        params = self._require_fitted()
+        return [
+            states @ params["Wo"] + params["bo"]
+            for states in self.encoder_states(dataset)
+        ]
+
+    def predict_tags(
+        self,
+        dataset: SequenceDataset,
+        *,
+        emissions: "list[np.ndarray] | None" = None,
+    ) -> list[np.ndarray]:
+        params = self._require_fitted()
+        if emissions is None:
+            emissions = self.emissions(dataset)
+        paths: list[np.ndarray | None] = [None] * len(dataset)
+        for length, rows in length_buckets([len(s) for s in dataset.sentences]):
+            batch = np.stack([emissions[int(r)] for r in rows])
+            bucket_paths, _ = crf_viterbi_batch(
+                batch, params["A"], params["start"], params["end"]
+            )
+            for row, path in zip(rows, bucket_paths):
+                paths[int(row)] = path.copy()
+        return paths
+
+    def best_path_log_proba(
+        self,
+        dataset: SequenceDataset,
+        *,
+        emissions: "list[np.ndarray] | None" = None,
+    ) -> np.ndarray:
+        params = self._require_fitted()
+        if emissions is None:
+            emissions = self.emissions(dataset)
+        log_probas = np.empty(len(dataset))
+        for length, rows in length_buckets([len(s) for s in dataset.sentences]):
+            batch = np.stack([emissions[int(r)] for r in rows])
+            _, best_scores = crf_viterbi_batch(
+                batch, params["A"], params["start"], params["end"]
+            )
+            _, log_z = crf_forward_batch(
+                batch, params["A"], params["start"], params["end"]
+            )
+            log_probas[rows] = best_scores - log_z
+        return log_probas
+
+    def token_marginals(
+        self,
+        dataset: SequenceDataset,
+        *,
+        emissions: "list[np.ndarray] | None" = None,
+    ) -> list[np.ndarray]:
+        params = self._require_fitted()
+        if emissions is None:
+            emissions = self.emissions(dataset)
+        output: list[np.ndarray | None] = [None] * len(dataset)
+        for length, rows in length_buckets([len(s) for s in dataset.sentences]):
+            batch = np.stack([emissions[int(r)] for r in rows])
+            marginals = crf_marginals_batch(
+                batch, params["A"], params["start"], params["end"]
+            )
+            for row, matrix in zip(rows, marginals):
+                output[int(row)] = matrix
+        return output
+
+    def token_marginal_samples(
+        self, dataset: SequenceDataset, n_samples: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """True MC dropout on the recurrent states (BALD for sequences).
+
+        The BiLSTM runs once per sentence (the deterministic sub-graph);
+        each draw only resamples the dropout mask, projects the masked
+        states, and all draws go through one batched forward-backward.
+        Mask draw order matches the per-draw reference path exactly.
+        """
+        if n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+        params = self._require_fitted()
+        num_tags = int(self._num_tags or 0)
+        all_states = self.encoder_states(dataset)
+        results = []
+        for states in all_states:
+            length = states.shape[0]
+            emissions = np.empty((n_samples, length, num_tags))
+            for t in range(n_samples):
+                mask = dropout_mask(
+                    rng, (length, 2 * self.hidden_dim), self.dropout
+                )
+                emissions[t] = (states * mask) @ params["Wo"] + params["bo"]
+            results.append(
+                crf_marginals_batch(
+                    emissions, params["A"], params["start"], params["end"]
+                )
+            )
+        return results
+
+    # -- per-sentence reference paths (oracles for the batched kernels) -----
+
+    def _predict_tags_reference(self, dataset: SequenceDataset) -> list[np.ndarray]:
         params = self._require_fitted()
         paths = []
         for sentence in dataset.sentences:
@@ -288,7 +441,7 @@ class BiLSTMCRF(SequenceLabeler):
             paths.append(path)
         return paths
 
-    def best_path_log_proba(self, dataset: SequenceDataset) -> np.ndarray:
+    def _best_path_log_proba_reference(self, dataset: SequenceDataset) -> np.ndarray:
         params = self._require_fitted()
         log_probas = np.empty(len(dataset))
         for index, sentence in enumerate(dataset.sentences):
@@ -298,7 +451,7 @@ class BiLSTMCRF(SequenceLabeler):
             log_probas[index] = best - log_z
         return log_probas
 
-    def token_marginals(self, dataset: SequenceDataset) -> list[np.ndarray]:
+    def _token_marginals_reference(self, dataset: SequenceDataset) -> list[np.ndarray]:
         params = self._require_fitted()
         return [
             crf_marginals(
@@ -308,10 +461,9 @@ class BiLSTMCRF(SequenceLabeler):
             for sentence in dataset.sentences
         ]
 
-    def token_marginal_samples(
+    def _token_marginal_samples_reference(
         self, dataset: SequenceDataset, n_samples: int, rng: np.random.Generator
     ) -> list[np.ndarray]:
-        """True MC dropout on the recurrent states (BALD for sequences)."""
         if n_samples < 1:
             raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
         params = self._require_fitted()

@@ -23,13 +23,17 @@ from ..data.datasets import SequenceDataset
 from ..exceptions import ConfigurationError, NotFittedError
 from ..rng import ensure_rng
 from .base import SequenceLabeler
+from .batching import length_buckets
 from .crf_core import (
     crf_backward,
     crf_forward,
+    crf_forward_batch,
     crf_marginals,
+    crf_marginals_batch,
     crf_path_score,
     crf_sentence_gradients,
     crf_viterbi,
+    crf_viterbi_batch,
 )
 from .layers import Adam, minibatches
 
@@ -87,6 +91,19 @@ class LinearChainCRF(SequenceLabeler):
             raise NotFittedError("LinearChainCRF used before fit()")
         return self._params
 
+    def _emission_parts(
+        self, sentence: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three emission components (current/previous/next word)."""
+        params = self._require_fitted()
+        prev_ids = np.concatenate([[0], sentence[:-1]])
+        next_ids = np.concatenate([sentence[1:], [0]])
+        return (
+            params["U_curr"][sentence],
+            params["U_prev"][prev_ids],
+            params["U_next"][next_ids],
+        )
+
     def _emissions(
         self, sentence: np.ndarray, component_mask: np.ndarray | None = None
     ) -> np.ndarray:
@@ -96,18 +113,37 @@ class LinearChainCRF(SequenceLabeler):
         dropout over the current/previous/next word components.
         """
         params = self._require_fitted()
-        prev_ids = np.concatenate([[0], sentence[:-1]])
-        next_ids = np.concatenate([sentence[1:], [0]])
-        parts = (
-            params["U_curr"][sentence],
-            params["U_prev"][prev_ids],
-            params["U_next"][next_ids],
-        )
+        parts = self._emission_parts(sentence)
         if component_mask is None:
             emissions = parts[0] + parts[1] + parts[2]
         else:
             emissions = sum(m * p for m, p in zip(component_mask, parts))
         return emissions + params["b"]
+
+    def emissions(self, dataset: SequenceDataset) -> list[np.ndarray]:
+        """Emission matrices of every sentence, computed batched.
+
+        Sentences are grouped into exact-length buckets and each bucket's
+        three component tables are gathered in one fancy-indexing pass —
+        bit-for-bit equal to calling :meth:`_emissions` per sentence.
+        """
+        params = self._require_fitted()
+        sentences = dataset.sentences
+        output: list[np.ndarray | None] = [None] * len(sentences)
+        for length, rows in length_buckets([len(s) for s in sentences]):
+            ids = np.stack([sentences[int(r)] for r in rows])  # (B, L)
+            zero = np.zeros((len(rows), 1), dtype=np.int64)
+            prev_ids = np.concatenate([zero, ids[:, :-1]], axis=1)
+            next_ids = np.concatenate([ids[:, 1:], zero], axis=1)
+            batch = (
+                params["U_curr"][ids]
+                + params["U_prev"][prev_ids]
+                + params["U_next"][next_ids]
+                + params["b"]
+            )
+            for row, matrix in zip(rows, batch):
+                output[int(row)] = matrix
+        return output
 
     def _forward_log(self, emissions: np.ndarray) -> tuple[np.ndarray, float]:
         """Forward pass: alpha table and log partition (via crf_core)."""
@@ -198,15 +234,116 @@ class LinearChainCRF(SequenceLabeler):
         params = self._require_fitted()
         return crf_viterbi(emissions, params["A"], params["start"], params["end"])
 
-    def predict_tags(self, dataset: SequenceDataset) -> list[np.ndarray]:
+    def predict_tags(
+        self,
+        dataset: SequenceDataset,
+        *,
+        emissions: "list[np.ndarray] | None" = None,
+    ) -> list[np.ndarray]:
+        """Viterbi paths, decoded one length bucket at a time.
+
+        ``emissions`` lets a caller (e.g. the per-round
+        :class:`~repro.core.prediction_cache.PredictionCache`) reuse
+        matrices from :meth:`emissions` across decode/marginal calls.
+        """
+        params = self._require_fitted()
+        if emissions is None:
+            emissions = self.emissions(dataset)
+        paths: list[np.ndarray | None] = [None] * len(dataset)
+        for length, rows in length_buckets([len(s) for s in dataset.sentences]):
+            batch = np.stack([emissions[int(r)] for r in rows])
+            bucket_paths, _ = crf_viterbi_batch(
+                batch, params["A"], params["start"], params["end"]
+            )
+            for row, path in zip(rows, bucket_paths):
+                paths[int(row)] = path.copy()
+        return paths
+
+    def best_path_log_proba(
+        self,
+        dataset: SequenceDataset,
+        *,
+        emissions: "list[np.ndarray] | None" = None,
+    ) -> np.ndarray:
+        """``log p(y*|x)`` per sentence — longer sentences score lower,
+        which reproduces the length bias MNLP (Eq. 13) corrects."""
+        params = self._require_fitted()
+        if emissions is None:
+            emissions = self.emissions(dataset)
+        log_probas = np.empty(len(dataset))
+        for length, rows in length_buckets([len(s) for s in dataset.sentences]):
+            batch = np.stack([emissions[int(r)] for r in rows])
+            _, best_scores = crf_viterbi_batch(
+                batch, params["A"], params["start"], params["end"]
+            )
+            _, log_z = crf_forward_batch(
+                batch, params["A"], params["start"], params["end"]
+            )
+            log_probas[rows] = best_scores - log_z
+        return log_probas
+
+    def token_marginals(
+        self,
+        dataset: SequenceDataset,
+        *,
+        emissions: "list[np.ndarray] | None" = None,
+    ) -> list[np.ndarray]:
+        params = self._require_fitted()
+        if emissions is None:
+            emissions = self.emissions(dataset)
+        output: list[np.ndarray | None] = [None] * len(dataset)
+        for length, rows in length_buckets([len(s) for s in dataset.sentences]):
+            batch = np.stack([emissions[int(r)] for r in rows])
+            marginals = crf_marginals_batch(
+                batch, params["A"], params["start"], params["end"]
+            )
+            for row, matrix in zip(rows, marginals):
+                output[int(row)] = matrix
+        return output
+
+    def token_marginal_samples(
+        self, dataset: SequenceDataset, n_samples: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Stochastic marginals via feature dropout (sequence-BALD).
+
+        The three emission components of a sentence are gathered once and
+        only the component mask is resampled per draw; all ``n_samples``
+        masked emission matrices then run through one batched
+        forward-backward.  Draw order and RNG consumption match the
+        per-draw reference path exactly.
+        """
+        if n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+        params = self._require_fitted()
+        results: list[np.ndarray] = []
+        num_tags = int(self._num_tags or 0)
+        for sentence in dataset.sentences:
+            parts = self._emission_parts(sentence)
+            emissions = np.empty((n_samples, len(sentence), num_tags))
+            for t in range(n_samples):
+                keep = rng.random(3) >= self.feature_dropout
+                if not keep.any():
+                    keep[rng.integers(3)] = True  # never drop every component
+                mask = keep / max(keep.mean(), 1e-12)
+                emissions[t] = (
+                    sum(m * p for m, p in zip(mask, parts)) + params["b"]
+                )
+            results.append(
+                crf_marginals_batch(
+                    emissions, params["A"], params["start"], params["end"]
+                )
+            )
+        return results
+
+    # -- per-sentence reference paths (oracles for the batched kernels) -----
+
+    def _predict_tags_reference(self, dataset: SequenceDataset) -> list[np.ndarray]:
         return [
             self._viterbi(self._emissions(sentence))[0]
             for sentence in dataset.sentences
         ]
 
-    def best_path_log_proba(self, dataset: SequenceDataset) -> np.ndarray:
-        """``log p(y*|x)`` per sentence — longer sentences score lower,
-        which reproduces the length bias MNLP (Eq. 13) corrects."""
+    def _best_path_log_proba_reference(self, dataset: SequenceDataset) -> np.ndarray:
         log_probas = np.empty(len(dataset))
         for index, sentence in enumerate(dataset.sentences):
             emissions = self._emissions(sentence)
@@ -215,7 +352,7 @@ class LinearChainCRF(SequenceLabeler):
             log_probas[index] = best_score - log_z
         return log_probas
 
-    def token_marginals(self, dataset: SequenceDataset) -> list[np.ndarray]:
+    def _token_marginals_reference(self, dataset: SequenceDataset) -> list[np.ndarray]:
         params = self._require_fitted()
         return [
             crf_marginals(
@@ -225,10 +362,9 @@ class LinearChainCRF(SequenceLabeler):
             for sentence in dataset.sentences
         ]
 
-    def token_marginal_samples(
+    def _token_marginal_samples_reference(
         self, dataset: SequenceDataset, n_samples: int, rng: np.random.Generator
     ) -> list[np.ndarray]:
-        """Stochastic marginals via feature dropout (sequence-BALD)."""
         if n_samples < 1:
             raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
         params = self._require_fitted()

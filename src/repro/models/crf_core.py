@@ -7,6 +7,15 @@ negative-log-likelihood gradient w.r.t. emissions and transitions.  Both
 :class:`~repro.models.crf.LinearChainCRF` (log-linear emissions) and
 :class:`~repro.models.bilstm_crf.BiLSTMCRF` (neural emissions) are thin
 parameterisations around these.
+
+Each recursion also has a batched counterpart (``*_batch``) over an
+``(B, L, T)`` emission tensor of same-length sequences — the models
+length-bucket their sentences and push each bucket through the lattice in
+one shot.  The batched kernels perform the *same* per-element reductions
+in the same order as the scalar ones (the tag axis is reduced
+identically), so their outputs are bit-for-bit equal to looping the
+scalar kernels over the batch; the equivalence tests assert exact
+equality.
 """
 
 from __future__ import annotations
@@ -92,6 +101,80 @@ def crf_marginals(
     alpha, log_z = crf_forward(emissions, transitions, start, end)
     beta = crf_backward(emissions, transitions, end)
     return np.exp(alpha + beta - log_z)
+
+
+def crf_forward_batch(
+    emissions: np.ndarray, transitions: np.ndarray,
+    start: np.ndarray, end: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched forward recursion over ``(B, L, T)`` same-length emissions.
+
+    Returns the alpha tensor ``(B, L, T)`` and per-sequence log
+    partitions ``(B,)``; row ``b`` is bit-for-bit :func:`crf_forward` of
+    ``emissions[b]``.
+    """
+    length = emissions.shape[1]
+    alpha = np.empty_like(emissions)
+    alpha[:, 0] = start + emissions[:, 0]
+    for position in range(1, length):
+        alpha[:, position] = emissions[:, position] + logsumexp_axis(
+            alpha[:, position - 1][:, :, None] + transitions, axis=1
+        )
+    log_z = logsumexp_axis(alpha[:, length - 1] + end, axis=1)
+    return alpha, log_z
+
+
+def crf_backward_batch(
+    emissions: np.ndarray, transitions: np.ndarray, end: np.ndarray
+) -> np.ndarray:
+    """Batched backward recursion: beta tensor ``(B, L, T)``."""
+    length = emissions.shape[1]
+    beta = np.empty_like(emissions)
+    beta[:, length - 1] = end
+    for position in range(length - 2, -1, -1):
+        beta[:, position] = logsumexp_axis(
+            transitions
+            + (emissions[:, position + 1] + beta[:, position + 1])[:, None, :],
+            axis=2,
+        )
+    return beta
+
+
+def crf_viterbi_batch(
+    emissions: np.ndarray, transitions: np.ndarray,
+    start: np.ndarray, end: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Viterbi: best paths ``(B, L)`` and scores ``(B,)``.
+
+    Ties resolve to the lowest tag index, exactly as in
+    :func:`crf_viterbi` (numpy argmax scans the tag axis in the same
+    order either way).
+    """
+    batch, length, num_tags = emissions.shape
+    delta = start + emissions[:, 0]  # (B, T)
+    backpointers = np.empty((batch, length, num_tags), dtype=np.int64)
+    for position in range(1, length):
+        candidate = delta[:, :, None] + transitions  # (B, T, T)
+        backpointers[:, position] = candidate.argmax(axis=1)
+        delta = candidate.max(axis=1) + emissions[:, position]
+    delta = delta + end
+    best_last = delta.argmax(axis=1)
+    rows = np.arange(batch)
+    paths = np.empty((batch, length), dtype=np.int64)
+    paths[:, -1] = best_last
+    for position in range(length - 1, 0, -1):
+        paths[:, position - 1] = backpointers[rows, position, paths[:, position]]
+    return paths, delta[rows, best_last]
+
+
+def crf_marginals_batch(
+    emissions: np.ndarray, transitions: np.ndarray,
+    start: np.ndarray, end: np.ndarray,
+) -> np.ndarray:
+    """Batched token marginals ``(B, L, T)``."""
+    alpha, log_z = crf_forward_batch(emissions, transitions, start, end)
+    beta = crf_backward_batch(emissions, transitions, end)
+    return np.exp(alpha + beta - log_z[:, None, None])
 
 
 def crf_sentence_gradients(

@@ -13,6 +13,11 @@ import numpy as np
 from ..exceptions import ConfigurationError
 
 
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically clipped logistic function (shared by the LSTM gates)."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""
     shifted = logits - logits.max(axis=axis, keepdims=True)

@@ -282,6 +282,27 @@ class TextCNN(Classifier):
 
     # -- inference -------------------------------------------------------------
 
+    def _pooled_features(self, ids: np.ndarray) -> np.ndarray:
+        """Concatenated ReLU/max-pooled conv features ``(n, F_total)``.
+
+        The dropout-free sub-graph of :meth:`_forward` — identical
+        operations, no backward caches.  MC-dropout draws reuse this once
+        per batch and only resample masks.
+        """
+        params = self._require_fitted()
+        embedded = params["E"][ids]  # (n, L, D)
+        n, length, dim = embedded.shape
+        pooled = []
+        for width in self.widths:
+            positions = length - width + 1
+            view = np.lib.stride_tricks.sliding_window_view(embedded, width, axis=1)
+            stacked = view.transpose(0, 1, 3, 2).reshape(n, positions, width * dim)
+            pre = stacked @ params[f"W{width}"] + params[f"bw{width}"]
+            relu = np.maximum(pre, 0.0)
+            arg = relu.argmax(axis=1)
+            pooled.append(np.take_along_axis(relu, arg[:, None, :], axis=1)[:, 0, :])
+        return np.concatenate(pooled, axis=1)
+
     def predict_proba(self, dataset: TextDataset) -> np.ndarray:
         self._require_fitted()
         ids = self._padded_ids(dataset)
@@ -293,7 +314,35 @@ class TextCNN(Classifier):
     def predict_proba_samples(
         self, dataset: TextDataset, n_samples: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """MC-dropout draws for BALD: dropout active at prediction time."""
+        """MC-dropout draws for BALD: dropout active at prediction time.
+
+        Conv/pool features are computed once; each draw only resamples
+        the dropout mask and re-runs the output layer.  Mask draw order
+        (draw-major, chunk-inner) matches the reference path, so draws
+        are bit-for-bit identical for the same generator state.
+        """
+        if n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+        params = self._require_fitted()
+        ids = self._padded_ids(dataset)
+        chunks = [
+            self._pooled_features(ids[start : start + 256])
+            for start in range(0, len(ids), 256)
+        ]
+        draws = np.empty((n_samples, len(ids), int(self._num_classes or 0)))
+        for t in range(n_samples):
+            outputs = []
+            for features in chunks:
+                mask = dropout_mask(rng, features.shape, self.dropout)
+                hidden = features * mask
+                outputs.append(softmax(hidden @ params["Wo"] + params["bo"]))
+            draws[t] = np.concatenate(outputs)
+        return draws
+
+    def _predict_proba_samples_reference(
+        self, dataset: TextDataset, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-draw full forward passes (oracle for the reuse path)."""
         if n_samples < 1:
             raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
         self._require_fitted()

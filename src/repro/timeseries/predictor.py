@@ -32,23 +32,47 @@ class NextScorePredictor(ABC):
     def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
         """Predict the next score of each sequence."""
 
+    #: Sequences dropped by the most recent :meth:`fit_from_history` call
+    #: because they were shorter than 2 steps (no prediction pair).
+    last_skipped_count: int = 0
+
+    def predict_padded(self, values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Predict from an already padded ``(N, T)`` batch.
+
+        ``values`` rows are left-aligned with ``lengths`` valid entries
+        each (the layout
+        :meth:`repro.core.history.HistoryStore.padded_sequences`
+        produces).  The default unpacks back to ragged sequences; batched
+        implementations override this to skip the round trip.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        return self.predict([row[:n] for row, n in zip(values, lengths)])
+
     def fit_from_history(self, sequences: Sequence[np.ndarray]) -> "NextScorePredictor":
         """Train from full sequences by holding out each last element.
 
         Convenience used by Algorithm 1: a sequence ``[s1..st]`` becomes
         the pair ``([s1..s(t-1)], st)``.  Sequences shorter than 2 steps
-        are skipped; raises if nothing remains.
+        yield no pair; they are counted in :attr:`last_skipped_count` so
+        callers can surface the data loss instead of it happening
+        silently.  Raises if nothing remains.
         """
         inputs = []
         targets = []
+        skipped = 0
         for sequence in sequences:
             array = np.asarray(sequence, dtype=np.float64).ravel()
             if len(array) >= 2:
                 inputs.append(array[:-1])
                 targets.append(float(array[-1]))
+            else:
+                skipped += 1
+        self.last_skipped_count = skipped
         if not inputs:
             raise ConfigurationError(
-                "no sequence of length >= 2; cannot build prediction pairs"
+                f"no sequence of length >= 2 ({skipped} too short); "
+                "cannot build prediction pairs"
             )
         return self.fit(inputs, targets)
 
@@ -67,6 +91,9 @@ class LSTMNextScorePredictor(NextScorePredictor):
 
     def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
         return self._model.predict(sequences)
+
+    def predict_padded(self, values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        return self._model.predict_padded(values, lengths)
 
     def __repr__(self) -> str:
         return f"LSTMNextScorePredictor({self._model!r})"

@@ -1,0 +1,166 @@
+"""The LHS feature-extraction batch path and predictor skip accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import RankingFeatureExtractor
+from repro.core.history import HistoryStore
+from repro.exceptions import ConfigurationError
+from repro.timeseries.predictor import (
+    ARNextScorePredictor,
+    LSTMNextScorePredictor,
+    NextScorePredictor,
+)
+
+from .helpers import make_context
+
+
+def _grow_history(n=30, rounds=6, seed=0):
+    """A history where sample i stops being recorded after round i // 5 + 1."""
+    rng = np.random.default_rng(seed)
+    history = HistoryStore(n)
+    for round_index in range(1, rounds + 1):
+        alive = np.array(
+            [i for i in range(n) if i // 5 + 1 >= round_index], dtype=np.int64
+        )
+        history.append(round_index, alive, rng.random(len(alive)))
+    return history
+
+
+class TestPaddedSequences:
+    def test_rows_match_sequence(self):
+        history = _grow_history()
+        indices = np.arange(history.n_samples)
+        values, lengths = history.padded_sequences(indices)
+        for row, index in enumerate(indices):
+            expected = history.sequence(int(index))
+            assert lengths[row] == len(expected)
+            np.testing.assert_array_equal(values[row, : lengths[row]], expected)
+            assert np.all(values[row, lengths[row] :] == 0.0)
+
+    def test_width_is_longest_selected_sequence(self):
+        history = _grow_history()
+        short = np.array([0, 1], dtype=np.int64)  # recorded in round 1 only
+        values, lengths = history.padded_sequences(short)
+        assert values.shape[1] == int(lengths.max())
+
+    def test_empty_history(self):
+        history = HistoryStore(10)
+        values, lengths = history.padded_sequences(np.arange(10))
+        assert values.shape == (10, 0)
+        assert np.all(lengths == 0)
+
+    def test_empty_indices(self):
+        values, lengths = _grow_history().padded_sequences(np.empty(0, np.int64))
+        assert values.shape[0] == 0 and lengths.size == 0
+
+
+class TestPredictPadded:
+    def test_default_matches_predict(self):
+        rng = np.random.default_rng(1)
+        sequences = [rng.random(k) for k in (2, 3, 5, 4)]
+        predictor = ARNextScorePredictor(order=2).fit(
+            [s[:-1] for s in sequences], [s[-1] for s in sequences]
+        )
+        queries = [rng.random(k) for k in (1, 4, 2)]
+        width = max(len(q) for q in queries)
+        values = np.zeros((len(queries), width))
+        for row, query in enumerate(queries):
+            values[row, : len(query)] = query
+        lengths = np.array([len(q) for q in queries])
+        np.testing.assert_array_equal(
+            predictor.predict_padded(values, lengths), predictor.predict(queries)
+        )
+
+    def test_lstm_override_matches_predict(self):
+        rng = np.random.default_rng(2)
+        sequences = [rng.random(k) for k in (2, 3, 5, 4, 3)]
+        predictor = LSTMNextScorePredictor(hidden_dim=4, epochs=5, seed=0).fit(
+            [s[:-1] for s in sequences], [s[-1] for s in sequences]
+        )
+        queries = [rng.random(k) for k in (1, 4, 2, 3)]
+        width = max(len(q) for q in queries) + 2  # extra padding must be inert
+        values = np.zeros((len(queries), width))
+        for row, query in enumerate(queries):
+            values[row, : len(query)] = query
+        lengths = np.array([len(q) for q in queries])
+        np.testing.assert_array_equal(
+            predictor.predict_padded(values, lengths), predictor.predict(queries)
+        )
+
+
+class TestPredictionFeatureBatched:
+    def test_matches_per_sample_reference(self, text_dataset):
+        history = _grow_history(n=len(text_dataset), rounds=5, seed=3)
+        context = make_context(text_dataset, history=history)
+        rng = np.random.default_rng(4)
+        train = [rng.random(k) for k in (3, 4, 5, 3, 4)]
+        predictor = LSTMNextScorePredictor(hidden_dim=4, epochs=5, seed=1).fit(
+            [s[:-1] for s in train], [s[-1] for s in train]
+        )
+        extractor = RankingFeatureExtractor(window=3, predictor=predictor)
+        positions = np.arange(min(40, len(context.unlabeled)))
+        sample_indices = context.unlabeled[positions]
+
+        window = history.window_matrix(sample_indices, extractor.window)
+        from repro.core.features import _backfill
+
+        filled = _backfill(window)
+        batched = extractor._prediction_feature(history, sample_indices, filled)
+
+        # Per-sample reference: the pre-batching implementation.
+        sequences = [history.sequence(int(i)) for i in sample_indices]
+        usable = [row for row, s in enumerate(sequences) if len(s) >= 1]
+        expected = filled[:, -1].copy()
+        if usable:
+            expected[np.asarray(usable)] = predictor.predict(
+                [sequences[row] for row in usable]
+            )
+        np.testing.assert_array_equal(batched[:, 0], expected)
+
+    def test_unrecorded_samples_fall_back_to_persistence(self, text_dataset):
+        history = HistoryStore(len(text_dataset))  # nothing recorded
+        rng = np.random.default_rng(5)
+        train = [rng.random(4) for _ in range(5)]
+        predictor = LSTMNextScorePredictor(hidden_dim=3, epochs=3, seed=0).fit(
+            [s[:-1] for s in train], [s[-1] for s in train]
+        )
+        extractor = RankingFeatureExtractor(window=3, predictor=predictor)
+        sample_indices = np.arange(10)
+        filled = np.zeros((10, 3))
+        feature = extractor._prediction_feature(history, sample_indices, filled)
+        np.testing.assert_array_equal(feature[:, 0], filled[:, -1])
+
+
+class TestFitFromHistorySkipAccounting:
+    class _Recorder(NextScorePredictor):
+        def __init__(self):
+            self.fitted_with = None
+
+        def fit(self, sequences, targets):
+            self.fitted_with = (list(sequences), list(targets))
+            return self
+
+        def predict(self, sequences):
+            return np.zeros(len(sequences))
+
+    def test_skipped_count_recorded(self):
+        predictor = self._Recorder()
+        predictor.fit_from_history(
+            [np.array([1.0, 2.0]), np.array([3.0]), np.array([]), np.arange(4.0)]
+        )
+        assert predictor.last_skipped_count == 2
+        assert len(predictor.fitted_with[0]) == 2
+
+    def test_zero_skipped(self):
+        predictor = self._Recorder()
+        predictor.fit_from_history([np.array([1.0, 2.0]), np.arange(3.0)])
+        assert predictor.last_skipped_count == 0
+
+    def test_error_reports_count(self):
+        predictor = self._Recorder()
+        with pytest.raises(ConfigurationError, match="2 too short"):
+            predictor.fit_from_history([np.array([1.0]), np.array([2.0])])
+        assert predictor.last_skipped_count == 2

@@ -1,0 +1,168 @@
+"""PredictionCache behaviour and its wiring through the AL loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.loop import ActiveLearningLoop
+from repro.core.prediction_cache import PredictionCache
+from repro.core.strategies.mnlp import MNLP
+from repro.core.strategies.uncertainty import Entropy
+from repro.data.ner import NERCorpusSpec, make_ner_corpus
+from repro.eval.metrics import evaluate_model
+from repro.models import LinearSoftmax
+from repro.models.crf import LinearChainCRF
+
+from .helpers import make_context
+
+
+@pytest.fixture(scope="module")
+def small_ner():
+    spec = NERCorpusSpec(
+        name="cache-ner", size=120, background_vocab=120, gazetteer_size=15,
+        mean_length=8.0, length_spread=2.0,
+    )
+    return make_ner_corpus(spec, seed_or_rng=7)
+
+
+@pytest.fixture(scope="module")
+def fitted_crf(small_ner):
+    return LinearChainCRF(epochs=2, seed=0).fit(small_ner)
+
+
+class TestCache:
+    def test_classifier_proba_memoised(self, fitted_classifier, text_dataset):
+        cache = PredictionCache()
+        first = cache.predict_proba(fitted_classifier, text_dataset)
+        second = cache.predict_proba(fitted_classifier, text_dataset)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_predict_derived_from_proba(self, fitted_classifier, text_dataset):
+        cache = PredictionCache()
+        predicted = cache.predict(fitted_classifier, text_dataset)
+        np.testing.assert_array_equal(
+            predicted, cache.predict_proba(fitted_classifier, text_dataset).argmax(axis=1)
+        )
+
+    def test_emissions_shared_across_sequence_passes(self, fitted_crf, small_ner):
+        cache = PredictionCache()
+        cache.predict_tags(fitted_crf, small_ner)
+        cache.best_path_log_proba(fitted_crf, small_ner)
+        cache.token_marginals(fitted_crf, small_ner)
+        emission_entries = [k for k in cache._store if k[0] == "emissions"]
+        assert len(emission_entries) == 1
+
+    def test_cached_sequence_passes_match_uncached(self, fitted_crf, small_ner):
+        cache = PredictionCache()
+        for cached, direct in zip(
+            cache.predict_tags(fitted_crf, small_ner),
+            fitted_crf.predict_tags(small_ner),
+        ):
+            np.testing.assert_array_equal(cached, direct)
+        np.testing.assert_array_equal(
+            cache.best_path_log_proba(fitted_crf, small_ner),
+            fitted_crf.best_path_log_proba(small_ner),
+        )
+
+    def test_clear_empties_store(self, fitted_classifier, text_dataset):
+        cache = PredictionCache()
+        cache.predict_proba(fitted_classifier, text_dataset)
+        assert len(cache)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_distinct_models_do_not_collide(self, text_dataset):
+        cache = PredictionCache()
+        first = LinearSoftmax(epochs=3, seed=0).fit(text_dataset.subset(range(80)))
+        second = LinearSoftmax(epochs=3, seed=1).fit(text_dataset.subset(range(80)))
+        proba_first = cache.predict_proba(first, text_dataset)
+        proba_second = cache.predict_proba(second, text_dataset)
+        assert cache.misses == 2
+        assert not np.array_equal(proba_first, proba_second)
+
+
+class TestMetricCaching:
+    def test_evaluate_model_cached_equals_uncached(self, fitted_classifier, text_dataset):
+        cache = PredictionCache()
+        assert evaluate_model(
+            fitted_classifier, text_dataset, cache=cache
+        ) == evaluate_model(fitted_classifier, text_dataset)
+
+    def test_sequence_metric_cached_equals_uncached(self, fitted_crf, small_ner):
+        cache = PredictionCache()
+        assert evaluate_model(fitted_crf, small_ner, cache=cache) == evaluate_model(
+            fitted_crf, small_ner
+        )
+
+
+class TestContextDelegation:
+    def test_context_uses_shared_cache(self, fitted_classifier, text_dataset):
+        cache = PredictionCache()
+        context = make_context(text_dataset)
+        context.cache = cache
+        context.probabilities(fitted_classifier)
+        assert cache.misses == 1
+        context.probabilities(fitted_classifier)
+        assert cache.hits == 1
+
+    def test_memoize_scores_runs_compute_once(self, text_dataset):
+        context = make_context(text_dataset)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.zeros(len(context.unlabeled))
+
+        context.memoize_scores(("k",), compute)
+        context.memoize_scores(("k",), compute)
+        assert len(calls) == 1
+
+
+class TestLoopWiring:
+    def test_loop_with_cache_matches_uncached_metric(self, text_dataset):
+        """The default (cached) metric path reproduces an uncached run."""
+
+        def run(metric):
+            return ActiveLearningLoop(
+                model_prototype=LinearSoftmax(epochs=5, seed=0),
+                strategy=Entropy(),
+                train_dataset=text_dataset.subset(range(300)),
+                test_dataset=text_dataset.subset(range(300, 420)),
+                batch_size=20,
+                rounds=3,
+                seed_or_rng=5,
+            ).run() if metric is None else ActiveLearningLoop(
+                model_prototype=LinearSoftmax(epochs=5, seed=0),
+                strategy=Entropy(),
+                train_dataset=text_dataset.subset(range(300)),
+                test_dataset=text_dataset.subset(range(300, 420)),
+                batch_size=20,
+                rounds=3,
+                metric=metric,
+                seed_or_rng=5,
+            ).run()
+
+        cached = run(None)
+        uncached = run(lambda model, dataset: evaluate_model(model, dataset))
+        assert [r.metric for r in cached.records] == [r.metric for r in uncached.records]
+        for a, b in zip(cached.selection_order, uncached.selection_order):
+            np.testing.assert_array_equal(a, b)
+
+    def test_sequence_loop_deterministic(self, small_ner):
+        def run():
+            return ActiveLearningLoop(
+                model_prototype=LinearChainCRF(epochs=1, seed=0),
+                strategy=MNLP(),
+                train_dataset=small_ner.subset(range(90)),
+                test_dataset=small_ner.subset(range(90, 120)),
+                batch_size=10,
+                rounds=2,
+                seed_or_rng=3,
+            ).run()
+
+        first, second = run(), run()
+        assert [r.metric for r in first.records] == [r.metric for r in second.records]
+        for a, b in zip(first.selection_order, second.selection_order):
+            np.testing.assert_array_equal(a, b)

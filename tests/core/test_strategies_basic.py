@@ -249,5 +249,5 @@ class TestContextCaching:
         context = make_context(text_dataset)
         Entropy().scores(fitted_classifier, context)
         LeastConfidence().scores(fitted_classifier, context)
-        cache_keys = [k for k in context._proba_cache if k[0] == "proba"]
+        cache_keys = [k for k in context.cache._store if k[0] == "proba"]
         assert len(cache_keys) == 1
