@@ -1,3 +1,9 @@
+"""Legacy shim for ``python setup.py develop`` in offline environments.
+
+All metadata — including the version, sourced from ``repro.__version__``
+— lives in ``pyproject.toml``.
+"""
+
 from setuptools import setup
 
 setup()

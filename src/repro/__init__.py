@@ -24,11 +24,15 @@ paper-vs-measured record of every table and figure.
 from .core import (
     ActiveLearningLoop,
     ALResult,
+    EventLog,
     HistoryStore,
     LHSRanker,
     Pool,
     RankingFeatureExtractor,
     RoundRecord,
+    SessionEngine,
+    SessionObserver,
+    SessionState,
     train_lhs_ranker,
 )
 from .data import (
@@ -59,6 +63,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ALResult",
     "ActiveLearningLoop",
+    "EventLog",
     "ExperimentConfig",
     "HistoryStore",
     "LHSRanker",
@@ -72,6 +77,9 @@ __all__ = [
     "ReproError",
     "RoundRecord",
     "SequenceDataset",
+    "SessionEngine",
+    "SessionObserver",
+    "SessionState",
     "TextCNN",
     "TextDataset",
     "Vocabulary",

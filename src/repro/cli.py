@@ -1,6 +1,6 @@
 """Command-line interface: run comparisons and train rankers from a shell.
 
-Two subcommands::
+Batch subcommands::
 
     python -m repro compare --dataset mr --scale 0.1 \
         --strategies random entropy wshs:entropy fhs:entropy \
@@ -13,15 +13,33 @@ Strategy specs are ``name`` or ``wrapper:base`` using the registry keys
 (``random``, ``entropy``, ``lc``, ``egl``, ``hus``, ``wshs``, ``fhs``,
 ``mnlp``, ...).  ``lhs:<base>`` needs ``--ranker <file>`` produced by
 ``train-ranker``.
+
+The ``session`` family drives one interactive annotation session through
+files on disk, for external (human) annotators::
+
+    python -m repro session init --dir run1 --dataset mr --strategy wshs:entropy
+    python -m repro session propose --dir run1        # re-print the open batch
+    #   ... fill in run1/proposal.json's labels template -> labels.json ...
+    python -m repro session ingest --dir run1 --labels labels.json
+    python -m repro session status --dir run1
+
+Each ``ingest`` commits the batch, retrains, and proposes the next one
+(``--oracle`` answers from the dataset's own labels instead, for smoke
+tests).  All state lives in the session directory as plain JSON, so the
+machine can be rebooted between any two commands.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from collections.abc import Callable, Sequence
+from pathlib import Path
 
 from .core.ranker_training import RankerTrainingConfig, train_lhs_ranker
+from .core.session import SessionEngine, SessionState
 from .core.strategies import FHS, HUS, LHS, WSHS, create_strategy
 from .data import (
     conll2002_dutch,
@@ -32,9 +50,11 @@ from .data import (
     subj,
     trec,
 )
-from .exceptions import ConfigurationError, ReproError
+from .exceptions import ConfigurationError, IngestError, ReproError, SessionError
 from .experiments import ExperimentConfig, RetryPolicy, plot_curves, run_comparison
+from .experiments.checkpoint import result_to_dict
 from .experiments.reporting import format_curve_table, format_target_table
+from .ioutil import atomic_write_json, read_json_document
 from .models import LinearChainCRF, LinearSoftmax
 from .persistence import load_lhs_ranker, save_lhs_ranker
 
@@ -161,6 +181,227 @@ def _cmd_train_ranker(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- interactive annotation sessions -----------------------------------------
+
+#: Envelope of the ``session.json`` file in a session directory.
+SESSION_DIR_FORMAT = "repro.session_dir"
+SESSION_DIR_VERSION = 1
+
+
+def _session_file(directory: "str | Path") -> Path:
+    return Path(directory) / "session.json"
+
+
+def _proposal_file(directory: "str | Path") -> Path:
+    return Path(directory) / "proposal.json"
+
+
+def _result_file(directory: "str | Path") -> Path:
+    return Path(directory) / "result.json"
+
+
+def _session_components(recipe: dict):
+    """Rebuild the engine's components (datasets, model, strategy) from a recipe.
+
+    Loading is deterministic given the recipe, so every ``repro session``
+    invocation reconstructs identical components and the restored engine
+    continues byte-identically.
+    """
+    dataset, kind = _load_dataset(recipe["dataset"], recipe["scale"], recipe["seed"])
+    train, test = _split(dataset, recipe["test_fraction"])
+    model = _model_factory(kind, recipe["epochs"])()
+    strategy = build_strategy_factory(
+        recipe["strategy"], recipe["window"], recipe["ranker"]
+    )()
+    return train, test, model, strategy
+
+
+def _load_session(directory: "str | Path") -> tuple[dict, SessionEngine]:
+    """Restore the engine of a session directory from its files."""
+    payload = read_json_document(
+        _session_file(directory), SESSION_DIR_FORMAT, SESSION_DIR_VERSION, SessionError
+    )
+    recipe = payload["recipe"]
+    train, test, model, strategy = _session_components(recipe)
+    engine = SessionEngine.restore(payload["session"], model, strategy, train, test)
+    return recipe, engine
+
+
+def _save_session(directory: "str | Path", recipe: dict, engine: SessionEngine) -> None:
+    atomic_write_json(
+        _session_file(directory),
+        {
+            "format": SESSION_DIR_FORMAT,
+            "version": SESSION_DIR_VERSION,
+            "recipe": recipe,
+            "session": engine.snapshot(),
+        },
+    )
+
+
+def _write_proposal(directory: "str | Path", engine: SessionEngine) -> None:
+    """Render the pending batch (with decoded text) for the annotator."""
+    pending = engine.pending
+    train = engine.train_dataset
+    samples = [
+        {
+            "index": index,
+            "text": " ".join(train.vocab.decode(train.sentences[index])),
+        }
+        for index in pending.tolist()
+    ]
+    atomic_write_json(
+        _proposal_file(directory),
+        {
+            "round": engine.round_index,
+            "indices": pending.tolist(),
+            "samples": samples,
+            # Copy into a labels file, replace the nulls, pass to ingest.
+            "labels_template": {str(index): None for index in pending.tolist()},
+        },
+    )
+
+
+def _advance_session(directory: Path, recipe: dict, engine: SessionEngine) -> int:
+    """Drive the engine to the next proposal (or the end) and persist it."""
+    pending = engine.propose()
+    _save_session(directory, recipe, engine)
+    if pending is None:
+        result = engine.result()
+        atomic_write_json(
+            _result_file(directory),
+            {
+                "format": "repro.session_result",
+                "version": 1,
+                "result": result_to_dict(result),
+            },
+        )
+        _proposal_file(directory).unlink(missing_ok=True)
+        print(f"session finished after {engine.round_index} rounds")
+        print(format_curve_table(
+            {recipe["strategy"]: result.curve()},
+            title=f"{recipe['dataset']}: metric vs labeled samples",
+        ))
+        print(f"full audit trail written to {_result_file(directory)}")
+        return 0
+    _write_proposal(directory, engine)
+    print(
+        f"round {engine.round_index}: {len(pending)} samples await labels "
+        f"(see {_proposal_file(directory)})"
+    )
+    print(
+        "label them with: repro session ingest --dir "
+        f"{directory} --labels <file>  (or --oracle)"
+    )
+    return 0
+
+
+def _cmd_session_init(args: argparse.Namespace) -> int:
+    directory = Path(args.dir)
+    if _session_file(directory).exists():
+        raise ConfigurationError(
+            f"{_session_file(directory)} already exists; use "
+            "'repro session propose/ingest/status' to continue it"
+        )
+    directory.mkdir(parents=True, exist_ok=True)
+    recipe = {
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "test_fraction": args.test_fraction,
+        "strategy": args.strategy,
+        "window": args.window,
+        "epochs": args.epochs,
+        "batch_size": args.batch_size,
+        "rounds": args.rounds,
+        "initial_size": args.initial_size,
+        "seed": args.seed,
+        "ranker": args.ranker,
+    }
+    train, test, model, strategy = _session_components(recipe)
+    engine = SessionEngine(
+        model,
+        strategy,
+        train,
+        test,
+        batch_size=recipe["batch_size"],
+        rounds=recipe["rounds"],
+        initial_size=recipe["initial_size"],
+        seed_or_rng=recipe["seed"],
+    )
+    print(
+        f"initialised session in {directory}: {recipe['strategy']} on "
+        f"{recipe['dataset']} ({len(train)} pool / {len(test)} test samples)"
+    )
+    return _advance_session(directory, recipe, engine)
+
+
+def _cmd_session_propose(args: argparse.Namespace) -> int:
+    directory = Path(args.dir)
+    recipe, engine = _load_session(directory)
+    return _advance_session(directory, recipe, engine)
+
+
+def _cmd_session_ingest(args: argparse.Namespace) -> int:
+    if (args.labels is None) == (not args.oracle):
+        raise ConfigurationError("pass exactly one of --labels <file> or --oracle")
+    directory = Path(args.dir)
+    recipe, engine = _load_session(directory)
+    if engine.state is not SessionState.AWAIT_LABELS:
+        raise SessionError(
+            f"session is not awaiting labels (state={engine.state.value!r}); "
+            "run 'repro session propose' first"
+        )
+    if args.oracle:
+        engine.ingest_labels(engine.pending)
+    else:
+        try:
+            payload = json.loads(Path(args.labels).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise IngestError(f"cannot read labels file {args.labels}: {error}")
+        mapping = payload.get("labels", payload) if isinstance(payload, dict) else None
+        if not isinstance(mapping, dict):
+            raise IngestError(
+                f"{args.labels} must hold a JSON object mapping sample index "
+                "to label (the proposal's labels_template, filled in)"
+            )
+        unfilled = sorted(key for key, value in mapping.items() if value is None)
+        if unfilled:
+            raise IngestError(
+                f"labels file {args.labels} still has null labels for "
+                f"indices {unfilled[:5]}"
+            )
+        indices = [int(key) for key in mapping]
+        engine.ingest_labels(indices, [mapping[key] for key in mapping])
+    engine.step()  # commit the batch before the (long) retrain
+    _save_session(directory, recipe, engine)
+    print(f"ingested labels; committed round {engine.round_index}, retraining...")
+    return _advance_session(directory, recipe, engine)
+
+
+def _cmd_session_status(args: argparse.Namespace) -> int:
+    # Status only reads the snapshot; it never rebuilds datasets/models.
+    payload = read_json_document(
+        _session_file(args.dir), SESSION_DIR_FORMAT, SESSION_DIR_VERSION, SessionError
+    )
+    recipe, snapshot = payload["recipe"], payload["session"]
+    pending = snapshot["pending"]
+    print(f"dataset:  {recipe['dataset']} (scale {recipe['scale']})")
+    print(f"strategy: {snapshot['config']['strategy']}")
+    print(f"state:    {snapshot['state']}")
+    print(
+        f"round:    {snapshot['round_index']} of {snapshot['config']['rounds']}"
+    )
+    print(f"labeled:  {len(snapshot['pool']['labeled'])} of {snapshot['pool']['n']}")
+    if pending is not None:
+        print(f"pending:  {len(pending)} samples awaiting labels")
+    for record in snapshot["records"]:
+        print(
+            f"  round {record['round_index']:>3}: metric "
+            f"{record['metric']:.4f} at {record['labeled_count']} labels"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for --help testing)."""
     parser = argparse.ArgumentParser(
@@ -225,6 +466,50 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--predictor", choices=["lstm", "ar", "none"], default="ar")
     train.add_argument("--output", required=True, help="output ranker JSON file")
     train.set_defaults(handler=_cmd_train_ranker)
+
+    session = subparsers.add_parser(
+        "session",
+        help="drive one annotation session through files on disk "
+             "(external-annotator workflow)",
+    )
+    session_sub = session.add_subparsers(dest="session_command", required=True)
+
+    init = session_sub.add_parser(
+        "init", help="create a session directory and propose the first batch"
+    )
+    add_common(init)
+    init.add_argument("--dir", required=True, help="session directory to create")
+    init.add_argument("--strategy", required=True,
+                      help="one spec like: entropy, wshs:entropy, lhs:lc")
+    init.add_argument("--initial-size", type=int, default=None,
+                      help="random initial batch size (default: --batch-size)")
+    init.add_argument("--ranker", default=None,
+                      help="ranker file for an lhs:<base> strategy")
+    init.set_defaults(handler=_cmd_session_init)
+
+    propose = session_sub.add_parser(
+        "propose", help="advance to (or re-print) the batch awaiting labels"
+    )
+    propose.add_argument("--dir", required=True, help="session directory")
+    propose.set_defaults(handler=_cmd_session_propose)
+
+    ingest = session_sub.add_parser(
+        "ingest", help="label the pending batch, retrain, propose the next one"
+    )
+    ingest.add_argument("--dir", required=True, help="session directory")
+    ingest.add_argument("--labels", default=None,
+                        help="JSON file mapping sample index to label (the "
+                             "proposal's labels_template, filled in)")
+    ingest.add_argument("--oracle", action="store_true",
+                        help="answer from the dataset's own labels instead of "
+                             "a labels file (for smoke tests)")
+    ingest.set_defaults(handler=_cmd_session_ingest)
+
+    status = session_sub.add_parser(
+        "status", help="print the session's state without loading any data"
+    )
+    status.add_argument("--dir", required=True, help="session directory")
+    status.set_defaults(handler=_cmd_session_status)
     return parser
 
 
@@ -246,6 +531,11 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream reader (head, grep -q, ...) closed the pipe early;
+        # redirect stdout so the interpreter's exit flush cannot raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -6,26 +6,35 @@
 * :mod:`repro.core.strategies` — all query strategies: classic baselines,
   the historical baselines (HUS/HKLD), and the proposed WSHS/FHS/LHS.
 * :mod:`repro.core.features` — ranking-feature extraction for LHS.
-* :mod:`repro.core.loop` — the pool-based active-learning driver.
+* :mod:`repro.core.session` — the re-entrant session engine (state
+  machine, snapshots, external-annotator workflow).
+* :mod:`repro.core.events` — lifecycle observer seam over the engine.
+* :mod:`repro.core.loop` — the closed auto-oracle driver over the engine.
 * :mod:`repro.core.prediction_cache` — per-round forward-pass memoisation.
 * :mod:`repro.core.ranker_training` — Algorithm 1 (training the LHS ranker).
 """
 
+from .events import EventLog, SessionObserver
 from .features import RankingFeatureExtractor
 from .history import HistoryStore
-from .loop import ActiveLearningLoop, ALResult, RoundRecord
+from .loop import ActiveLearningLoop
 from .pool import Pool
 from .prediction_cache import PredictionCache
 from .ranker_training import LHSRanker, train_lhs_ranker
+from .session import ALResult, RoundRecord, SessionEngine, SessionState
 
 __all__ = [
     "ALResult",
     "ActiveLearningLoop",
+    "EventLog",
     "HistoryStore",
     "LHSRanker",
     "Pool",
     "PredictionCache",
     "RankingFeatureExtractor",
     "RoundRecord",
+    "SessionEngine",
+    "SessionObserver",
+    "SessionState",
     "train_lhs_ranker",
 ]

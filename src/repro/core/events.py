@@ -1,0 +1,102 @@
+"""Lifecycle events of an active-learning session.
+
+The :class:`~repro.core.session.SessionEngine` announces every phase of
+its state machine to a list of observers.  This is the seam external
+tooling plugs into without touching the engine itself: progress bars,
+structured logging, metric exporters, or the per-round diagnostics that
+"Rebuilding Trust in Active Learning with Actionable Metrics" argues AL
+tooling must expose instead of a single final curve.
+
+:class:`SessionObserver` is a base class of no-op hooks rather than a
+``typing.Protocol`` so observers override only the events they care
+about and keep working when new events are added.  Observers must not
+mutate what they are handed — the engine passes its live objects (the
+fitted model, score vectors, records) to avoid copies on the hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SessionObserver:
+    """No-op base class for session lifecycle observers.
+
+    Event order within one annotation round::
+
+        round_started -> model_trained -> scores_computed
+                      -> batch_selected -> round_committed
+
+    The bootstrap round (the random initial batch, which is proposed for
+    annotation before any model exists) emits only ``batch_selected``
+    and ``round_committed`` with ``record=None``.  The final
+    evaluation-only round emits ``round_started`` / ``model_trained``
+    followed directly by ``session_finished``.
+    """
+
+    def round_started(self, round_index: int, labeled_count: int) -> None:
+        """A round began: the model is about to be retrained."""
+
+    def model_trained(self, round_index: int, model, metric: float) -> None:
+        """The round's model was fitted and evaluated on the test split."""
+
+    def scores_computed(self, round_index: int, scores: np.ndarray) -> None:
+        """The strategy scored the pool; ``scores`` are the base-strategy
+        evaluation scores of the proposed batch, read back from the
+        history store (NaN for strategies that record no history)."""
+
+    def batch_selected(self, round_index: int, indices: np.ndarray) -> None:
+        """A batch was proposed for annotation (``indices`` into the pool
+        dataset; for the bootstrap round these are the random initial
+        batch)."""
+
+    def round_committed(self, round_index: int, record) -> None:
+        """Labels for the proposed batch were ingested and committed.
+        ``record`` is the round's
+        :class:`~repro.core.session.RoundRecord`, or ``None`` for the
+        bootstrap commit."""
+
+    def session_finished(self, result) -> None:
+        """The session reached its final round; ``result`` is the
+        complete :class:`~repro.core.session.ALResult`."""
+
+
+class EventLog(SessionObserver):
+    """An observer that records ``(event_name, round_index)`` tuples.
+
+    Useful in tests and quick diagnostics to assert the lifecycle
+    actually ran in the documented order.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, int]] = []
+
+    def round_started(self, round_index: int, labeled_count: int) -> None:
+        self.events.append(("round_started", round_index))
+
+    def model_trained(self, round_index: int, model, metric: float) -> None:
+        self.events.append(("model_trained", round_index))
+
+    def scores_computed(self, round_index: int, scores: np.ndarray) -> None:
+        self.events.append(("scores_computed", round_index))
+
+    def batch_selected(self, round_index: int, indices: np.ndarray) -> None:
+        self.events.append(("batch_selected", round_index))
+
+    def round_committed(self, round_index: int, record) -> None:
+        self.events.append(("round_committed", round_index))
+
+    def session_finished(self, result) -> None:
+        self.events.append(("session_finished", len(result.records)))
+
+
+def emit(observers, event: str, *args) -> None:
+    """Call ``observer.<event>(*args)`` on every observer, in order.
+
+    Observer exceptions propagate: an observer that raises aborts the
+    engine step, which is the honest behaviour for e.g. a disk-full
+    metrics exporter — silently swallowing it would lose the audit trail
+    the observer exists to keep.
+    """
+    for observer in observers:
+        getattr(observer, event)(*args)

@@ -181,6 +181,41 @@ class HistoryStore:
             indices = np.flatnonzero(~np.isnan(data))
             yield int(self._round_ids[row]), indices, data[indices]
 
+    def to_dict(self) -> dict:
+        """Serialise the store as per-round sparse ``(indices, scores)`` rows.
+
+        The payload is plain JSON-compatible data; :meth:`from_dict`
+        rebuilds an identical store by replaying the rounds through
+        :meth:`append`, so the round trip preserves sequences bit for
+        bit (floats survive JSON via ``repr`` serialisation).
+        """
+        return {
+            "n_samples": self.n_samples,
+            "strategy_name": self.strategy_name,
+            "rounds": [
+                {
+                    "round": round_index,
+                    "indices": indices.tolist(),
+                    "scores": scores.tolist(),
+                }
+                for round_index, indices, scores in self.iter_rounds()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HistoryStore":
+        """Rebuild a store written by :meth:`to_dict`."""
+        history = cls(
+            int(payload["n_samples"]), strategy_name=str(payload["strategy_name"])
+        )
+        for row in payload["rounds"]:
+            history.append(
+                int(row["round"]),
+                np.asarray(row["indices"], dtype=np.int64),
+                np.asarray(row["scores"], dtype=np.float64),
+            )
+        return history
+
     def nbytes(self) -> int:
         """Logical memory footprint: recorded rounds only.
 

@@ -7,6 +7,15 @@ aware strategies record their base scores into the shared
 selected batch into the labeled pool, repeat.  The first labeled batch is
 drawn at random, as in the paper's setup (Sec. 5.2.1).
 
+:class:`ActiveLearningLoop` is the *closed* form of the loop — every
+proposed batch is answered immediately from the dataset's own labels (the
+simulation oracle of the paper's experiments).  The loop body itself
+lives in :class:`~repro.core.session.SessionEngine`, a re-entrant state
+machine that also supports external annotators, lifecycle observers, and
+mid-run snapshot/resume; this class builds an engine and drives it to
+completion, producing byte-identical results to the historical monolithic
+implementation.
+
 The result object keeps the full audit trail — per-round records,
 learning curve, the history store — which the Table 6 benchmark uses to
 compute WSHS/FHS diagnostics of whatever the strategy selected.
@@ -14,88 +23,28 @@ compute WSHS/FHS diagnostics of whatever the strategy selected.
 
 from __future__ import annotations
 
-from collections.abc import Callable
-from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
 from ..data.datasets import SequenceDataset, TextDataset
-from ..eval.curves import LearningCurve
 from ..eval.metrics import evaluate_model
-from ..exceptions import ConfigurationError
 from ..rng import ensure_rng
-from .history import HistoryStore
-from .pool import Pool
-from .prediction_cache import PredictionCache
-from .strategies.base import QueryStrategy, SelectionContext
+from .session import (
+    ALResult,
+    RoundRecord,
+    SessionEngine,
+    run_to_completion,
+    validated_model_history,
+)
+from .strategies.base import QueryStrategy
 
+# Re-exported for callers that historically imported these from here.
+__all__ = ["ALResult", "ActiveLearningLoop", "RoundRecord"]
 
-@dataclass(frozen=True)
-class RoundRecord:
-    """What happened in one active-learning round.
-
-    Attributes
-    ----------
-    round_index:
-        1-based round number (0 = the random initial batch).
-    labeled_count:
-        Labeled-pool size the model was trained on this round.
-    metric:
-        Test metric of that model.
-    selected:
-        Dataset indices chosen for annotation this round (empty for the
-        final evaluation-only record).
-    selected_scores:
-        Base-strategy evaluation scores of the selected samples, read
-        back from the history store (NaN for strategies that record no
-        history).
-    """
-
-    round_index: int
-    labeled_count: int
-    metric: float
-    selected: np.ndarray
-    selected_scores: np.ndarray
-
-
-@dataclass
-class ALResult:
-    """Outcome of an active-learning run."""
-
-    strategy_name: str
-    records: list[RoundRecord]
-    history: HistoryStore
-    final_model: object = None
-    #: Dataset indices in selection order, round by round.
-    selection_order: list[np.ndarray] = field(default_factory=list)
-
-    def curve(self, label: str = "") -> LearningCurve:
-        """Learning curve (labeled count -> metric) of the run."""
-        counts = np.array([r.labeled_count for r in self.records], dtype=np.int64)
-        values = np.array([r.metric for r in self.records], dtype=np.float64)
-        return LearningCurve(counts, values, label=label or self.strategy_name)
-
-
-def _validated_model_history(strategy: QueryStrategy) -> int:
-    """``strategy.requires_model_history`` as a checked non-negative int.
-
-    The value doubles as the model-history slice bound
-    (``del model_history[:-keep]``), so a strategy accidentally returning
-    ``True`` would silently keep exactly one model; reject bools and
-    anything else that is not a non-negative integer instead.
-    """
-    keep = strategy.requires_model_history
-    if isinstance(keep, bool) or not isinstance(keep, (int, np.integer)):
-        raise ConfigurationError(
-            f"{type(strategy).__name__}.requires_model_history must be a "
-            f"non-negative int (number of past models to retain), got {keep!r}"
-        )
-    if keep < 0:
-        raise ConfigurationError(
-            f"{type(strategy).__name__}.requires_model_history must be >= 0, "
-            f"got {keep}"
-        )
-    return int(keep)
+#: Backward-compatible alias; the checked accessor moved to
+#: :mod:`repro.core.session` with the engine.
+_validated_model_history = validated_model_history
 
 
 class ActiveLearningLoop:
@@ -120,7 +69,9 @@ class ActiveLearningLoop:
         ``batch_size``).
     metric:
         Custom ``f(model, dataset) -> float``; defaults to the paper's
-        metric for the model family (accuracy / span F1).
+        metric for the model family (accuracy / span F1).  A metric whose
+        signature declares a ``cache`` keyword receives the loop's
+        per-round :class:`~repro.core.prediction_cache.PredictionCache`.
     seed_or_rng:
         Controls the initial batch, strategy tie-breaks, and any
         stochastic strategy internals.
@@ -153,113 +104,61 @@ class ActiveLearningLoop:
         reseed_model: bool = True,
         history_limit: "int | None" = None,
     ) -> None:
-        if batch_size < 1:
-            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
-        if rounds < 1:
-            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
-        initial = batch_size if initial_size is None else initial_size
-        if initial < 1:
-            raise ConfigurationError(f"initial_size must be >= 1, got {initial}")
-        needed = initial + rounds * batch_size
-        if needed > len(train_dataset):
-            raise ConfigurationError(
-                f"run needs {needed} samples but the pool has {len(train_dataset)}"
-            )
+        self._rng = ensure_rng(seed_or_rng)
+        # Validate eagerly with a throwaway engine so misconfiguration
+        # fails at construction, not at run() time.  The probe performs
+        # no work, draws nothing from the RNG, and is discarded.
+        probe = SessionEngine(
+            model_prototype,
+            strategy,
+            train_dataset,
+            test_dataset,
+            batch_size=batch_size,
+            rounds=rounds,
+            initial_size=initial_size,
+            metric=metric,
+            seed_or_rng=self._rng,
+            reseed_model=reseed_model,
+            history_limit=history_limit,
+        )
         self.model_prototype = model_prototype
         self.strategy = strategy
         self.train_dataset = train_dataset
         self.test_dataset = test_dataset
         self.batch_size = batch_size
         self.rounds = rounds
-        self.initial_size = initial
-        window = getattr(strategy, "window", None)
-        if history_limit is not None and window is not None and history_limit < window:
-            raise ConfigurationError(
-                f"history_limit {history_limit} is below the strategy window "
-                f"{window}; windowed statistics would be truncated"
-            )
-        self.metric = metric or evaluate_model
+        self.initial_size = probe.initial_size
+        self.metric = probe.metric
         self.reseed_model = reseed_model
         self.history_limit = history_limit
-        self._rng = ensure_rng(seed_or_rng)
-        self._keep_models = _validated_model_history(strategy)
+        self._keep_models = probe._keep_models
 
-    def _fresh_model(self, rng: np.random.Generator):
-        """Clone the prototype, optionally with a fresh per-round seed."""
-        model = self.model_prototype.clone()
-        if self.reseed_model and hasattr(model, "seed"):
-            model.seed = int(rng.integers(2**31))
-        return model
+    def build_engine(self, observers: Sequence = ()) -> SessionEngine:
+        """A fresh :class:`SessionEngine` over this loop's configuration.
 
-    def run(self) -> ALResult:
-        """Execute the full loop and return the audit trail."""
-        rng = self._rng
-        n = len(self.train_dataset)
-        initial = rng.choice(n, size=self.initial_size, replace=False)
-        pool = Pool(n, initial_labeled=initial)
-        history = HistoryStore(n, strategy_name=self.strategy.name)
-        keep_models = self._keep_models
-        model_history: list = []
-        records: list[RoundRecord] = []
-        selection_order: list[np.ndarray] = []
-        model = None
-        cache = PredictionCache()
-
-        for round_index in range(self.rounds + 1):
-            # The previous round's model is gone; keeping its entries
-            # would only pin dead models and recycle their ids.
-            cache.clear()
-            model = self._fresh_model(rng).fit(
-                self.train_dataset.subset(pool.labeled_indices)
-            )
-            if self.metric is evaluate_model:
-                metric_value = evaluate_model(model, self.test_dataset, cache=cache)
-            else:
-                metric_value = self.metric(model, self.test_dataset)
-            if keep_models:
-                model_history.append(model)
-                del model_history[:-keep_models]
-            if round_index == self.rounds or pool.num_unlabeled < self.batch_size:
-                records.append(
-                    RoundRecord(
-                        round_index=round_index,
-                        labeled_count=pool.num_labeled,
-                        metric=metric_value,
-                        selected=np.empty(0, dtype=np.int64),
-                        selected_scores=np.empty(0),
-                    )
-                )
-                break
-            context = SelectionContext(
-                dataset=self.train_dataset,
-                unlabeled=pool.unlabeled_indices,
-                labeled=pool.labeled_indices,
-                history=history,
-                round_index=round_index + 1,
-                rng=rng,
-                model_history=list(model_history),
-                cache=cache,
-            )
-            selected = self.strategy.select(model, context, self.batch_size)
-            score_vector = history.current_scores(selected)
-            records.append(
-                RoundRecord(
-                    round_index=round_index,
-                    labeled_count=pool.num_labeled,
-                    metric=metric_value,
-                    selected=selected,
-                    selected_scores=score_vector,
-                )
-            )
-            selection_order.append(selected)
-            pool.label(selected)
-            if self.history_limit is not None:
-                history.prune(self.history_limit)
-
-        return ALResult(
-            strategy_name=self.strategy.name,
-            records=records,
-            history=history,
-            final_model=model,
-            selection_order=selection_order,
+        The engine consumes the loop's own RNG, so interleaving
+        :meth:`build_engine` / :meth:`run` calls continues one random
+        stream exactly as repeated :meth:`run` calls always have.
+        """
+        return SessionEngine(
+            self.model_prototype,
+            self.strategy,
+            self.train_dataset,
+            self.test_dataset,
+            batch_size=self.batch_size,
+            rounds=self.rounds,
+            initial_size=self.initial_size,
+            metric=None if self.metric is evaluate_model else self.metric,
+            seed_or_rng=self._rng,
+            reseed_model=self.reseed_model,
+            history_limit=self.history_limit,
+            observers=observers,
         )
+
+    def run(self, observers: Sequence = ()) -> ALResult:
+        """Execute the full loop and return the audit trail.
+
+        Every proposed batch — including the random initial one — is
+        answered with the training dataset's own labels.
+        """
+        return run_to_completion(self.build_engine(observers))

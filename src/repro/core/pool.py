@@ -57,6 +57,17 @@ class Pool:
             raise PoolError(f"index {index} out of range [0, {self.n})")
         return bool(self._labeled[index])
 
+    # -- snapshots -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot of the pool (size + labeled indices)."""
+        return {"n": self.n, "labeled": self.labeled_indices.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Pool":
+        """Rebuild a pool written by :meth:`to_dict`."""
+        return cls(int(payload["n"]), initial_labeled=payload["labeled"])
+
     # -- transitions -----------------------------------------------------------
 
     def label(self, indices: "Sequence[int] | np.ndarray") -> None:

@@ -1,0 +1,781 @@
+"""The re-entrant active-learning session engine.
+
+:class:`SessionEngine` is the paper's pool-based AL loop (Figure 1)
+decomposed into an explicit state machine::
+
+    PROPOSE -> AWAIT_LABELS -> COMMIT -> TRAIN -> EVALUATE -> PROPOSE -> ...
+    (bootstrap: the random initial batch)            `-> FINISHED
+
+A fresh session starts in ``PROPOSE`` with the *bootstrap* round: the
+random initial batch is proposed for annotation exactly like any later
+batch, so a human annotator labels it too (the closed
+:class:`~repro.core.loop.ActiveLearningLoop` answers it from the oracle
+labels instead).  After the bootstrap commit every round runs
+``TRAIN -> EVALUATE -> PROPOSE -> AWAIT_LABELS -> COMMIT``; the final
+round stops after ``EVALUATE`` with the evaluation-only record, exactly
+as the monolithic loop did.
+
+The public driving surface is :meth:`step` (execute one phase),
+:meth:`propose` (advance until a batch awaits labels, return it),
+:meth:`ingest_labels` (answer the pending batch, optionally writing
+externally supplied labels into the training dataset), and
+:meth:`result` (the finished :class:`ALResult`).  Lifecycle observers
+(:class:`~repro.core.events.SessionObserver`) hear about every phase.
+
+:meth:`snapshot` serialises the *complete* mid-run state — pool, history
+store, RNG bit-generator state, refit specs for the current model and
+the model-history window, records, selection order, pending proposal,
+and externally ingested labels — as a JSON-compatible dict, and
+:meth:`restore` resumes from it **between any two phases**, including
+between ``propose`` and ``ingest``.  A resumed session is byte-identical
+to an uninterrupted one: the RNG stream continues exactly where it
+stopped, and fitted models are reproduced by refitting the recorded
+(seed, labeled-set) pairs — model training in this package is
+deterministic given those, so refitting beats shipping opaque weight
+blobs and keeps snapshots plain JSON like every other artifact.
+
+The per-round :class:`~repro.core.prediction_cache.PredictionCache` is
+*not* serialised: it only memoises deterministic forward passes, so a
+restored session recomputes them with identical values.  The snapshot
+records the round the cache belonged to for diagnostics.
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.datasets import SequenceDataset, TextDataset
+from ..eval.curves import LearningCurve
+from ..eval.metrics import evaluate_model
+from ..exceptions import ConfigurationError, IngestError, SessionError
+from ..rng import ensure_rng, rng_from_state, rng_state
+from .events import emit
+from .history import HistoryStore
+from .pool import Pool
+from .prediction_cache import PredictionCache
+from .strategies.base import QueryStrategy, SelectionContext
+
+#: Format marker of :meth:`SessionEngine.snapshot` payloads.
+SNAPSHOT_FORMAT = "repro.al_session"
+SNAPSHOT_VERSION = 1
+
+
+class SessionState(str, enum.Enum):
+    """Lifecycle phases of a :class:`SessionEngine`.
+
+    The value of each member is its stable serialisation name.
+    """
+
+    TRAIN = "train"
+    EVALUATE = "evaluate"
+    PROPOSE = "propose"
+    AWAIT_LABELS = "await_labels"
+    COMMIT = "commit"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one active-learning round.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round number (0 = the random initial batch).
+    labeled_count:
+        Labeled-pool size the model was trained on this round.
+    metric:
+        Test metric of that model.
+    selected:
+        Dataset indices chosen for annotation this round (empty for the
+        final evaluation-only record).
+    selected_scores:
+        Base-strategy evaluation scores of the selected samples, read
+        back from the history store (NaN for strategies that record no
+        history).
+    """
+
+    round_index: int
+    labeled_count: int
+    metric: float
+    selected: np.ndarray
+    selected_scores: np.ndarray
+
+
+@dataclass
+class ALResult:
+    """Outcome of an active-learning run."""
+
+    strategy_name: str
+    records: list[RoundRecord]
+    history: HistoryStore
+    final_model: object = None
+    #: Dataset indices in selection order, round by round.
+    selection_order: list[np.ndarray] = field(default_factory=list)
+
+    def curve(self, label: str = "") -> LearningCurve:
+        """Learning curve (labeled count -> metric) of the run."""
+        counts = np.array([r.labeled_count for r in self.records], dtype=np.int64)
+        values = np.array([r.metric for r in self.records], dtype=np.float64)
+        return LearningCurve(counts, values, label=label or self.strategy_name)
+
+
+def record_to_dict(record: RoundRecord) -> dict:
+    """Serialise one :class:`RoundRecord` as JSON-compatible data."""
+    return {
+        "round_index": record.round_index,
+        "labeled_count": record.labeled_count,
+        "metric": record.metric,
+        "selected": record.selected.tolist(),
+        "selected_scores": record.selected_scores.tolist(),
+    }
+
+
+def record_from_dict(payload: dict) -> RoundRecord:
+    """Rebuild a :class:`RoundRecord` written by :func:`record_to_dict`."""
+    return RoundRecord(
+        round_index=int(payload["round_index"]),
+        labeled_count=int(payload["labeled_count"]),
+        metric=float(payload["metric"]),
+        selected=np.asarray(payload["selected"], dtype=np.int64),
+        selected_scores=np.asarray(payload["selected_scores"], dtype=np.float64),
+    )
+
+
+def validated_model_history(strategy: QueryStrategy) -> int:
+    """``strategy.requires_model_history`` as a checked non-negative int.
+
+    The value doubles as the model-history slice bound
+    (``del model_history[:-keep]``), so a strategy accidentally returning
+    ``True`` would silently keep exactly one model; reject bools and
+    anything else that is not a non-negative integer instead.
+    """
+    keep = strategy.requires_model_history
+    if isinstance(keep, bool) or not isinstance(keep, (int, np.integer)):
+        raise ConfigurationError(
+            f"{type(strategy).__name__}.requires_model_history must be a "
+            f"non-negative int (number of past models to retain), got {keep!r}"
+        )
+    if keep < 0:
+        raise ConfigurationError(
+            f"{type(strategy).__name__}.requires_model_history must be >= 0, "
+            f"got {keep}"
+        )
+    return int(keep)
+
+
+def metric_accepts_cache(metric: Callable) -> bool:
+    """Whether ``metric``'s signature has an explicit ``cache`` parameter.
+
+    The engine passes its per-round :class:`PredictionCache` to any
+    metric that declares the keyword — including wrapped or partial
+    variants of :func:`~repro.eval.metrics.evaluate_model`, which an
+    identity check (``metric is evaluate_model``) silently misses.  A
+    bare ``**kwargs`` does not count: it gives no evidence the metric
+    understands the keyword.
+    """
+    try:
+        signature = inspect.signature(metric)
+    except (TypeError, ValueError):
+        return False
+    parameter = signature.parameters.get("cache")
+    return parameter is not None and parameter.kind in (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
+
+
+class SessionEngine:
+    """Explicit state machine over one pool-based active-learning run.
+
+    Constructor parameters match
+    :class:`~repro.core.loop.ActiveLearningLoop` (which is now a thin
+    auto-oracle driver over this class); ``observers`` is a sequence of
+    :class:`~repro.core.events.SessionObserver` instances notified of
+    every lifecycle event.
+
+    The engine owns the run's mutable state (pool, history, RNG, model
+    window, records); the model prototype, strategy, datasets, and
+    metric are *components* — they are not serialised by
+    :meth:`snapshot` and must be supplied again, identically configured,
+    to :meth:`restore`.
+    """
+
+    def __init__(
+        self,
+        model_prototype,
+        strategy: QueryStrategy,
+        train_dataset: "TextDataset | SequenceDataset",
+        test_dataset: "TextDataset | SequenceDataset",
+        batch_size: int = 25,
+        rounds: int = 20,
+        initial_size: "int | None" = None,
+        metric: "Callable[[object, object], float] | None" = None,
+        seed_or_rng: "int | np.random.Generator | None" = None,
+        reseed_model: bool = True,
+        history_limit: "int | None" = None,
+        observers: Sequence = (),
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        initial = batch_size if initial_size is None else initial_size
+        if initial < 1:
+            raise ConfigurationError(f"initial_size must be >= 1, got {initial}")
+        needed = initial + rounds * batch_size
+        if needed > len(train_dataset):
+            raise ConfigurationError(
+                f"run needs {needed} samples but the pool has {len(train_dataset)}"
+            )
+        window = getattr(strategy, "window", None)
+        if history_limit is not None and window is not None and history_limit < window:
+            raise ConfigurationError(
+                f"history_limit {history_limit} is below the strategy window "
+                f"{window}; windowed statistics would be truncated"
+            )
+        self.model_prototype = model_prototype
+        self.strategy = strategy
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.batch_size = batch_size
+        self.rounds = rounds
+        self.initial_size = initial
+        self.metric = metric or evaluate_model
+        self.reseed_model = reseed_model
+        self.history_limit = history_limit
+        self.observers = list(observers)
+        self._metric_wants_cache = metric_accepts_cache(self.metric)
+        self._keep_models = validated_model_history(strategy)
+        self._rng = ensure_rng(seed_or_rng)
+
+        n = len(train_dataset)
+        self._state = SessionState.PROPOSE
+        self._round_index = 0
+        self._bootstrap_done = False
+        self._pool = Pool(n)
+        self._history = HistoryStore(n, strategy_name=strategy.name)
+        self._cache = PredictionCache()
+        self._records: list[RoundRecord] = []
+        self._selection_order: list[np.ndarray] = []
+        self._pending: "np.ndarray | None" = None
+        self._metric_value: "float | None" = None
+        self._model = None
+        #: (seed, labeled indices) the current model was fitted from —
+        #: enough to reproduce it bit for bit after a restore.
+        self._model_spec: "dict | None" = None
+        self._model_history: list = []
+        self._model_history_specs: list[dict] = []
+        #: Externally supplied labels written into ``train_dataset``,
+        #: keyed by dataset index; replayed on restore so a rebuilt
+        #: dataset carries the annotator's answers.
+        self._ingested: dict[int, object] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> SessionState:
+        """The phase the engine will execute next."""
+        return self._state
+
+    @property
+    def round_index(self) -> int:
+        """The current annotation round (0 until the first commit)."""
+        return self._round_index
+
+    @property
+    def pending(self) -> "np.ndarray | None":
+        """Dataset indices awaiting labels, or ``None``."""
+        return None if self._pending is None else self._pending.copy()
+
+    @property
+    def records(self) -> list[RoundRecord]:
+        """Round records so far (shared list; do not mutate)."""
+        return self._records
+
+    @property
+    def history(self) -> HistoryStore:
+        """The run's history store."""
+        return self._history
+
+    @property
+    def pool(self) -> Pool:
+        """The run's labeled/unlabeled pool."""
+        return self._pool
+
+    # -- driving -----------------------------------------------------------
+
+    def step(self) -> SessionState:
+        """Execute the current phase and return the new state.
+
+        Raises
+        ------
+        SessionError
+            In ``AWAIT_LABELS`` (call :meth:`ingest_labels`) and
+            ``FINISHED`` (call :meth:`result`) — the engine cannot make
+            progress on its own in either.
+        """
+        if self._state is SessionState.AWAIT_LABELS:
+            raise SessionError(
+                f"session is awaiting labels for {len(self._pending)} samples; "
+                "call ingest_labels(indices, labels=None)"
+            )
+        if self._state is SessionState.FINISHED:
+            raise SessionError("session is finished; call result()")
+        phase = {
+            SessionState.TRAIN: self._step_train,
+            SessionState.EVALUATE: self._step_evaluate,
+            SessionState.PROPOSE: self._step_propose,
+            SessionState.COMMIT: self._step_commit,
+        }[self._state]
+        phase()
+        return self._state
+
+    def propose(self) -> "np.ndarray | None":
+        """Advance until a batch awaits labels; return its indices.
+
+        Returns ``None`` once the session is finished.  Calling it while
+        already in ``AWAIT_LABELS`` just returns the pending batch again.
+        """
+        while self._state not in (SessionState.AWAIT_LABELS, SessionState.FINISHED):
+            self.step()
+        if self._state is SessionState.FINISHED:
+            return None
+        return self._pending.copy()
+
+    def ingest_labels(
+        self,
+        indices: "Sequence[int] | np.ndarray",
+        labels: "Sequence | None" = None,
+    ) -> None:
+        """Answer the pending proposal with labels for its samples.
+
+        ``indices`` must be exactly the proposed batch (any order).
+        With ``labels=None`` the dataset's existing labels are used (the
+        simulation/oracle mode of the paper's experiments); otherwise
+        ``labels[i]`` is written into the training dataset as the label
+        of ``indices[i]`` — a class id for text classification, a tag-id
+        sequence for sequence labeling — before the batch is committed.
+
+        The engine moves to ``COMMIT``; the next :meth:`step` or
+        :meth:`propose` performs the commit, so a :meth:`snapshot` taken
+        right after this call still carries the uncommitted batch.
+
+        Raises
+        ------
+        SessionError
+            If no proposal is pending.
+        IngestError
+            On any validation failure: index never proposed or already
+            labeled, duplicated indices, label/indices length mismatch,
+            or label values invalid for the dataset.  The session state
+            is unchanged — nothing is partially ingested.
+        """
+        if self._state is not SessionState.AWAIT_LABELS:
+            raise SessionError(
+                f"no proposal is awaiting labels (state={self._state.value!r})"
+            )
+        index_array = np.asarray(list(np.atleast_1d(indices)), dtype=np.int64)
+        pending = self._pending
+        if index_array.ndim != 1 or len(index_array) != len(pending):
+            raise IngestError(
+                f"proposal has {len(pending)} samples but {index_array.size} "
+                "indices were ingested"
+            )
+        # Validate the *caller's* deviation from the proposal only; a
+        # defective proposal (a strategy bug) echoed straight back is let
+        # through so the commit surfaces it as PoolError, exactly as the
+        # monolithic loop did.
+        if not np.array_equal(np.sort(index_array), np.sort(pending)):
+            foreign = np.unique(index_array[~np.isin(index_array, pending)])
+            if foreign.size:
+                already = foreign[np.isin(foreign, self._pool.labeled_indices)]
+                if already.size:
+                    raise IngestError(
+                        "indices already labeled in an earlier round: "
+                        f"{already[:5].tolist()}"
+                    )
+                raise IngestError(
+                    f"indices were never proposed: {foreign[:5].tolist()}"
+                )
+            raise IngestError("duplicate indices in one ingest call")
+        if labels is not None:
+            if len(labels) != len(index_array):
+                raise IngestError(
+                    f"{len(index_array)} indices but {len(labels)} labels"
+                )
+            validated = [
+                self._validated_label(int(index), label)
+                for index, label in zip(index_array, labels)
+            ]
+            # All-or-nothing: write only after every label validated.
+            for index, label in zip(index_array, validated):
+                self._write_label(int(index), label)
+        self._state = SessionState.COMMIT
+
+    def result(self) -> ALResult:
+        """The finished run's audit trail.
+
+        Raises
+        ------
+        SessionError
+            If the session has not reached ``FINISHED``.
+        """
+        if self._state is not SessionState.FINISHED:
+            raise SessionError(
+                f"session is not finished (state={self._state.value!r})"
+            )
+        return ALResult(
+            strategy_name=self.strategy.name,
+            records=self._records,
+            history=self._history,
+            final_model=self._model,
+            selection_order=self._selection_order,
+        )
+
+    # -- phases ------------------------------------------------------------
+
+    def _step_train(self) -> None:
+        emit(
+            self.observers,
+            "round_started",
+            self._round_index,
+            self._pool.num_labeled,
+        )
+        # The previous round's model is gone; keeping its cache entries
+        # would only pin dead models and recycle their ids.
+        self._cache.clear()
+        model = self.model_prototype.clone()
+        seed = None
+        if self.reseed_model and hasattr(model, "seed"):
+            seed = int(self._rng.integers(2**31))
+            model.seed = seed
+        labeled = self._pool.labeled_indices
+        model.fit(self.train_dataset.subset(labeled))
+        self._model = model
+        self._model_spec = {"seed": seed, "labeled": labeled.tolist()}
+        self._state = SessionState.EVALUATE
+
+    def _step_evaluate(self) -> None:
+        if self._metric_wants_cache:
+            metric_value = self.metric(
+                self._model, self.test_dataset, cache=self._cache
+            )
+        else:
+            metric_value = self.metric(self._model, self.test_dataset)
+        self._metric_value = metric_value
+        if self._keep_models:
+            self._model_history.append(self._model)
+            del self._model_history[: -self._keep_models]
+            self._model_history_specs.append(self._model_spec)
+            del self._model_history_specs[: -self._keep_models]
+        emit(
+            self.observers,
+            "model_trained",
+            self._round_index,
+            self._model,
+            metric_value,
+        )
+        if (
+            self._round_index == self.rounds
+            or self._pool.num_unlabeled < self.batch_size
+        ):
+            self._records.append(
+                RoundRecord(
+                    round_index=self._round_index,
+                    labeled_count=self._pool.num_labeled,
+                    metric=metric_value,
+                    selected=np.empty(0, dtype=np.int64),
+                    selected_scores=np.empty(0),
+                )
+            )
+            self._state = SessionState.FINISHED
+            emit(self.observers, "session_finished", self.result())
+        else:
+            self._state = SessionState.PROPOSE
+
+    def _step_propose(self) -> None:
+        if not self._bootstrap_done:
+            initial = self._rng.choice(
+                len(self.train_dataset), size=self.initial_size, replace=False
+            )
+            self._pending = np.asarray(initial, dtype=np.int64)
+            emit(self.observers, "batch_selected", self._round_index, self._pending)
+            self._state = SessionState.AWAIT_LABELS
+            return
+        context = SelectionContext(
+            dataset=self.train_dataset,
+            unlabeled=self._pool.unlabeled_indices,
+            labeled=self._pool.labeled_indices,
+            history=self._history,
+            round_index=self._round_index + 1,
+            rng=self._rng,
+            model_history=list(self._model_history),
+            cache=self._cache,
+        )
+        selected = self.strategy.select(self._model, context, self.batch_size)
+        score_vector = self._history.current_scores(selected)
+        self._records.append(
+            RoundRecord(
+                round_index=self._round_index,
+                labeled_count=self._pool.num_labeled,
+                metric=self._metric_value,
+                selected=selected,
+                selected_scores=score_vector,
+            )
+        )
+        self._selection_order.append(selected)
+        self._pending = selected
+        emit(self.observers, "scores_computed", self._round_index, score_vector)
+        emit(self.observers, "batch_selected", self._round_index, selected)
+        self._state = SessionState.AWAIT_LABELS
+
+    def _step_commit(self) -> None:
+        self._pool.label(self._pending)
+        if not self._bootstrap_done:
+            self._bootstrap_done = True
+            emit(self.observers, "round_committed", self._round_index, None)
+        else:
+            if self.history_limit is not None:
+                self._history.prune(self.history_limit)
+            emit(
+                self.observers,
+                "round_committed",
+                self._round_index,
+                self._records[-1],
+            )
+            self._round_index += 1
+        self._pending = None
+        self._state = SessionState.TRAIN
+
+    # -- external labels ---------------------------------------------------
+
+    def _validated_label(self, index: int, label):
+        """Check one external label against the dataset; return it normalised.
+
+        Raises :class:`IngestError` on invalid values so a bad batch is
+        rejected before anything is written.
+        """
+        dataset = self.train_dataset
+        if isinstance(dataset, TextDataset):
+            if isinstance(label, bool) or not isinstance(label, (int, np.integer)):
+                raise IngestError(
+                    f"sample {index}: label must be a class id, got {label!r}"
+                )
+            if not 0 <= label < dataset.num_classes:
+                raise IngestError(
+                    f"sample {index}: class id {label} out of range "
+                    f"[0, {dataset.num_classes})"
+                )
+            return int(label)
+        if isinstance(dataset, SequenceDataset):
+            tags = np.asarray(label, dtype=np.int64)
+            expected = len(dataset.sentences[index])
+            if tags.ndim != 1 or len(tags) != expected:
+                raise IngestError(
+                    f"sample {index}: expected {expected} tags, got "
+                    f"{tags.size if tags.ndim == 1 else label!r}"
+                )
+            if tags.size and not (0 <= tags.min() and tags.max() < dataset.num_tags):
+                raise IngestError(
+                    f"sample {index}: tag id out of range [0, {dataset.num_tags})"
+                )
+            return tags
+        raise IngestError(
+            f"cannot ingest labels into a {type(dataset).__name__}"
+        )
+
+    def _write_label(self, index: int, label) -> None:
+        """Write a validated label into the training dataset."""
+        dataset = self.train_dataset
+        if isinstance(dataset, TextDataset):
+            dataset.labels[index] = label
+            self._ingested[index] = int(label)
+        else:
+            dataset.tag_sequences[index] = label
+            self._ingested[index] = np.asarray(label).tolist()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The complete mid-run state as a JSON-compatible dict.
+
+        Legal in every state; :meth:`restore` resumes from it with
+        byte-identical continuation.  Components (model prototype,
+        strategy, datasets, metric) are fingerprinted, not serialised.
+        """
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "config": {
+                "strategy": self.strategy.name,
+                "n_train": len(self.train_dataset),
+                "n_test": len(self.test_dataset),
+                "batch_size": self.batch_size,
+                "rounds": self.rounds,
+                "initial_size": self.initial_size,
+                "reseed_model": self.reseed_model,
+                "history_limit": self.history_limit,
+                "default_metric": self.metric is evaluate_model,
+            },
+            "state": self._state.value,
+            "round_index": self._round_index,
+            "bootstrap_done": self._bootstrap_done,
+            "rng": rng_state(self._rng),
+            "pool": self._pool.to_dict(),
+            "history": self._history.to_dict(),
+            "records": [record_to_dict(record) for record in self._records],
+            "selection_order": [
+                selected.tolist() for selected in self._selection_order
+            ],
+            "pending": None if self._pending is None else self._pending.tolist(),
+            "metric_value": self._metric_value,
+            "model": self._model_spec,
+            "model_history": list(self._model_history_specs),
+            "ingested": [[index, label] for index, label in self._ingested.items()],
+            # Informational: the cache itself is rebuilt, not serialised.
+            "cache": {"round": self._round_index, "entries": len(self._cache)},
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        model_prototype,
+        strategy: QueryStrategy,
+        train_dataset: "TextDataset | SequenceDataset",
+        test_dataset: "TextDataset | SequenceDataset",
+        metric: "Callable[[object, object], float] | None" = None,
+        observers: Sequence = (),
+    ) -> "SessionEngine":
+        """Resume a session from a :meth:`snapshot` payload.
+
+        The components must be configured identically to the originals
+        (the snapshot fingerprints strategy name, dataset sizes, and
+        loop shape and rejects mismatches); fitted models are reproduced
+        by refitting their recorded (seed, labeled-set) specs, and
+        externally ingested labels are replayed into ``train_dataset``.
+
+        Raises
+        ------
+        SessionError
+            If the payload is not a session snapshot, is from an
+            unsupported version, or does not match the components.
+        """
+        if not isinstance(snapshot, dict) or snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise SessionError("not a session snapshot payload")
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise SessionError(
+                f"unsupported session snapshot version {snapshot.get('version')!r}"
+            )
+        config = snapshot["config"]
+        mismatches = []
+        if strategy.name != config["strategy"]:
+            mismatches.append(
+                f"strategy {strategy.name!r} != {config['strategy']!r}"
+            )
+        if len(train_dataset) != config["n_train"]:
+            mismatches.append(
+                f"train size {len(train_dataset)} != {config['n_train']}"
+            )
+        if len(test_dataset) != config["n_test"]:
+            mismatches.append(f"test size {len(test_dataset)} != {config['n_test']}")
+        if (metric is None) != bool(config["default_metric"]):
+            mismatches.append("default/custom metric mismatch")
+        if mismatches:
+            raise SessionError(
+                "snapshot does not match the supplied components: "
+                + "; ".join(mismatches)
+            )
+        engine = cls(
+            model_prototype,
+            strategy,
+            train_dataset,
+            test_dataset,
+            batch_size=int(config["batch_size"]),
+            rounds=int(config["rounds"]),
+            initial_size=int(config["initial_size"]),
+            metric=metric,
+            seed_or_rng=rng_from_state(snapshot["rng"]),
+            reseed_model=bool(config["reseed_model"]),
+            history_limit=config["history_limit"],
+            observers=observers,
+        )
+        engine._state = SessionState(snapshot["state"])
+        engine._round_index = int(snapshot["round_index"])
+        engine._bootstrap_done = bool(snapshot["bootstrap_done"])
+        engine._pool = Pool.from_dict(snapshot["pool"])
+        engine._history = HistoryStore.from_dict(snapshot["history"])
+        engine._records = [record_from_dict(r) for r in snapshot["records"]]
+        engine._selection_order = [
+            np.asarray(selected, dtype=np.int64)
+            for selected in snapshot["selection_order"]
+        ]
+        if snapshot["pending"] is not None:
+            engine._pending = np.asarray(snapshot["pending"], dtype=np.int64)
+        engine._metric_value = snapshot["metric_value"]
+        for index, label in snapshot["ingested"]:
+            engine._write_label(
+                int(index), engine._validated_label(int(index), _as_label(label))
+            )
+        engine._model_spec = snapshot["model"]
+        engine._model_history_specs = [dict(s) for s in snapshot["model_history"]]
+        engine._model_history = [
+            engine._refit(spec) for spec in engine._model_history_specs
+        ]
+        if engine._state in (
+            SessionState.EVALUATE,
+            SessionState.PROPOSE,
+            SessionState.FINISHED,
+        ):
+            # Only these phases still read the current model; elsewhere the
+            # next TRAIN replaces it anyway, so skip the refit cost.
+            if (
+                engine._model_history_specs
+                and engine._model_spec == engine._model_history_specs[-1]
+            ):
+                engine._model = engine._model_history[-1]
+            elif engine._model_spec is not None:
+                engine._model = engine._refit(engine._model_spec)
+        return engine
+
+    def _refit(self, spec: dict):
+        """Reproduce a fitted model from its (seed, labeled-set) spec."""
+        model = self.model_prototype.clone()
+        if spec["seed"] is not None:
+            model.seed = int(spec["seed"])
+        return model.fit(self.train_dataset.subset(np.asarray(spec["labeled"], dtype=np.int64)))
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionEngine(strategy={self.strategy.name!r}, "
+            f"state={self._state.value!r}, round={self._round_index})"
+        )
+
+
+def _as_label(label):
+    """Normalise a JSON-decoded label (lists stay lists, ints stay ints)."""
+    return label
+
+
+def run_to_completion(engine: SessionEngine, on_round_committed=None) -> ALResult:
+    """Drive ``engine`` with the dataset's own labels (the auto-oracle).
+
+    Every pending proposal is answered with ``labels=None`` and committed
+    immediately; ``on_round_committed(engine)`` is invoked after each
+    commit, at the exact round boundary — the hook the runner uses to
+    write round-level session snapshots.
+    """
+    while True:
+        pending = engine.propose()
+        if pending is None:
+            return engine.result()
+        engine.ingest_labels(pending)
+        engine.step()  # commit now so snapshots land on the round boundary
+        if on_round_committed is not None:
+            on_round_committed(engine)

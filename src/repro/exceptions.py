@@ -57,3 +57,24 @@ class CheckpointError(ReproError):
     seed, or strategy set) are rejected with this error instead of being
     silently reused.
     """
+
+
+class SessionError(ReproError):
+    """An active-learning session was driven or restored illegally.
+
+    Raised when a :class:`~repro.core.session.SessionEngine` method is
+    called in the wrong lifecycle state (e.g. ``step()`` while waiting
+    for labels, ``result()`` before the session finished) or when a
+    snapshot does not match the components it is being restored with.
+    """
+
+
+class IngestError(SessionError):
+    """A label batch handed to a session was rejected.
+
+    Covers every ingest-path validation failure: indices that were never
+    proposed or are already labeled, duplicated indices, a label list
+    whose length does not match the indices, and label values that are
+    invalid for the dataset (class id out of range, tag sequence of the
+    wrong length).
+    """

@@ -23,6 +23,14 @@ The ``final_model`` of a cell is deliberately not serialised: it is not
 part of the aggregated comparison output, and keeping checkpoints
 model-agnostic keeps them small and format-stable.  Resumed cells carry
 ``final_model=None``.
+
+Beyond completed cells, the store also keeps *round-level session
+snapshots* (``session_*.json``): the
+:meth:`~repro.core.session.SessionEngine.snapshot` of a cell still in
+flight, written after every committed round.  A resumed or retried run
+restores the engine mid-cell instead of recomputing the finished rounds,
+and the snapshot is discarded the moment its cell completes — only
+in-flight cells ever have one on disk.
 """
 
 from __future__ import annotations
@@ -35,14 +43,18 @@ from pathlib import Path
 import numpy as np
 
 from ..core.history import HistoryStore
-from ..core.loop import ALResult, RoundRecord
+from ..core.session import ALResult, record_from_dict, record_to_dict
 from ..exceptions import CheckpointError, HistoryError
-from ..ioutil import atomic_write_text
+from ..ioutil import atomic_write_json, atomic_write_text
 from .config import ExperimentConfig
 
 #: Format marker at the top of every cell checkpoint document.
 CHECKPOINT_FORMAT = "repro.al_cell"
 CHECKPOINT_VERSION = 1
+
+#: Format marker of the envelope around an in-flight session snapshot.
+SESSION_CHECKPOINT_FORMAT = "repro.al_cell_session"
+SESSION_CHECKPOINT_VERSION = 1
 
 
 # -- history store -----------------------------------------------------------
@@ -50,32 +62,12 @@ CHECKPOINT_VERSION = 1
 
 def history_to_dict(history: HistoryStore) -> dict:
     """Serialise a history store as per-round sparse (indices, scores) rows."""
-    return {
-        "n_samples": history.n_samples,
-        "strategy_name": history.strategy_name,
-        "rounds": [
-            {
-                "round": round_index,
-                "indices": indices.tolist(),
-                "scores": scores.tolist(),
-            }
-            for round_index, indices, scores in history.iter_rounds()
-        ],
-    }
+    return history.to_dict()
 
 
 def history_from_dict(payload: dict) -> HistoryStore:
     """Rebuild a history store by replaying the recorded rounds."""
-    history = HistoryStore(
-        int(payload["n_samples"]), strategy_name=str(payload["strategy_name"])
-    )
-    for row in payload["rounds"]:
-        history.append(
-            int(row["round"]),
-            np.asarray(row["indices"], dtype=np.int64),
-            np.asarray(row["scores"], dtype=np.float64),
-        )
-    return history
+    return HistoryStore.from_dict(payload)
 
 
 # -- ALResult ----------------------------------------------------------------
@@ -85,16 +77,7 @@ def result_to_dict(result: ALResult) -> dict:
     """Serialise an :class:`ALResult` (``final_model`` is dropped)."""
     return {
         "strategy_name": result.strategy_name,
-        "records": [
-            {
-                "round_index": record.round_index,
-                "labeled_count": record.labeled_count,
-                "metric": record.metric,
-                "selected": record.selected.tolist(),
-                "selected_scores": record.selected_scores.tolist(),
-            }
-            for record in result.records
-        ],
+        "records": [record_to_dict(record) for record in result.records],
         "selection_order": [selected.tolist() for selected in result.selection_order],
         "history": history_to_dict(result.history),
     }
@@ -106,16 +89,7 @@ def result_from_dict(payload: dict) -> ALResult:
     Floats round-trip exactly through JSON (``repr`` serialisation), so
     curves and records compare byte-identical to the originals.
     """
-    records = [
-        RoundRecord(
-            round_index=int(record["round_index"]),
-            labeled_count=int(record["labeled_count"]),
-            metric=float(record["metric"]),
-            selected=np.asarray(record["selected"], dtype=np.int64),
-            selected_scores=np.asarray(record["selected_scores"], dtype=np.float64),
-        )
-        for record in payload["records"]
-    ]
+    records = [record_from_dict(record) for record in payload["records"]]
     return ALResult(
         strategy_name=str(payload["strategy_name"]),
         records=records,
@@ -222,3 +196,85 @@ class CheckpointStore:
             return result_from_dict(payload["result"])
         except (KeyError, TypeError, ValueError, HistoryError) as error:
             raise CheckpointError(f"corrupt checkpoint {path}: {error}") from error
+
+    # -- in-flight session snapshots -----------------------------------------
+
+    def session_path(self, strategy: str, repeat: int) -> Path:
+        """The round-level snapshot file of one in-flight cell.
+
+        Named ``session_*`` so completed-cell bookkeeping (and anything
+        globbing ``cell_*.json``) never mistakes an in-flight snapshot
+        for a finished result.
+        """
+        digest = hashlib.sha1(strategy.encode("utf-8")).hexdigest()[:8]
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", strategy)[:40] or "strategy"
+        return self.directory / f"session_{slug}.{digest}_r{int(repeat)}.json"
+
+    def save_session(
+        self, strategy: str, repeat: int, seed: int, snapshot: dict
+    ) -> Path:
+        """Atomically write the in-flight snapshot of one cell."""
+        payload = {
+            "format": SESSION_CHECKPOINT_FORMAT,
+            "version": SESSION_CHECKPOINT_VERSION,
+            "strategy": strategy,
+            "repeat": int(repeat),
+            "seed": int(seed),
+            "config": self._config_fingerprint,
+            "session": snapshot,
+        }
+        path = self.session_path(strategy, repeat)
+        atomic_write_json(path, payload)
+        return path
+
+    def load_session(self, strategy: str, repeat: int, seed: int) -> "dict | None":
+        """The cell's mid-run session snapshot, or ``None`` if absent.
+
+        Raises
+        ------
+        CheckpointError
+            If the file exists but is unreadable, not a session
+            snapshot, from an unsupported version, or written by a
+            differently fingerprinted run.
+        """
+        path = self.session_path(strategy, repeat)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(f"corrupt session snapshot {path}: {error}") from error
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != SESSION_CHECKPOINT_FORMAT
+        ):
+            raise CheckpointError(f"{path} is not a cell session snapshot")
+        if payload.get("version") != SESSION_CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported session snapshot version "
+                f"{payload.get('version')!r} in {path}"
+            )
+        expected = {
+            "strategy": strategy,
+            "repeat": int(repeat),
+            "seed": int(seed),
+            "config": self._config_fingerprint,
+        }
+        actual = {key: payload.get(key) for key in expected}
+        if actual != expected:
+            raise CheckpointError(
+                f"stale session snapshot {path}: it was written by a different "
+                f"run (expected {expected}, found {actual}); clear the "
+                "checkpoint directory or rerun without resume"
+            )
+        session = payload.get("session")
+        if not isinstance(session, dict):
+            raise CheckpointError(f"corrupt session snapshot {path}: no session")
+        return session
+
+    def discard_session(self, strategy: str, repeat: int) -> None:
+        """Remove the cell's in-flight snapshot once the cell completes."""
+        try:
+            self.session_path(strategy, repeat).unlink()
+        except FileNotFoundError:
+            pass

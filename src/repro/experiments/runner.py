@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.loop import ActiveLearningLoop, ALResult
+from ..core.session import ALResult, SessionEngine, run_to_completion
 from ..eval.curves import LearningCurve, curve_std, mean_curve
 from ..exceptions import ConfigurationError, ExecutionError
 from ..rng import ensure_rng
@@ -112,25 +112,63 @@ def _run_cell(
     config: ExperimentConfig,
     metric,
     seed: int,
+    store: "CheckpointStore | None" = None,
+    strategy_name: "str | None" = None,
+    repeat: int = 0,
 ) -> ALResult:
-    """Run one (strategy, repeat) cell of the comparison grid."""
-    loop = ActiveLearningLoop(
-        model_prototype=model_factory(),
-        strategy=strategy_factory(),
-        train_dataset=train_dataset,
-        test_dataset=test_dataset,
-        batch_size=config.batch_size,
-        rounds=config.rounds,
-        initial_size=config.initial_size,
-        metric=metric,
-        seed_or_rng=int(seed),
-    )
-    return loop.run()
+    """Run one (strategy, repeat) cell of the comparison grid.
+
+    With a checkpoint ``store`` attached, the engine's round-level
+    snapshot is written after every committed round, and an existing
+    snapshot for this cell (left behind by a crash or a failed attempt)
+    is restored instead of recomputing the finished rounds.  Resuming is
+    byte-identical to running the cell uninterrupted, so a resumed retry
+    is indistinguishable from a first-attempt success.
+    """
+    snapshot = None
+    if store is not None:
+        snapshot = store.load_session(strategy_name, repeat, int(seed))
+    if snapshot is not None:
+        engine = SessionEngine.restore(
+            snapshot,
+            model_factory(),
+            strategy_factory(),
+            train_dataset,
+            test_dataset,
+            metric=metric,
+        )
+    else:
+        engine = SessionEngine(
+            model_factory(),
+            strategy_factory(),
+            train_dataset,
+            test_dataset,
+            batch_size=config.batch_size,
+            rounds=config.rounds,
+            initial_size=config.initial_size,
+            metric=metric,
+            seed_or_rng=int(seed),
+        )
+    on_round_committed = None
+    if store is not None:
+        on_round_committed = lambda e: store.save_session(  # noqa: E731
+            strategy_name, repeat, int(seed), e.snapshot()
+        )
+    return run_to_completion(engine, on_round_committed=on_round_committed)
 
 
-def _run_cell_from_state(strategy_index: int, seed: int) -> ALResult:
+def _run_cell_from_state(strategy_index: int, repeat: int, seed: int) -> ALResult:
     """Pool-worker entry point: look the cell up in the inherited state."""
-    model_factory, factories, train_dataset, test_dataset, config, metric = _POOL_STATE
+    (
+        model_factory,
+        factories,
+        train_dataset,
+        test_dataset,
+        config,
+        metric,
+        store,
+        names,
+    ) = _POOL_STATE
     return _run_cell(
         model_factory,
         factories[strategy_index],
@@ -139,6 +177,9 @@ def _run_cell_from_state(strategy_index: int, seed: int) -> ALResult:
         config,
         metric,
         seed,
+        store=store,
+        strategy_name=names[strategy_index] if names else None,
+        repeat=repeat,
     )
 
 
@@ -191,12 +232,25 @@ class _CellGrid:
             if loaded is not None:
                 self.results[cell] = loaded
                 self.pending.remove(cell)
+                self.store.discard_session(self.names[cell[0]], cell[1])
+
+    def drop_stale_sessions(self) -> None:
+        """Discard leftover mid-cell snapshots of every pending cell.
+
+        Called when ``resume=False``: snapshots from a previous run must
+        not leak into a run that explicitly asked to start over.
+        """
+        if self.store is None:
+            return
+        for cell in self.pending:
+            self.store.discard_session(self.names[cell[0]], cell[1])
 
     def record_success(self, cell: "tuple[int, int]", result: ALResult) -> None:
         self.results[cell] = result
         self.pending.remove(cell)
         if self.store is not None:
             self.store.save(self.names[cell[0]], cell[1], self.cell_seed(cell), result)
+            self.store.discard_session(self.names[cell[0]], cell[1])
 
     def record_error(self, cell: "tuple[int, int]", error: Exception) -> bool:
         """Count one failed attempt; True if the cell should be retried.
@@ -254,7 +308,11 @@ def _run_serial(
     config,
     metric,
 ) -> None:
-    """In-process execution with per-cell retry."""
+    """In-process execution with per-cell retry.
+
+    A retry of a cell whose engine snapshotted committed rounds resumes
+    from the last snapshot rather than recomputing them.
+    """
     for cell in list(grid.pending):
         while True:
             try:
@@ -266,6 +324,9 @@ def _run_serial(
                     config,
                     metric,
                     grid.cell_seed(cell),
+                    store=grid.store,
+                    strategy_name=grid.names[cell[0]],
+                    repeat=cell[1],
                 )
             except Exception as error:
                 if grid.record_error(cell, error):
@@ -296,7 +357,11 @@ def _run_pool(grid: _CellGrid, n_jobs: int) -> None:
         futures: dict = {}
         try:
             for cell in grid.pending:
-                futures[pool.submit(_run_cell_from_state, cell[0], grid.cell_seed(cell))] = cell
+                futures[
+                    pool.submit(
+                        _run_cell_from_state, cell[0], cell[1], grid.cell_seed(cell)
+                    )
+                ] = cell
             outstanding = set(futures)
             broke = False
             while outstanding and not broke:
@@ -311,7 +376,10 @@ def _run_pool(grid: _CellGrid, n_jobs: int) -> None:
                         if grid.record_error(cell, error):
                             try:
                                 retry = pool.submit(
-                                    _run_cell_from_state, cell[0], grid.cell_seed(cell)
+                                    _run_cell_from_state,
+                                    cell[0],
+                                    cell[1],
+                                    grid.cell_seed(cell),
                                 )
                             except BrokenProcessPool:
                                 broke = True
@@ -376,7 +444,11 @@ def run_comparison(
         JSON checkpoint the moment it finishes (atomically — a crash
         mid-write never leaves a corrupt file), and with ``resume=True``
         cells already checkpointed by a previous identically-configured
-        run are loaded instead of recomputed.  A resumed grid produces
+        run are loaded instead of recomputed.  In-flight cells
+        additionally snapshot their session after every committed round
+        (``session_*.json``), so a crash *inside* a cell resumes from
+        the last finished round rather than round zero; the snapshot is
+        deleted when its cell completes.  A resumed grid produces
         results byte-identical to an uninterrupted run.
     resume:
         Whether to reuse existing checkpoints in ``checkpoint_dir``.
@@ -418,6 +490,8 @@ def run_comparison(
     grid = _CellGrid(names, repeat_seeds, retry or RetryPolicy(), on_error, store)
     if resume:
         grid.resume()
+    else:
+        grid.drop_stale_sessions()
 
     use_pool = (
         n_jobs > 1
@@ -433,6 +507,8 @@ def run_comparison(
             test_dataset,
             config,
             metric,
+            store,
+            names,
         )
         try:
             _run_pool(grid, n_jobs)

@@ -12,6 +12,7 @@ write.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 from pathlib import Path
@@ -38,3 +39,37 @@ def atomic_write_text(path: "str | Path", text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_json(path: "str | Path", payload: dict) -> None:
+    """Serialise ``payload`` and write it via :func:`atomic_write_text`."""
+    atomic_write_text(path, json.dumps(payload))
+
+
+def read_json_document(
+    path: "str | Path",
+    expected_format: str,
+    expected_version: int,
+    error_cls: type[Exception],
+) -> dict:
+    """Read a versioned JSON document, validating its format marker.
+
+    All on-disk artifacts of this package (rankers, checkpoints, session
+    snapshots) share the same envelope: a JSON object with ``format`` and
+    ``version`` keys.  This helper centralises the three failure modes —
+    unreadable file, wrong document kind, unsupported version — raising
+    ``error_cls`` (the caller's domain error) for each.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise error_cls(f"cannot read {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise error_cls(f"{path} is not a {expected_format!r} document")
+    if payload.get("version") != expected_version:
+        raise error_cls(
+            f"unsupported {expected_format!r} version {payload.get('version')!r} "
+            f"in {path} (expected {expected_version})"
+        )
+    return payload

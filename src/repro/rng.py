@@ -47,6 +47,56 @@ def ensure_rng(seed_or_rng: "int | np.random.Generator | None" = None) -> np.ran
     )
 
 
+def rng_state(rng: np.random.Generator) -> dict:
+    """The bit-generator state of ``rng`` as a JSON-serialisable dict.
+
+    The default PCG64 state is plain Python ints already; bit generators
+    whose state embeds numpy arrays (e.g. MT19937's key vector) have the
+    arrays converted to tagged lists so the dict survives a JSON round
+    trip.  :func:`rng_from_state` reverses the conversion exactly, so a
+    generator restored from the returned dict produces the same stream
+    as the original from this point on.
+    """
+    return _state_to_jsonable(rng.bit_generator.state)
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`rng_state` dict.
+
+    Raises
+    ------
+    ConfigurationError
+        If the state names an unknown bit-generator class.
+    """
+    if not isinstance(state, dict) or "bit_generator" not in state:
+        raise ConfigurationError("not a bit-generator state dict")
+    name = state["bit_generator"]
+    bit_generator_cls = getattr(np.random, str(name), None)
+    if bit_generator_cls is None or not isinstance(bit_generator_cls, type):
+        raise ConfigurationError(f"unknown bit generator {name!r}")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = _state_from_jsonable(state)
+    return np.random.Generator(bit_generator)
+
+
+def _state_to_jsonable(value):
+    if isinstance(value, dict):
+        return {key: _state_to_jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": value.dtype.str}
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+def _state_from_jsonable(value):
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=np.dtype(value["dtype"]))
+        return {key: _state_from_jsonable(entry) for key, entry in value.items()}
+    return value
+
+
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent child generators from ``rng``.
 

@@ -1,0 +1,122 @@
+"""Round-trip tests for the ``repro session`` external-annotator workflow.
+
+Every command here goes through ``main()`` with only files on disk
+carrying state between invocations — exactly how a human annotator
+would drive a session from a shell.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+#: A tiny-but-real session: mr at 5% scale, two rounds of ten samples.
+INIT_ARGV = [
+    "session", "init", "--dataset", "mr", "--scale", "0.05",
+    "--strategy", "wshs:entropy", "--rounds", "2", "--batch-size", "10",
+    "--epochs", "3", "--seed", "3",
+]
+
+
+def init_session(tmp_path):
+    directory = tmp_path / "session"
+    assert main(INIT_ARGV + ["--dir", str(directory)]) == 0
+    return directory
+
+
+class TestSessionRoundTrip:
+    def test_init_writes_session_and_proposal(self, tmp_path, capsys):
+        directory = init_session(tmp_path)
+        out = capsys.readouterr().out
+        assert "initialised session" in out
+        assert "await labels" in out
+        assert (directory / "session.json").exists()
+        proposal = json.loads((directory / "proposal.json").read_text())
+        assert len(proposal["indices"]) == 10
+        assert len(proposal["samples"]) == 10
+        assert proposal["samples"][0]["text"]  # decoded, human-readable
+        assert set(proposal["labels_template"]) == {
+            str(index) for index in proposal["indices"]
+        }
+        assert all(value is None for value in proposal["labels_template"].values())
+
+    def test_status_reads_snapshot_only(self, tmp_path, capsys):
+        directory = init_session(tmp_path)
+        capsys.readouterr()
+        assert main(["session", "status", "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "state:    await_labels" in out
+        assert "pending:  10 samples awaiting labels" in out
+
+    def test_oracle_ingest_runs_to_completion(self, tmp_path, capsys):
+        directory = init_session(tmp_path)
+        for _ in range(10):  # bootstrap + rounds, with headroom
+            if (directory / "result.json").exists():
+                break
+            assert main(["session", "ingest", "--dir", str(directory),
+                         "--oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "session finished" in out
+        assert not (directory / "proposal.json").exists()
+        payload = json.loads((directory / "result.json").read_text())
+        assert payload["format"] == "repro.session_result"
+        # Bootstrap + 2 proposal rounds + final evaluation-only round.
+        records = payload["result"]["records"]
+        assert [record["round_index"] for record in records] == [0, 1, 2]
+        assert records[-1]["metric"] > 0
+        # The finished session still answers status queries.
+        capsys.readouterr()
+        assert main(["session", "status", "--dir", str(directory)]) == 0
+        assert "state:    finished" in capsys.readouterr().out
+
+    def test_labels_file_ingest(self, tmp_path, capsys):
+        directory = init_session(tmp_path)
+        proposal = json.loads((directory / "proposal.json").read_text())
+        labels = {key: index % 2 for index, key in enumerate(proposal["labels_template"])}
+        labels_file = tmp_path / "labels.json"
+        labels_file.write_text(json.dumps({"labels": labels}))
+        assert main(["session", "ingest", "--dir", str(directory),
+                     "--labels", str(labels_file)]) == 0
+        out = capsys.readouterr().out
+        assert "committed round" in out
+        # The next proposal is on disk and disjoint from the first batch.
+        fresh = json.loads((directory / "proposal.json").read_text())
+        assert not set(fresh["indices"]) & set(proposal["indices"])
+
+
+class TestSessionErrors:
+    def test_init_refuses_existing_session(self, tmp_path, capsys):
+        directory = init_session(tmp_path)
+        capsys.readouterr()
+        assert main(INIT_ARGV + ["--dir", str(directory)]) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_ingest_requires_exactly_one_source(self, tmp_path, capsys):
+        directory = init_session(tmp_path)
+        capsys.readouterr()
+        assert main(["session", "ingest", "--dir", str(directory)]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_unfilled_template_rejected(self, tmp_path, capsys):
+        directory = init_session(tmp_path)
+        proposal = json.loads((directory / "proposal.json").read_text())
+        labels_file = tmp_path / "labels.json"
+        labels_file.write_text(json.dumps(proposal["labels_template"]))
+        capsys.readouterr()
+        assert main(["session", "ingest", "--dir", str(directory),
+                     "--labels", str(labels_file)]) == 2
+        assert "null labels" in capsys.readouterr().err
+
+    def test_foreign_indices_rejected(self, tmp_path, capsys):
+        directory = init_session(tmp_path)
+        labels_file = tmp_path / "labels.json"
+        labels_file.write_text(json.dumps({"999999": 0}))
+        capsys.readouterr()
+        assert main(["session", "ingest", "--dir", str(directory),
+                     "--labels", str(labels_file)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_status_on_missing_session(self, tmp_path, capsys):
+        assert main(["session", "status", "--dir", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,5 +1,9 @@
 """Tests for the top-level public API surface."""
 
+from pathlib import Path
+
+import pytest
+
 import repro
 import repro.core.strategies as strategies_pkg
 
@@ -7,6 +11,17 @@ import repro.core.strategies as strategies_pkg
 class TestTopLevel:
     def test_version(self):
         assert repro.__version__.count(".") == 2
+
+    def test_version_single_sourced_from_package(self):
+        # pyproject must defer to repro.__version__, not repeat the number.
+        tomllib = pytest.importorskip("tomllib")  # stdlib from 3.11
+        pyproject = Path(repro.__file__).parents[2] / "pyproject.toml"
+        config = tomllib.loads(pyproject.read_text())
+        assert "version" not in config["project"]
+        assert "version" in config["project"]["dynamic"]
+        assert config["tool"]["setuptools"]["dynamic"]["version"] == {
+            "attr": "repro.__version__"
+        }
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
