@@ -57,6 +57,14 @@ from .models import (
     MLPClassifier,
     TextCNN,
 )
+from .specs import (
+    ExperimentSpec,
+    Spec,
+    build_model,
+    build_strategy,
+    spec_of_model,
+    spec_of_strategy,
+)
 
 __version__ = "1.0.0"
 
@@ -65,6 +73,7 @@ __all__ = [
     "ActiveLearningLoop",
     "EventLog",
     "ExperimentConfig",
+    "ExperimentSpec",
     "HistoryStore",
     "LHSRanker",
     "LSTMRegressor",
@@ -80,10 +89,13 @@ __all__ = [
     "SessionEngine",
     "SessionObserver",
     "SessionState",
+    "Spec",
     "TextCNN",
     "TextDataset",
     "Vocabulary",
     "__version__",
+    "build_model",
+    "build_strategy",
     "conll2002_dutch",
     "conll2002_spanish",
     "conll2003_english",
@@ -92,6 +104,8 @@ __all__ = [
     "run_comparison",
     "samples_to_target",
     "span_f1",
+    "spec_of_model",
+    "spec_of_strategy",
     "sst2",
     "subj",
     "train_lhs_ranker",

@@ -6,6 +6,10 @@ Batch subcommands::
         --strategies random entropy wshs:entropy fhs:entropy \
         --rounds 10 --batch-size 25 --repeats 3
 
+    python -m repro run --config experiment.json
+    python -m repro config validate experiment.json
+    python -m repro config show --defaults
+
     python -m repro train-ranker --dataset subj --scale 0.1 \
         --base entropy --output ranker.json
 
@@ -13,6 +17,11 @@ Strategy specs are ``name`` or ``wrapper:base`` using the registry keys
 (``random``, ``entropy``, ``lc``, ``egl``, ``hus``, ``wshs``, ``fhs``,
 ``mnlp``, ...).  ``lhs:<base>`` needs ``--ranker <file>`` produced by
 ``train-ranker``.
+
+``compare`` flags and a ``run --config`` document are two front ends to
+the same :class:`~repro.specs.ExperimentSpec`: the flag parser builds the
+identical spec internally, so the two invocations produce byte-identical
+results.
 
 The ``session`` family drives one interactive annotation session through
 files on disk, for external (human) annotators::
@@ -38,96 +47,111 @@ import sys
 from collections.abc import Callable, Sequence
 from pathlib import Path
 
+from functools import partial
+
 from .core.ranker_training import RankerTrainingConfig, train_lhs_ranker
 from .core.session import SessionEngine, SessionState
-from .core.strategies import FHS, HUS, LHS, WSHS, create_strategy
-from .data import (
-    conll2002_dutch,
-    conll2002_spanish,
-    conll2003_english,
-    mr,
-    sst2,
-    subj,
-    trec,
-)
+from .core.strategies import create_strategy
 from .exceptions import ConfigurationError, IngestError, ReproError, SessionError
 from .experiments import ExperimentConfig, RetryPolicy, plot_curves, run_comparison
 from .experiments.checkpoint import result_to_dict
 from .experiments.reporting import format_curve_table, format_target_table
 from .ioutil import atomic_write_json, read_json_document
-from .models import LinearChainCRF, LinearSoftmax
-from .persistence import load_lhs_ranker, save_lhs_ranker
-
-TEXT_DATASETS = {"mr": mr, "sst2": sst2, "subj": subj, "trec": trec}
-NER_DATASETS = {
-    "conll-en": conll2003_english,
-    "conll-es": conll2002_spanish,
-    "conll-nl": conll2002_dutch,
-}
-WRAPPERS = {"hus": HUS, "wshs": WSHS, "fhs": FHS}
+from .models import LinearSoftmax
+from .persistence import save_lhs_ranker
+from .specs import (
+    ExperimentSpec,
+    Spec,
+    build_dataset,
+    build_model,
+    build_split,
+    build_strategy,
+    default_experiment_spec,
+    default_model_spec,
+    parse_strategy_shorthand,
+)
 
 
 def build_strategy_factory(
     spec: str, window: int, ranker_path: "str | None"
 ) -> Callable[[], object]:
-    """Turn a ``name`` / ``wrapper:base`` spec into a strategy factory."""
-    wrapper_key, _, base_key = spec.lower().partition(":")
-    if not base_key:
-        return lambda: create_strategy(wrapper_key)
-    if wrapper_key in WRAPPERS:
-        wrapper = WRAPPERS[wrapper_key]
-        return lambda: wrapper(create_strategy(base_key), window=window)
-    if wrapper_key == "lhs":
-        if not ranker_path:
-            raise ConfigurationError("lhs:<base> requires --ranker <file>")
-        ranker = load_lhs_ranker(ranker_path)
-        return lambda: LHS(create_strategy(base_key), ranker)
-    raise ConfigurationError(f"unknown strategy wrapper {wrapper_key!r}")
+    """Turn a ``name`` / ``wrapper:base`` spec into a strategy factory.
+
+    Thin shim over :func:`repro.specs.parse_strategy_shorthand` +
+    :func:`repro.specs.build_strategy`; the returned factory is a
+    picklable partial over pure spec data.
+    """
+    parsed = parse_strategy_shorthand(spec, window=window, ranker_path=ranker_path)
+    return partial(build_strategy, parsed.to_dict())
 
 
 def _load_dataset(name: str, scale: float, seed: int):
-    key = name.lower()
-    if key in TEXT_DATASETS:
-        return TEXT_DATASETS[key](scale=scale, seed_or_rng=seed), "text"
-    if key in NER_DATASETS:
-        return NER_DATASETS[key](scale=scale, seed_or_rng=seed), "ner"
-    known = ", ".join(sorted(TEXT_DATASETS) + sorted(NER_DATASETS))
-    raise ConfigurationError(f"unknown dataset {name!r}; known: {known}")
+    """Build ``(dataset, task)`` from CLI flags (shim over dataset specs)."""
+    return build_dataset(Spec(kind=name, params={"scale": scale, "seed": seed}))
 
 
 def _split(dataset, test_fraction: float):
-    cut = int(len(dataset) * (1.0 - test_fraction))
-    return dataset.subset(range(cut)), dataset.subset(range(cut, len(dataset)))
+    """Head/tail train-test split (shim over the ``fraction`` split spec)."""
+    return build_split(
+        Spec(kind="fraction", params={"test_fraction": test_fraction}), dataset
+    )
 
 
 def _model_factory(kind: str, epochs: int):
-    if kind == "text":
-        return lambda: LinearSoftmax(epochs=epochs, batch_size=32, seed=0)
-    return lambda: LinearChainCRF(epochs=max(1, epochs // 2), seed=0)
+    """The default model factory for a task family (shim over model specs)."""
+    return partial(build_model, default_model_spec(kind, epochs).to_dict())
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    if args.resume and not args.checkpoint_dir:
-        raise ConfigurationError("--resume requires --checkpoint-dir")
-    dataset, kind = _load_dataset(args.dataset, args.scale, args.seed)
-    train, test = _split(dataset, args.test_fraction)
-    strategies = {
-        spec: build_strategy_factory(spec, args.window, args.ranker)
-        for spec in args.strategies
-    }
-    config = ExperimentConfig(
-        batch_size=args.batch_size,
-        rounds=args.rounds,
-        repeats=args.repeats,
-        seed=args.seed,
+def _experiment_from_flags(args: argparse.Namespace) -> ExperimentSpec:
+    """The ``compare`` flag set as a declarative experiment document.
+
+    ``repro run --config`` executes the same :class:`ExperimentSpec`, so
+    flags and config files are interchangeable front ends.
+    """
+    spec = ExperimentSpec(
+        dataset=Spec(kind=args.dataset, params={"scale": args.scale, "seed": args.seed}),
+        split=Spec(kind="fraction", params={"test_fraction": args.test_fraction}),
+        strategies={
+            text: parse_strategy_shorthand(text, args.window, args.ranker)
+            for text in args.strategies
+        },
+        config=ExperimentConfig(
+            batch_size=args.batch_size,
+            rounds=args.rounds,
+            repeats=args.repeats,
+            seed=args.seed,
+        ),
+        runner={
+            "n_jobs": args.n_jobs,
+            "checkpoint_dir": args.checkpoint_dir,
+            "resume": args.resume,
+            "max_retries": args.max_retries,
+            "on_error": args.on_error,
+        },
+        report={"targets": list(args.targets), "plot": args.plot},
     )
+    spec.model = default_model_spec(spec.task, args.epochs)
+    return spec
+
+
+def _run_experiment(spec: ExperimentSpec) -> int:
+    """Execute one experiment document and print its report."""
+    runner = spec.runner
+    if runner["resume"] and not runner["checkpoint_dir"]:
+        raise ConfigurationError("--resume requires --checkpoint-dir")
+    train, test, task = spec.build_datasets()
     results = run_comparison(
-        _model_factory(kind, args.epochs), strategies, train, test, config=config,
-        n_jobs=args.n_jobs,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        retry=RetryPolicy(max_attempts=args.max_retries + 1),
-        on_error=args.on_error,
+        spec.resolved_model(),
+        spec.strategies,
+        train,
+        test,
+        config=spec.config,
+        n_jobs=runner["n_jobs"],
+        checkpoint_dir=runner["checkpoint_dir"],
+        resume=runner["resume"],
+        retry=RetryPolicy(max_attempts=runner["max_retries"] + 1),
+        on_error=runner["on_error"],
+        start_method=runner["start_method"],
     )
     for result in results.values():
         for failure in result.failures:
@@ -138,18 +162,47 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     curves = {name: result.curve for name, result in results.items()}
-    metric = "accuracy" if kind == "text" else "span F1"
+    metric = "accuracy" if task == "text" else "span F1"
     print(format_curve_table(
         curves,
-        title=f"{dataset.name}: {metric} vs labeled samples "
-              f"(mean over {args.repeats} repeats)",
+        title=f"{train.name}: {metric} vs labeled samples "
+              f"(mean over {spec.config.repeats} repeats)",
     ))
-    if args.targets:
+    if spec.report["targets"]:
         print()
-        print(format_target_table(curves, targets=args.targets))
-    if args.plot:
+        print(format_target_table(curves, targets=spec.report["targets"]))
+    if spec.report["plot"]:
         print()
         print(plot_curves(curves))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        raise ConfigurationError("--resume requires --checkpoint-dir")
+    return _run_experiment(_experiment_from_flags(args))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    return _run_experiment(ExperimentSpec.from_file(args.config))
+
+
+def _cmd_config_validate(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_file(args.file)
+    for note in spec.validate():
+        print(note)
+    print(f"{args.file}: valid experiment document")
+    return 0
+
+
+def _cmd_config_show(args: argparse.Namespace) -> int:
+    if args.file:
+        spec = ExperimentSpec.from_file(args.file)
+    elif args.defaults:
+        spec = default_experiment_spec()
+    else:
+        raise ConfigurationError("pass --defaults or a config file to show")
+    print(json.dumps(spec.to_dict(), indent=2))
     return 0
 
 
@@ -454,6 +507,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="'skip' drops permanently failed cells from the "
                               "averages (with a warning) instead of aborting")
     compare.set_defaults(handler=_cmd_compare)
+
+    run = subparsers.add_parser(
+        "run",
+        help="execute a declarative experiment document (see 'config show')",
+    )
+    run.add_argument("--config", required=True,
+                     help="experiment JSON document (format 'repro.experiment')")
+    run.set_defaults(handler=_cmd_run)
+
+    config_cmd = subparsers.add_parser(
+        "config", help="validate or print experiment documents"
+    )
+    config_sub = config_cmd.add_subparsers(dest="config_command", required=True)
+
+    validate = config_sub.add_parser(
+        "validate",
+        help="build every component of a document once and report problems",
+    )
+    validate.add_argument("file", help="experiment JSON document to check")
+    validate.set_defaults(handler=_cmd_config_validate)
+
+    show = config_sub.add_parser(
+        "show", help="print a normalised experiment document"
+    )
+    show.add_argument("file", nargs="?", default=None,
+                      help="document to normalise and print")
+    show.add_argument("--defaults", action="store_true",
+                      help="print a runnable starting-point document instead")
+    show.set_defaults(handler=_cmd_config_show)
 
     train = subparsers.add_parser(
         "train-ranker", help="run Algorithm 1 and save an LHS ranker"

@@ -58,12 +58,18 @@ class LHSRanker:
         Name of the strategy whose history the features were built from.
     training_rows:
         Number of (candidate, delta) pairs collected by Algorithm 1.
+    source:
+        Path the ranker was loaded from (set by
+        :func:`repro.persistence.load_lhs_ranker`), or ``None`` for an
+        in-memory ranker.  Strategy specs reference rankers by this
+        path rather than inlining the model.
     """
 
     model: LambdaMART
     extractor: RankingFeatureExtractor
     base_name: str = ""
     training_rows: int = 0
+    source: "str | None" = None
 
 
 @dataclass

@@ -62,7 +62,35 @@ from .strategies.base import QueryStrategy, SelectionContext
 
 #: Format marker of :meth:`SessionEngine.snapshot` payloads.
 SNAPSHOT_FORMAT = "repro.al_session"
-SNAPSHOT_VERSION = 1
+#: Version 2 embeds the resolved component specs: the snapshot config
+#: carries the model-prototype and strategy specs, and each per-round
+#: refit record carries the fitted model's full spec — so a snapshot
+#: alone states exactly which components produced it.
+SNAPSHOT_VERSION = 2
+
+
+def _try_model_spec(model) -> "dict | None":
+    """``spec_of`` the model as a JSON dict, or ``None`` if unregistered.
+
+    Imported lazily: :mod:`repro.specs` sits above the core layer.
+    """
+    from ..specs.models import MODEL_REGISTRY
+
+    if model is None or not MODEL_REGISTRY.can_describe(model):
+        return None
+    return MODEL_REGISTRY.spec_of(model).to_dict()
+
+
+def _try_strategy_spec(strategy) -> "dict | None":
+    """``spec_of`` the strategy as a JSON dict, or ``None`` if it has none."""
+    from ..exceptions import SpecError
+    from ..specs.strategies import STRATEGY_REGISTRY
+
+    try:
+        return STRATEGY_REGISTRY.spec_of(strategy).to_dict()
+    except SpecError:
+        # Unregistered class, or an LHS whose ranker has no file ref.
+        return None
 
 
 class SessionState(str, enum.Enum):
@@ -458,7 +486,14 @@ class SessionEngine:
         labeled = self._pool.labeled_indices
         model.fit(self.train_dataset.subset(labeled))
         self._model = model
-        self._model_spec = {"seed": seed, "labeled": labeled.tolist()}
+        # A *real* model spec (kind + hyperparams, with the per-round
+        # seed baked in) plus the labeled set: everything needed to
+        # reproduce this fitted model from data alone.
+        self._model_spec = {
+            "seed": seed,
+            "labeled": labeled.tolist(),
+            "model": _try_model_spec(model),
+        }
         self._state = SessionState.EVALUATE
 
     def _step_evaluate(self) -> None:
@@ -614,6 +649,8 @@ class SessionEngine:
             "version": SNAPSHOT_VERSION,
             "config": {
                 "strategy": self.strategy.name,
+                "strategy_spec": _try_strategy_spec(self.strategy),
+                "model": _try_model_spec(self.model_prototype),
                 "n_train": len(self.train_dataset),
                 "n_test": len(self.test_dataset),
                 "batch_size": self.batch_size,
@@ -678,6 +715,29 @@ class SessionEngine:
         if strategy.name != config["strategy"]:
             mismatches.append(
                 f"strategy {strategy.name!r} != {config['strategy']!r}"
+            )
+        # Structured spec comparison: only when both sides are
+        # spec-describable — factory-built custom components keep the
+        # name/size fingerprint alone.
+        strategy_spec = _try_strategy_spec(strategy)
+        recorded_strategy_spec = config.get("strategy_spec")
+        if (
+            strategy_spec is not None
+            and recorded_strategy_spec is not None
+            and strategy_spec != recorded_strategy_spec
+        ):
+            mismatches.append(
+                f"strategy spec {strategy_spec!r} != {recorded_strategy_spec!r}"
+            )
+        model_spec = _try_model_spec(model_prototype)
+        recorded_model_spec = config.get("model")
+        if (
+            model_spec is not None
+            and recorded_model_spec is not None
+            and model_spec != recorded_model_spec
+        ):
+            mismatches.append(
+                f"model spec {model_spec!r} != {recorded_model_spec!r}"
             )
         if len(train_dataset) != config["n_train"]:
             mismatches.append(

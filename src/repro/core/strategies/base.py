@@ -198,12 +198,34 @@ def distribution_entropy(probabilities: np.ndarray) -> np.ndarray:
 _REGISTRY: dict[str, Callable[..., QueryStrategy]] = {}
 
 
+def _same_factory(a: Callable, b: Callable) -> bool:
+    """Whether two factories are the same recipe.
+
+    Identity, or an identical ``__module__`` + ``__qualname__`` pair —
+    the latter so reloading a strategy module in a notebook (which
+    recreates every class object) re-registers cleanly instead of
+    raising.
+    """
+    if a is b:
+        return True
+    key_a = (getattr(a, "__module__", None), getattr(a, "__qualname__", None))
+    key_b = (getattr(b, "__module__", None), getattr(b, "__qualname__", None))
+    return None not in key_a and key_a == key_b
+
+
 def register_strategy(key: str) -> Callable:
-    """Class decorator registering a strategy factory under ``key``."""
+    """Class decorator registering a strategy factory under ``key``.
+
+    Re-registering the *same* factory (same class, or the same class
+    recreated by a module reload) under its key is an idempotent no-op;
+    registering a different factory under an existing key still raises
+    :class:`~repro.exceptions.ConfigurationError`.
+    """
 
     def decorator(factory: Callable[..., QueryStrategy]) -> Callable[..., QueryStrategy]:
         lowered = key.lower()
-        if lowered in _REGISTRY:
+        existing = _REGISTRY.get(lowered)
+        if existing is not None and not _same_factory(existing, factory):
             raise ConfigurationError(f"strategy key {key!r} already registered")
         _REGISTRY[lowered] = factory
         return factory

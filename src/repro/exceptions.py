@@ -16,6 +16,15 @@ class ConfigurationError(ReproError):
     """An object was constructed or configured with invalid parameters."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative spec could not be parsed, built, or extracted.
+
+    Raised by :mod:`repro.specs` for an unknown kind, malformed or
+    invalid params, an unsupported spec version, or an object that no
+    registered kind knows how to serialise back into a spec.
+    """
+
+
 class DataError(ReproError):
     """A dataset, vocabulary, or tagging scheme is malformed."""
 

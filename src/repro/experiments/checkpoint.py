@@ -12,12 +12,16 @@ results byte-identical to an uninterrupted run.
 Like :mod:`repro.persistence`, checkpoints are plain JSON (no pickle):
 inspectable, diffable, and safe to load from an untrusted directory.
 Every file carries a fingerprint of the run that wrote it (strategy
-name, repeat index, cell seed, experiment configuration); a checkpoint
-whose fingerprint does not match the resuming run is *stale* and is
-rejected with :class:`~repro.exceptions.CheckpointError` rather than
-silently reused — resuming must never mix cells from different
-experiments.  Writes go through :func:`repro.ioutil.atomic_write_text`,
-so a crash mid-write can never leave a truncated document behind.
+name, repeat index, cell seed, experiment configuration, and — for
+spec-described runs — the resolved model and strategy specs); a
+checkpoint whose fingerprint does not match the resuming run is *stale*
+and is rejected with :class:`~repro.exceptions.CheckpointError` rather
+than silently reused — resuming must never mix cells from different
+experiments.  Embedding the specs makes each checkpoint self-describing
+(the JSON alone says exactly which model and strategy produced it) and
+lets staleness compare structured specs instead of repr strings.  Writes
+go through :func:`repro.ioutil.atomic_write_text`, so a crash mid-write
+can never leave a truncated document behind.
 
 The ``final_model`` of a cell is deliberately not serialised: it is not
 part of the aggregated comparison output, and keeping checkpoints
@@ -50,11 +54,13 @@ from .config import ExperimentConfig
 
 #: Format marker at the top of every cell checkpoint document.
 CHECKPOINT_FORMAT = "repro.al_cell"
-CHECKPOINT_VERSION = 1
+#: Version 2 added the embedded ``specs`` fingerprint.
+CHECKPOINT_VERSION = 2
 
 #: Format marker of the envelope around an in-flight session snapshot.
 SESSION_CHECKPOINT_FORMAT = "repro.al_cell_session"
-SESSION_CHECKPOINT_VERSION = 1
+#: Version 2 added the embedded ``specs`` fingerprint.
+SESSION_CHECKPOINT_VERSION = 2
 
 
 # -- history store -----------------------------------------------------------
@@ -116,17 +122,39 @@ class CheckpointStore:
         The run's :class:`ExperimentConfig`; its shape fields become part
         of every cell fingerprint so checkpoints from a differently
         configured run are detected as stale.
+    model_spec, strategy_specs:
+        The resolved :mod:`repro.specs` descriptions of the run's model
+        and of each strategy (display name -> spec dict), when the run
+        was spec-described.  They are embedded in every file (the
+        checkpoint then states exactly which components produced it) and
+        compared structurally on load; ``None`` (factory-described runs)
+        keeps the old name-only fingerprint.
     """
 
-    def __init__(self, directory: "str | Path", config: ExperimentConfig) -> None:
+    def __init__(
+        self,
+        directory: "str | Path",
+        config: ExperimentConfig,
+        model_spec: "dict | None" = None,
+        strategy_specs: "dict[str, dict] | None" = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._model_spec = model_spec
+        self._strategy_specs = strategy_specs or {}
         self._config_fingerprint = {
             "batch_size": config.batch_size,
             "rounds": config.rounds,
             "initial_size": config.initial_size,
             "repeats": config.repeats,
             "seed": config.seed,
+        }
+
+    def _cell_specs(self, strategy: str) -> dict:
+        """The spec fingerprint stored in (and expected of) a cell file."""
+        return {
+            "model": self._model_spec,
+            "strategy": self._strategy_specs.get(strategy),
         }
 
     def cell_path(self, strategy: str, repeat: int) -> Path:
@@ -150,6 +178,7 @@ class CheckpointStore:
             "repeat": int(repeat),
             "seed": int(seed),
             "config": self._config_fingerprint,
+            "specs": self._cell_specs(strategy),
             "result": result_to_dict(result),
         }
         path = self.cell_path(strategy, repeat)
@@ -184,6 +213,7 @@ class CheckpointStore:
             "repeat": int(repeat),
             "seed": int(seed),
             "config": self._config_fingerprint,
+            "specs": self._cell_specs(strategy),
         }
         actual = {key: payload.get(key) for key in expected}
         if actual != expected:
@@ -221,6 +251,7 @@ class CheckpointStore:
             "repeat": int(repeat),
             "seed": int(seed),
             "config": self._config_fingerprint,
+            "specs": self._cell_specs(strategy),
             "session": snapshot,
         }
         path = self.session_path(strategy, repeat)
@@ -259,6 +290,7 @@ class CheckpointStore:
             "repeat": int(repeat),
             "seed": int(seed),
             "config": self._config_fingerprint,
+            "specs": self._cell_specs(strategy),
         }
         actual = {key: payload.get(key) for key in expected}
         if actual != expected:

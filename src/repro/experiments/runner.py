@@ -8,8 +8,12 @@ starts — the comparison protocol the paper's averaged curves imply.
 Every (strategy, repeat) cell is an independent, fully seeded computation,
 so the grid can be fanned out across a process pool (``n_jobs > 1``)
 without changing a single byte of the results: each worker runs the same
-``ActiveLearningLoop`` the serial path would, and the results are
-reassembled in input order regardless of completion order.
+``SessionEngine`` the serial path would, and the results are reassembled
+in input order regardless of completion order.  Model and strategies may
+be given as factories (closures; fork-started pools only) or as
+:mod:`repro.specs` specs — pure data that pickles — in which case the
+pool also works under the ``spawn`` start method and checkpoints embed
+the specs that produced them.
 
 The grid is also fault tolerant.  Completed cells can be checkpointed to
 a directory as they finish (``checkpoint_dir``) and skipped on restart;
@@ -28,6 +32,7 @@ from collections.abc import Callable, Mapping
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -35,10 +40,16 @@ from ..core.session import ALResult, SessionEngine, run_to_completion
 from ..eval.curves import LearningCurve, curve_std, mean_curve
 from ..exceptions import ConfigurationError, ExecutionError
 from ..rng import ensure_rng
+from ..specs.core import as_spec, is_spec_like
+from ..specs.models import build_model
+from ..specs.strategies import build_strategy
 from .checkpoint import CheckpointStore
 from .config import ExperimentConfig
 
 StrategyFactory = Callable[[], object]
+
+#: Start methods :func:`run_comparison` accepts for its worker pool.
+_START_METHODS = ("fork", "spawn")
 
 #: Recognised partial-failure handling modes of :func:`run_comparison`.
 _ON_ERROR_MODES = ("raise", "skip")
@@ -96,12 +107,97 @@ class StrategyResult:
     failures: list[CellFailure] = field(default_factory=list)
 
 
-#: Shared state for fork-started pool workers.  Factories are usually
-#: lambdas/closures and therefore not picklable, so instead of shipping
-#: them through the executor we stash everything here before forking and
-#: let the children inherit it; only (strategy_index, seed) crosses the
-#: process boundary.
+#: Shared per-worker state, installed by :func:`_set_pool_state` (the
+#: pool initializer) in every worker before it takes cells; only
+#: (strategy_index, repeat, seed) crosses the boundary per task.  Under
+#: ``fork`` the initargs are inherited by reference, so closure factories
+#: still work; under ``spawn`` they are pickled, which is exactly what
+#: spec-built factories (plain data + module-level builders) allow.
 _POOL_STATE: tuple | None = None
+
+
+def _set_pool_state(state: tuple) -> None:
+    """Pool-worker initializer: install the shared cell-building state."""
+    global _POOL_STATE
+    _POOL_STATE = state
+
+
+def _factory_from_spec(builder: Callable[[dict], object], spec: dict) -> Callable[[], object]:
+    """A picklable zero-arg factory equivalent to ``lambda: builder(spec)``."""
+    return partial(builder, spec)
+
+
+def _normalise_components(
+    model_factory, strategy_factories: "Mapping[str, object]"
+) -> tuple[Callable[[], object], dict, "dict | None", "dict[str, dict] | None"]:
+    """Accept factories *or* specs for the model and each strategy.
+
+    Returns ``(model_factory, factories_by_name, model_spec,
+    strategy_specs)`` where the factories are zero-arg callables (spec
+    inputs become picklable partials over the spec builders) and the
+    spec dicts are ``None`` unless *every* component was given as a spec
+    — only then is the grid fully data-described (spawn-safe workers,
+    spec-fingerprinted checkpoints).
+    """
+    model_spec = None
+    if is_spec_like(model_factory):
+        model_spec = as_spec(model_factory).to_dict()
+        model_factory = _factory_from_spec(build_model, model_spec)
+    elif not callable(model_factory):
+        raise ConfigurationError(
+            f"model_factory must be a zero-arg callable or a model spec, "
+            f"got {type(model_factory).__name__}"
+        )
+    factories: dict[str, Callable[[], object]] = {}
+    strategy_specs: dict[str, dict] = {}
+    for name, value in strategy_factories.items():
+        if is_spec_like(value):
+            spec = as_spec(value).to_dict()
+            strategy_specs[name] = spec
+            factories[name] = _factory_from_spec(build_strategy, spec)
+        elif callable(value):
+            factories[name] = value
+        else:
+            raise ConfigurationError(
+                f"strategy {name!r} must be a zero-arg factory or a "
+                f"strategy spec, got {type(value).__name__}"
+            )
+    fully_specced = model_spec is not None and len(strategy_specs) == len(factories)
+    return (
+        model_factory,
+        factories,
+        model_spec if fully_specced else None,
+        strategy_specs if fully_specced else None,
+    )
+
+
+def _resolve_start_method(start_method: "str | None", spec_mode: bool) -> "str | None":
+    """Pick the pool start method; ``None`` means fall back to serial.
+
+    Auto-selection (``start_method=None``) prefers ``fork`` (cheapest,
+    works with closure factories) and falls back to ``spawn`` when the
+    platform lacks fork *and* every component was supplied as a spec —
+    a spec-described grid ships only data to the workers, so spawn is
+    byte-identical to fork and serial.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in _START_METHODS:
+            raise ConfigurationError(
+                f"start_method must be one of {_START_METHODS}, "
+                f"got {start_method!r}"
+            )
+        if start_method not in available:
+            raise ConfigurationError(
+                f"start method {start_method!r} is unavailable on this "
+                f"platform (available: {available})"
+            )
+        return start_method
+    if "fork" in available:
+        return "fork"
+    if spec_mode and "spawn" in available:
+        return "spawn"
+    return None
 
 
 def _run_cell(
@@ -336,7 +432,7 @@ def _run_serial(
             break
 
 
-def _run_pool(grid: _CellGrid, n_jobs: int) -> None:
+def _run_pool(grid: _CellGrid, n_jobs: int, start_method: str, state: tuple) -> None:
     """Process-pool execution with retry and broken-pool resubmission.
 
     Each iteration of the outer loop owns one pool.  Cells that raise
@@ -346,13 +442,19 @@ def _run_pool(grid: _CellGrid, n_jobs: int) -> None:
     by the retry policy, so a cell that reliably kills its worker cannot
     rebuild pools forever.  On any fatal error the outstanding futures
     are cancelled so no workers are left running stranded cells.
+
+    ``state`` is installed in every worker by the pool initializer:
+    inherited by reference under ``fork``, pickled under ``spawn``.
     """
-    context = multiprocessing.get_context("fork")
+    context = multiprocessing.get_context(start_method)
     unproductive_rebuilds = 0
     while grid.pending:
         pending_before = len(grid.pending)
         pool = ProcessPoolExecutor(
-            max_workers=min(n_jobs, pending_before), mp_context=context
+            max_workers=min(n_jobs, pending_before),
+            mp_context=context,
+            initializer=_set_pool_state,
+            initargs=(state,),
         )
         futures: dict = {}
         try:
@@ -409,8 +511,8 @@ def _run_pool(grid: _CellGrid, n_jobs: int) -> None:
 
 
 def run_comparison(
-    model_factory: Callable[[], object],
-    strategy_factories: "Mapping[str, StrategyFactory]",
+    model_factory: "Callable[[], object] | Mapping | object",
+    strategy_factories: "Mapping[str, StrategyFactory | Mapping]",
     train_dataset,
     test_dataset,
     config: ExperimentConfig | None = None,
@@ -420,25 +522,38 @@ def run_comparison(
     resume: bool = True,
     retry: "RetryPolicy | None" = None,
     on_error: str = "raise",
+    start_method: "str | None" = None,
 ) -> dict[str, StrategyResult]:
     """Run every strategy ``config.repeats`` times and average the curves.
 
     Parameters
     ----------
     model_factory:
-        Zero-argument callable producing a fresh unfitted model.
+        Zero-argument callable producing a fresh unfitted model, or a
+        model :class:`~repro.specs.core.Spec` (or its dict form) naming
+        a registered model kind.
     strategy_factories:
         Mapping from display name to a zero-argument strategy factory
         (factories, not instances: history-aware strategies are stateful
-        per run).
+        per run) or to a strategy spec.  When the model *and* every
+        strategy are given as specs the grid is fully data-described:
+        checkpoints embed the specs and the worker pool can use the
+        ``spawn`` start method.
     n_jobs:
         Worker processes for the (strategy, repeat) grid.  ``1`` (the
         default) runs serially in-process.  Higher values fan the cells
-        out over a fork-started process pool; because every cell is
-        seeded independently and results are reassembled in input order,
-        the output is byte-identical to the serial run.  On platforms
-        without the ``fork`` start method the runner silently falls back
-        to serial execution (same results, no speedup).
+        out over a process pool; because every cell is seeded
+        independently and results are reassembled in input order, the
+        output is byte-identical to the serial run regardless of the
+        start method.  Without an explicit ``start_method`` the runner
+        prefers ``fork``, falls back to ``spawn`` on fork-less platforms
+        when the grid is spec-described, and otherwise degrades to
+        serial execution (same results, no speedup).
+    start_method:
+        Force the pool start method (``"fork"`` or ``"spawn"``).
+        ``spawn`` pickles the shared state instead of inheriting it, so
+        it needs spec-described (or otherwise picklable) components,
+        datasets, metric, and factories.
     checkpoint_dir:
         When set, every completed cell is written to this directory as a
         JSON checkpoint the moment it finishes (atomically — a crash
@@ -482,10 +597,30 @@ def run_comparison(
             f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
         )
     config = config or ExperimentConfig()
+    needed = config.labels_needed
+    if needed > len(train_dataset):
+        raise ConfigurationError(
+            f"experiment needs {needed} pool samples (initial_size + "
+            f"rounds * batch_size) but train_dataset has only "
+            f"{len(train_dataset)}; shrink rounds/batch_size or enlarge "
+            "the pool"
+        )
+    model_factory, factories_by_name, model_spec, strategy_specs = (
+        _normalise_components(model_factory, strategy_factories)
+    )
     repeat_seeds = ensure_rng(config.seed).integers(0, 2**63 - 1, size=config.repeats)
-    names = list(strategy_factories)
-    factories = [strategy_factories[name] for name in names]
-    store = CheckpointStore(checkpoint_dir, config) if checkpoint_dir else None
+    names = list(factories_by_name)
+    factories = [factories_by_name[name] for name in names]
+    store = (
+        CheckpointStore(
+            checkpoint_dir,
+            config,
+            model_spec=model_spec,
+            strategy_specs=strategy_specs,
+        )
+        if checkpoint_dir
+        else None
+    )
 
     grid = _CellGrid(names, repeat_seeds, retry or RetryPolicy(), on_error, store)
     if resume:
@@ -493,14 +628,9 @@ def run_comparison(
     else:
         grid.drop_stale_sessions()
 
-    use_pool = (
-        n_jobs > 1
-        and len(grid.pending) > 1
-        and "fork" in multiprocessing.get_all_start_methods()
-    )
-    if use_pool:
-        global _POOL_STATE
-        _POOL_STATE = (
+    resolved_start = _resolve_start_method(start_method, spec_mode=model_spec is not None)
+    if n_jobs > 1 and len(grid.pending) > 1 and resolved_start is not None:
+        state = (
             model_factory,
             factories,
             train_dataset,
@@ -510,10 +640,7 @@ def run_comparison(
             store,
             names,
         )
-        try:
-            _run_pool(grid, n_jobs)
-        finally:
-            _POOL_STATE = None
+        _run_pool(grid, n_jobs, resolved_start, state)
     else:
         _run_serial(
             grid, model_factory, factories, train_dataset, test_dataset, config, metric

@@ -244,4 +244,5 @@ def load_lhs_ranker(path: "str | Path") -> LHSRanker:
         extractor=_extractor_from_dict(payload["extractor"]),
         base_name=str(payload["base_name"]),
         training_rows=int(payload["training_rows"]),
+        source=str(path),
     )

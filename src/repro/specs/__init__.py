@@ -1,0 +1,80 @@
+"""Declarative specs: build strategies, models, datasets, and experiments
+from pure JSON — and serialise them back.
+
+The construction paths used to be ad-hoc lambdas (closures that neither
+pickle nor checkpoint).  This package replaces them with small, versioned
+:class:`~repro.specs.core.Spec` values and per-layer registries, so:
+
+* experiment workers can be started with ``spawn`` (only data crosses
+  the process boundary),
+* checkpoints embed the specs that produced them and staleness checks
+  compare specs rather than repr strings,
+* the paper's full comparison grid is one reviewable ``experiment.json``
+  (``repro run --config``).
+
+See DESIGN.md §10 for the schema, versioning, and extension points.
+"""
+
+from .core import SPEC_VERSION, Spec, SpecRegistry, as_spec, is_spec_like
+from .data import (
+    DATASET_REGISTRY,
+    SPLIT_REGISTRY,
+    build_dataset,
+    build_split,
+    dataset_kinds,
+    register_dataset,
+)
+from .experiment import (
+    EXPERIMENT_FORMAT,
+    EXPERIMENT_VERSION,
+    ExperimentSpec,
+    default_experiment_spec,
+    default_model_spec,
+)
+from .models import (
+    MODEL_REGISTRY,
+    build_model,
+    model_kinds,
+    register_model,
+    spec_of_model,
+)
+from .strategies import (
+    STRATEGY_REGISTRY,
+    build_strategy,
+    parse_strategy_shorthand,
+    register_simple_strategy,
+    register_wrapper_strategy,
+    spec_of_strategy,
+    strategy_kinds,
+)
+
+__all__ = [
+    "DATASET_REGISTRY",
+    "EXPERIMENT_FORMAT",
+    "EXPERIMENT_VERSION",
+    "ExperimentSpec",
+    "MODEL_REGISTRY",
+    "SPEC_VERSION",
+    "SPLIT_REGISTRY",
+    "STRATEGY_REGISTRY",
+    "Spec",
+    "SpecRegistry",
+    "as_spec",
+    "build_dataset",
+    "build_model",
+    "build_split",
+    "build_strategy",
+    "dataset_kinds",
+    "default_experiment_spec",
+    "default_model_spec",
+    "is_spec_like",
+    "model_kinds",
+    "parse_strategy_shorthand",
+    "register_dataset",
+    "register_model",
+    "register_simple_strategy",
+    "register_wrapper_strategy",
+    "spec_of_model",
+    "spec_of_strategy",
+    "strategy_kinds",
+]

@@ -1,0 +1,238 @@
+"""The spec substrate: :class:`Spec` and per-layer :class:`SpecRegistry`.
+
+A *spec* is a pure-JSON description of one object: a ``kind`` naming a
+registered recipe, a ``params`` dict of JSON-compatible constructor
+arguments, and a ``version`` so on-disk specs can evolve.  Specs are the
+declarative counterpart of the ad-hoc lambdas the construction paths
+used to take: they pickle (they are plain data), they diff, and they can
+be embedded in checkpoints so an artifact describes the run that wrote
+it.
+
+Each layer (strategies, models, datasets) owns one :class:`SpecRegistry`
+mapping kinds to a *builder* (params -> object) and, where the mapping
+is invertible, a *params_of* extractor (object -> params) keyed by the
+object's exact class.  ``build(spec_of(x))`` must reproduce an object
+behaviourally identical to ``x`` — the round-trip the spec tests pin
+down byte-for-byte.
+
+Registration is idempotent for the *same* recipe: re-registering a kind
+with the identical builder/extractor pair (a module reloaded in a
+notebook) is a no-op, while re-registering it with a different recipe
+still raises, because silently replacing a recipe would change what
+existing specs build.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from ..exceptions import SpecError
+
+#: Version stamped into (and required of) every serialised spec.
+SPEC_VERSION = 1
+
+
+def _json_clean(value):
+    """Verify ``value`` is JSON-compatible data, normalising tuples."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_clean(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _json_clean(item) for key, item in value.items()}
+    raise SpecError(
+        f"spec params must be pure JSON data, got {type(value).__name__}: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Spec:
+    """One declarative object description: ``kind`` + JSON ``params``."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    version: int = SPEC_VERSION
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise SpecError(f"spec kind must be a non-empty string, got {self.kind!r}")
+        object.__setattr__(self, "kind", self.kind.lower())
+        object.__setattr__(self, "params", _json_clean(dict(self.params)))
+
+    def to_dict(self) -> dict:
+        """The spec as a plain JSON-compatible dict."""
+        return {"kind": self.kind, "params": self.params, "version": self.version}
+
+    @classmethod
+    def from_dict(cls, payload) -> "Spec":
+        """Parse a dict (or pass through a :class:`Spec`), validating it.
+
+        Raises
+        ------
+        SpecError
+            If the payload is not a spec-shaped dict or its version is
+            not :data:`SPEC_VERSION`.
+        """
+        if isinstance(payload, Spec):
+            payload = payload.to_dict()
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"a spec must be a dict, got {type(payload).__name__}")
+        unknown = set(payload) - {"kind", "params", "version"}
+        if unknown:
+            raise SpecError(f"unknown spec keys: {sorted(unknown)}")
+        if "kind" not in payload:
+            raise SpecError(f"spec has no 'kind': {dict(payload)!r}")
+        version = payload.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SpecError(
+                f"unsupported spec version {version!r} (this build reads "
+                f"version {SPEC_VERSION})"
+            )
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise SpecError(
+                f"spec params must be a dict, got {type(params).__name__}"
+            )
+        return cls(kind=str(payload["kind"]), params=dict(params), version=SPEC_VERSION)
+
+
+def as_spec(value: "Spec | Mapping | str") -> Spec:
+    """Coerce user input to a :class:`Spec` (a bare string means no params)."""
+    if isinstance(value, str):
+        return Spec(kind=value)
+    return Spec.from_dict(value)
+
+
+def is_spec_like(value) -> bool:
+    """Whether ``value`` looks like a spec (vs. a factory/instance)."""
+    if isinstance(value, Spec):
+        return True
+    return isinstance(value, Mapping) and "kind" in value
+
+
+def same_callable(a, b) -> bool:
+    """Whether two callables are the same recipe.
+
+    Identity, or — so a module reload (which recreates every function and
+    class object) stays idempotent — an identical ``__module__`` +
+    ``__qualname__`` pair.
+    """
+    if a is b:
+        return True
+    if a is None or b is None:
+        return False
+    key_a = (getattr(a, "__module__", None), getattr(a, "__qualname__", None))
+    key_b = (getattr(b, "__module__", None), getattr(b, "__qualname__", None))
+    return None not in key_a and key_a == key_b
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One registered kind: how to build it and how to serialise it back."""
+
+    kind: str
+    builder: Callable[..., object]
+    cls: "type | None" = None
+    params_of: "Callable[[object], dict] | None" = None
+
+    def same_recipe(self, other: "_Entry") -> bool:
+        return (
+            self.kind == other.kind
+            and same_callable(self.builder, other.builder)
+            and same_callable(self.cls, other.cls)
+            and same_callable(self.params_of, other.params_of)
+        )
+
+
+class SpecRegistry:
+    """Kind -> recipe registry for one layer (strategies, models, ...)."""
+
+    def __init__(self, layer: str) -> None:
+        self.layer = layer
+        self._entries: dict[str, _Entry] = {}
+        self._by_class: dict[type, _Entry] = {}
+
+    def register(
+        self,
+        kind: str,
+        builder: Callable[..., object],
+        cls: "type | None" = None,
+        params_of: "Callable[[object], dict] | None" = None,
+    ) -> None:
+        """Register (idempotently) how to build and serialise one kind.
+
+        Re-registering the same ``(builder, cls, params_of)`` recipe under
+        the same kind is a no-op; a *different* recipe for an existing
+        kind raises :class:`SpecError`.
+        """
+        lowered = kind.lower()
+        entry = _Entry(kind=lowered, builder=builder, cls=cls, params_of=params_of)
+        existing = self._entries.get(lowered)
+        if existing is not None and not existing.same_recipe(entry):
+            raise SpecError(
+                f"{self.layer} kind {kind!r} is already registered with a "
+                "different recipe"
+            )
+        # Store (or refresh, after a reload) the newest objects.
+        self._entries[lowered] = entry
+        if cls is not None:
+            self._by_class[cls] = entry
+
+    def kinds(self) -> list[str]:
+        """Sorted registered kinds."""
+        return sorted(self._entries)
+
+    def entry(self, kind: str) -> _Entry:
+        """The registered recipe for ``kind`` (:class:`SpecError` if absent)."""
+        lowered = kind.lower()
+        if lowered not in self._entries:
+            known = ", ".join(self.kinds())
+            raise SpecError(f"unknown {self.layer} kind {kind!r}; known: {known}")
+        return self._entries[lowered]
+
+    def build(self, spec: "Spec | Mapping | str", **context) -> object:
+        """Build the object a spec describes.
+
+        ``context`` carries non-JSON build-time collaborators (e.g. the
+        ranker loader); builders accept the subset they need.
+
+        Raises
+        ------
+        SpecError
+            Unknown kind, malformed spec, or params the builder's
+            constructor rejects (the constructor's
+            :class:`~repro.exceptions.ConfigurationError` propagates
+            unchanged — it is already a precise diagnosis).
+        """
+        parsed = as_spec(spec)
+        entry = self.entry(parsed.kind)
+        try:
+            return entry.builder(dict(parsed.params), **context)
+        except TypeError as error:
+            raise SpecError(
+                f"bad params for {self.layer} kind {parsed.kind!r}: {error}"
+            ) from error
+
+    def spec_of(self, obj: object) -> Spec:
+        """The spec that rebuilds ``obj`` (exact-class lookup).
+
+        Raises
+        ------
+        SpecError
+            If no registered kind claims the object's class, or the
+            object cannot be serialised (e.g. an LHS ranker with no file
+            reference).
+        """
+        entry = self._by_class.get(type(obj))
+        if entry is None or entry.params_of is None:
+            raise SpecError(
+                f"no registered {self.layer} kind can serialise a "
+                f"{type(obj).__name__}"
+            )
+        return Spec(kind=entry.kind, params=entry.params_of(obj))
+
+    def can_describe(self, obj: object) -> bool:
+        """Whether :meth:`spec_of` would succeed for ``obj``'s class."""
+        entry = self._by_class.get(type(obj))
+        return entry is not None and entry.params_of is not None

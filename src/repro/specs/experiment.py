@@ -1,0 +1,252 @@
+"""The top-level experiment document: a whole comparison grid as one JSON file.
+
+An *experiment spec* bundles everything ``repro compare`` used to take as
+flags — corpus, split, model, the strategy grid, the experiment shape,
+and runner/report options — into a single versioned document::
+
+    {
+      "format": "repro.experiment",
+      "version": 1,
+      "dataset": {"kind": "mr", "params": {"scale": 0.1, "seed": 7}},
+      "split": {"kind": "fraction", "params": {"test_fraction": 0.3}},
+      "model": {"kind": "linear", "params": {"epochs": 5, ...}},
+      "strategies": {
+        "entropy": {"kind": "entropy", "params": {}},
+        "wshs:entropy": {"kind": "wshs",
+                          "params": {"base": {"kind": "entropy", "params": {}},
+                                     "window": 3}}
+      },
+      "experiment": {"batch_size": 25, "rounds": 10, "repeats": 3, "seed": 7},
+      "runner": {"n_jobs": 2, "checkpoint_dir": null, ...},
+      "report": {"targets": [], "plot": false}
+    }
+
+``repro run --config file.json`` executes it; because the flag path
+builds the identical spec internally, a config run is byte-identical to
+the equivalent flag invocation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import SpecError
+from ..experiments.config import ExperimentConfig
+from ..ioutil import atomic_write_json
+from .core import Spec, as_spec
+from .data import DATASET_TASKS, build_dataset, build_split
+from .models import build_model
+from .strategies import build_strategy
+
+EXPERIMENT_FORMAT = "repro.experiment"
+EXPERIMENT_VERSION = 1
+
+#: Runner options an experiment document may set (with their defaults).
+RUNNER_DEFAULTS = {
+    "n_jobs": 1,
+    "checkpoint_dir": None,
+    "resume": False,
+    "max_retries": 0,
+    "on_error": "raise",
+    "start_method": None,
+}
+
+#: Report options an experiment document may set (with their defaults).
+REPORT_DEFAULTS = {"targets": [], "plot": False}
+
+
+def default_model_spec(task: str, epochs: int = 5) -> Spec:
+    """The CLI's historical default model for a task family, as a spec."""
+    if task == "text":
+        return Spec(
+            kind="linear", params={"epochs": epochs, "batch_size": 32, "seed": 0}
+        )
+    return Spec(kind="crf", params={"epochs": max(1, epochs // 2), "seed": 0})
+
+
+def _section(payload: dict, key: str, defaults: dict) -> dict:
+    """Validate one options section against its known keys + defaults."""
+    section = payload.get(key, {})
+    if not isinstance(section, dict):
+        raise SpecError(f"experiment {key!r} section must be a dict")
+    unknown = set(section) - set(defaults)
+    if unknown:
+        raise SpecError(f"unknown {key} option(s): {sorted(unknown)}")
+    return {**defaults, **section}
+
+
+@dataclass
+class ExperimentSpec:
+    """One declarative comparison grid (see module docstring)."""
+
+    dataset: Spec
+    strategies: "dict[str, Spec]"
+    split: Spec = field(default_factory=lambda: Spec(kind="fraction"))
+    model: "Spec | None" = None
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    runner: dict = field(default_factory=lambda: dict(RUNNER_DEFAULTS))
+    report: dict = field(default_factory=lambda: dict(REPORT_DEFAULTS))
+
+    def __post_init__(self) -> None:
+        if not self.strategies:
+            raise SpecError("experiment spec has no strategies")
+        self.dataset = as_spec(self.dataset)
+        self.split = as_spec(self.split)
+        self.model = None if self.model is None else as_spec(self.model)
+        self.strategies = {
+            str(name): as_spec(spec) for name, spec in self.strategies.items()
+        }
+        self.runner = {**RUNNER_DEFAULTS, **self.runner}
+        self.report = {**REPORT_DEFAULTS, **self.report}
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The experiment as a plain JSON-compatible document."""
+        return {
+            "format": EXPERIMENT_FORMAT,
+            "version": EXPERIMENT_VERSION,
+            "dataset": self.dataset.to_dict(),
+            "split": self.split.to_dict(),
+            "model": None if self.model is None else self.model.to_dict(),
+            "strategies": {
+                name: spec.to_dict() for name, spec in self.strategies.items()
+            },
+            "experiment": {
+                "batch_size": self.config.batch_size,
+                "rounds": self.config.rounds,
+                "initial_size": self.config.initial_size,
+                "repeats": self.config.repeats,
+                "seed": self.config.seed,
+            },
+            "runner": dict(self.runner),
+            "report": dict(self.report),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        if not isinstance(payload, dict) or payload.get("format") != EXPERIMENT_FORMAT:
+            raise SpecError(f"not a {EXPERIMENT_FORMAT!r} document")
+        if payload.get("version") != EXPERIMENT_VERSION:
+            raise SpecError(
+                f"unsupported experiment version {payload.get('version')!r} "
+                f"(this build reads version {EXPERIMENT_VERSION})"
+            )
+        known = {
+            "format", "version", "dataset", "split", "model", "strategies",
+            "experiment", "runner", "report",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise SpecError(f"unknown experiment key(s): {sorted(unknown)}")
+        if "dataset" not in payload:
+            raise SpecError("experiment spec has no 'dataset'")
+        strategies = payload.get("strategies")
+        if not isinstance(strategies, dict) or not strategies:
+            raise SpecError(
+                "experiment 'strategies' must be a non-empty object mapping "
+                "display names to strategy specs"
+            )
+        shape = payload.get("experiment", {})
+        if not isinstance(shape, dict):
+            raise SpecError("experiment 'experiment' section must be a dict")
+        unknown_shape = set(shape) - {
+            "batch_size", "rounds", "initial_size", "repeats", "seed",
+        }
+        if unknown_shape:
+            raise SpecError(f"unknown experiment option(s): {sorted(unknown_shape)}")
+        return cls(
+            dataset=as_spec(payload["dataset"]),
+            split=as_spec(payload.get("split", {"kind": "fraction"})),
+            model=None if payload.get("model") is None else as_spec(payload["model"]),
+            strategies={name: as_spec(spec) for name, spec in strategies.items()},
+            config=ExperimentConfig(**shape),
+            runner=_section(payload, "runner", RUNNER_DEFAULTS),
+            report=_section(payload, "report", REPORT_DEFAULTS),
+        )
+
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "ExperimentSpec":
+        """Load and validate an ``experiment.json`` document."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SpecError(f"cannot read experiment file {path}: {error}") from error
+        return cls.from_dict(payload)
+
+    def save(self, path: "str | Path") -> None:
+        """Atomically write the document to ``path``."""
+        atomic_write_json(path, self.to_dict())
+
+    # -- building ----------------------------------------------------------
+
+    @property
+    def task(self) -> str:
+        """The dataset's task family ("text" or "ner")."""
+        kind = self.dataset.kind
+        if kind not in DATASET_TASKS:
+            known = ", ".join(sorted(DATASET_TASKS))
+            raise SpecError(f"unknown dataset kind {kind!r}; known: {known}")
+        return DATASET_TASKS[kind]
+
+    def resolved_model(self) -> Spec:
+        """The model spec, defaulted from the task family when omitted."""
+        return self.model if self.model is not None else default_model_spec(self.task)
+
+    def build_datasets(self) -> tuple[object, object, str]:
+        """Build ``(train, test, task)`` from the dataset + split specs."""
+        dataset, task = build_dataset(self.dataset)
+        train, test = build_split(self.split, dataset)
+        return train, test, task
+
+    def validate(self) -> list[str]:
+        """Build every component once; returns human-readable notes.
+
+        Raises the first construction problem as
+        :class:`~repro.exceptions.SpecError` (or the constructor's own
+        :class:`~repro.exceptions.ConfigurationError`), so a bad document
+        fails here instead of mid-grid.
+        """
+        train, test, task = self.build_datasets()
+        notes = [
+            f"dataset: {self.dataset.kind} ({task}), "
+            f"{len(train)} pool / {len(test)} test samples"
+        ]
+        model = build_model(self.resolved_model())
+        notes.append(f"model: {type(model).__name__}")
+        for name, spec in self.strategies.items():
+            strategy = build_strategy(spec)
+            notes.append(f"strategy {name!r}: {strategy.name}")
+        needed = self.config.labels_needed
+        if needed > len(train):
+            raise SpecError(
+                f"experiment needs {needed} pool samples "
+                f"(initial_size + rounds * batch_size) but the training "
+                f"pool has only {len(train)}"
+            )
+        notes.append(
+            f"grid: {len(self.strategies)} strategies x {self.config.repeats} "
+            f"repeats, {self.config.rounds} rounds of {self.config.batch_size} "
+            f"({needed} of {len(train)} pool samples per run)"
+        )
+        return notes
+
+
+def default_experiment_spec() -> ExperimentSpec:
+    """A small, runnable starting-point document for ``config show``."""
+    return ExperimentSpec(
+        dataset=Spec(kind="mr", params={"scale": 0.2, "seed": 7}),
+        split=Spec(kind="fraction", params={"test_fraction": 0.3}),
+        model=default_model_spec("text"),
+        strategies={
+            "random": Spec(kind="random"),
+            "entropy": Spec(kind="entropy"),
+            "wshs:entropy": Spec(
+                kind="wshs",
+                params={"base": {"kind": "entropy", "params": {}}, "window": 3},
+            ),
+        },
+        config=ExperimentConfig(batch_size=25, rounds=10, repeats=3, seed=7),
+    )

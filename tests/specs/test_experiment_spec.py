@@ -1,0 +1,149 @@
+"""Tests for the top-level experiment document and its CLI commands."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SpecError
+from repro.experiments import ExperimentConfig, run_comparison
+from repro.specs import ExperimentSpec, Spec, default_experiment_spec
+
+
+def _small_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        dataset=Spec(kind="mr", params={"scale": 0.06, "seed": 7}),
+        strategies={"random": Spec(kind="random"), "entropy": Spec(kind="entropy")},
+        config=ExperimentConfig(batch_size=5, rounds=2, repeats=1, seed=7),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestExperimentSpec:
+    def test_default_document_validates(self):
+        notes = default_experiment_spec().validate()
+        assert any("grid:" in note for note in notes)
+
+    def test_dict_roundtrip(self):
+        spec = default_experiment_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "experiment.json"
+        spec.save(path)
+        assert ExperimentSpec.from_file(path).to_dict() == spec.to_dict()
+
+    def test_no_strategies_rejected(self):
+        with pytest.raises(SpecError, match="no strategies"):
+            _small_spec(strategies={})
+
+    def test_unknown_top_level_key_rejected(self):
+        payload = _small_spec().to_dict()
+        payload["extra"] = 1
+        with pytest.raises(SpecError, match="unknown experiment key"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_unknown_runner_option_rejected(self):
+        payload = _small_spec().to_dict()
+        payload["runner"]["bogus"] = 1
+        with pytest.raises(SpecError, match="unknown runner option"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_version_mismatch_rejected(self):
+        payload = _small_spec().to_dict()
+        payload["version"] = 99
+        with pytest.raises(SpecError, match="version"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecError, match="cannot read"):
+            ExperimentSpec.from_file(path)
+
+    def test_task_and_default_model(self):
+        spec = _small_spec()
+        assert spec.task == "text"
+        assert spec.resolved_model().kind == "linear"
+
+    def test_validate_rejects_oversized_grid(self):
+        spec = _small_spec(
+            config=ExperimentConfig(batch_size=500, rounds=10, repeats=1, seed=7)
+        )
+        with pytest.raises(SpecError, match="pool samples"):
+            spec.validate()
+
+
+class TestRunComparisonValidation:
+    def test_oversized_grid_rejected_up_front(self, text_dataset):
+        config = ExperimentConfig(batch_size=400, rounds=2, repeats=1, seed=0)
+        with pytest.raises(ConfigurationError, match="pool samples"):
+            run_comparison(
+                {"kind": "linear", "params": {"epochs": 1, "seed": 0}},
+                {"random": {"kind": "random"}},
+                text_dataset.subset(range(300)),
+                text_dataset.subset(range(300, 400)),
+                config=config,
+            )
+
+    def test_exact_fit_accepted(self, text_dataset):
+        # labels_needed == pool size is legal: the last round empties the pool.
+        config = ExperimentConfig(
+            batch_size=5, rounds=2, initial_size=10, repeats=1, seed=0
+        )
+        results = run_comparison(
+            {"kind": "linear", "params": {"epochs": 1, "seed": 0}},
+            {"random": {"kind": "random"}},
+            text_dataset.subset(range(20)),
+            text_dataset.subset(range(300, 360)),
+            config=config,
+        )
+        assert set(results) == {"random"}
+
+
+class TestConfigCli:
+    def test_show_defaults_is_valid_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["config", "show", "--defaults"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.experiment"
+
+    def test_validate_reports_components(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "experiment.json"
+        _small_spec().save(path)
+        assert main(["config", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid experiment document" in out
+        assert "strategy 'entropy'" in out
+
+    def test_validate_bad_document_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "experiment.json"
+        payload = _small_spec().to_dict()
+        payload["strategies"]["entropy"] = {"kind": "nope"}
+        path.write_text(json.dumps(payload))
+        assert main(["config", "validate", str(path)]) == 2
+        assert "unknown strategy kind" in capsys.readouterr().err
+
+    def test_run_config_matches_compare_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "experiment.json"
+        _small_spec(
+            model=Spec(kind="linear", params={"epochs": 2, "batch_size": 32, "seed": 0}),
+        ).save(path)
+        assert main(["run", "--config", str(path)]) == 0
+        config_out = capsys.readouterr().out
+        assert main([
+            "compare", "--dataset", "mr", "--scale", "0.06", "--seed", "7",
+            "--strategies", "random", "entropy",
+            "--batch-size", "5", "--rounds", "2", "--repeats", "1",
+            "--epochs", "2",
+        ]) == 0
+        flags_out = capsys.readouterr().out
+        assert config_out == flags_out
