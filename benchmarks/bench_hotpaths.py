@@ -2,12 +2,14 @@
 
 Times the layers the per-round cost of an active-learning run is made
 of — history append/window ops, LHS feature extraction, LambdaMART fit,
-a small end-to-end comparison, and the sequence-model kernels (batched
+a small end-to-end comparison, the sequence-model kernels (batched
 LSTM predictor inference, bucketed CRF/BiLSTM-CRF tagging, MC-dropout
-reuse, the per-round prediction cache) — against the retained
-``_*_reference`` implementations of the per-sample code paths, and
-writes the measurements to ``BENCH_hotpaths.json`` and
-``BENCH_seqmodels.json`` at the repo root so later PRs can track the
+reuse, the per-round prediction cache), and the million-sample pool
+paths (partial top-k selection, history append at scale, zero-copy
+worker dispatch) — against the retained ``_*_reference``/oracle
+implementations of the per-sample code paths, and writes the
+measurements to ``BENCH_hotpaths.json``, ``BENCH_seqmodels.json``, and
+``BENCH_poolscale.json`` at the repo root so later PRs can track the
 perf trajectory.
 
 Usage::
@@ -27,6 +29,7 @@ import argparse
 import json
 import multiprocessing
 import os
+import pickle
 import sys
 import time
 from pathlib import Path
@@ -44,6 +47,7 @@ from repro.core.features import (
 )
 from repro.core.history import HistoryStore
 from repro.core.prediction_cache import PredictionCache
+from repro.core.selection import top_k_indices, top_k_reference
 from repro.core.strategies import Entropy, WSHS
 from repro.core.strategies.base import SelectionContext
 from repro.data.ner import NERCorpusSpec, make_ner_corpus
@@ -65,6 +69,7 @@ from repro.timeseries.mann_kendall import mann_kendall_test
 
 OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 SEQ_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_seqmodels.json"
+POOL_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_poolscale.json"
 
 
 class _LegacyHistoryStore:
@@ -549,6 +554,159 @@ def run_seqmodels(quick: bool, repeats: int, output: Path) -> dict:
     return results
 
 
+# -- million-sample pool paths (BENCH_poolscale.json) ------------------------
+
+
+def bench_pool_selection(n: int, k: int, repeats: int) -> dict:
+    """Partial top-k (``np.argpartition``) vs the full-lexsort oracle.
+
+    Both paths include the jitter draw, so the ratio isolates the sort:
+    O(n + c log c) candidate work against O(n log n) over the whole pool.
+    The batches are asserted bit-for-bit identical before timing counts.
+    """
+    rng = np.random.default_rng(20)
+    # Entropy-like scores: bounded, heavy mid-range ties after rounding.
+    scores = np.round(rng.random(n), 6)
+
+    fast = top_k_indices(scores, k, np.random.default_rng(21))
+    slow = top_k_reference(scores, k, np.random.default_rng(21))
+    np.testing.assert_array_equal(fast, slow)
+
+    new_seconds = _best_of(
+        lambda: top_k_indices(scores, k, np.random.default_rng(22)), repeats
+    )
+    reference_seconds = _best_of(
+        lambda: top_k_reference(scores, k, np.random.default_rng(22)),
+        max(1, repeats - 1),
+    )
+    return {
+        "n_samples": n,
+        "batch_size": k,
+        "new_seconds": new_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / new_seconds,
+        "identical": True,
+    }
+
+
+def bench_pool_history_append(n: int, rounds: int, repeats: int) -> dict:
+    """Per-backend cost of recording ``rounds`` score rows over ``n`` samples.
+
+    All three backends run the same validated scatter-write; the spread
+    shows what the shared-memory / mmap indirection costs at pool scale.
+    """
+    rng = np.random.default_rng(23)
+    per_round = _round_indices(rng, n, rounds)
+    score_rows = [rng.random(len(indices)) for indices in per_round]
+
+    def run(backend: str) -> None:
+        store = HistoryStore(n, backend=backend)
+        for round_index, (indices, scores) in enumerate(
+            zip(per_round, score_rows), 1
+        ):
+            store.append(round_index, indices, scores)
+        store.close()
+
+    timings = {
+        backend: _best_of(lambda b=backend: run(b), repeats)
+        for backend in ("local", "shared", "mmap")
+    }
+    return {
+        "n_samples": n,
+        "rounds": rounds,
+        **{f"{backend}_seconds": seconds for backend, seconds in timings.items()},
+        "shared_overhead": timings["shared"] / timings["local"],
+        "mmap_overhead": timings["mmap"] / timings["local"],
+    }
+
+
+def bench_pool_worker_dispatch(n: int, rounds: int, repeats: int) -> dict:
+    """Handing a history store to a worker: pickle copy vs descriptor attach.
+
+    The pickle path is what crossing a process boundary by value costs —
+    the full score matrix serialised and rebuilt.  The attach path maps
+    the owner's shared segment by name: O(1) in pool size.  Process
+    startup is excluded from both so the ratio isolates the transfer.
+    """
+    rng = np.random.default_rng(24)
+    store = HistoryStore(n, strategy_name="entropy", backend="shared")
+    for round_index, indices in enumerate(_round_indices(rng, n, rounds), 1):
+        store.append(round_index, indices, rng.random(len(indices)))
+
+    view = HistoryStore.attach(store.share_descriptor())
+    np.testing.assert_array_equal(view._matrix, store._matrix)
+    view.close()
+
+    def round_trip_pickle() -> None:
+        pickle.loads(pickle.dumps(store))
+
+    def round_trip_attach() -> None:
+        HistoryStore.attach(store.share_descriptor()).close()
+
+    pickle_seconds = _best_of(round_trip_pickle, max(1, repeats - 1))
+    attach_seconds = _best_of(round_trip_attach, repeats)
+    payload_bytes = store._matrix.nbytes
+    store.close()
+    return {
+        "n_samples": n,
+        "rounds": rounds,
+        "matrix_bytes": payload_bytes,
+        "pickle_seconds": pickle_seconds,
+        "attach_seconds": attach_seconds,
+        "speedup": pickle_seconds / attach_seconds,
+    }
+
+
+def run_pool_scale(quick: bool, repeats: int, output: Path) -> dict:
+    """Run the pool-scale suite and write ``BENCH_poolscale.json``."""
+    results: dict[str, dict] = {}
+    print(f"[bench_poolscale] mode={'quick' if quick else 'full'}")
+
+    pool_sizes = [20_000, 50_000] if quick else [100_000, 1_000_000]
+    selection = []
+    for n in pool_sizes:
+        entry = bench_pool_selection(n=n, k=1_000, repeats=repeats)
+        selection.append(entry)
+        print(
+            f"  selection n={n:>9,}: "
+            f"{entry['speedup']:6.1f}x vs full lexsort "
+            f"({entry['new_seconds'] * 1e3:.1f} ms new), batches identical"
+        )
+    results["selection"] = {"sizes": selection}
+
+    append_n = 50_000 if quick else 1_000_000
+    results["history_append"] = bench_pool_history_append(
+        n=append_n, rounds=10 if quick else 30, repeats=repeats
+    )
+    print(
+        f"  history append n={append_n:,}: shared "
+        f"{results['history_append']['shared_overhead']:.2f}x local, mmap "
+        f"{results['history_append']['mmap_overhead']:.2f}x local"
+    )
+
+    dispatch_n = 50_000 if quick else 1_000_000
+    results["worker_dispatch"] = bench_pool_worker_dispatch(
+        n=dispatch_n, rounds=10 if quick else 30, repeats=repeats
+    )
+    print(
+        f"  worker dispatch n={dispatch_n:,}: attach "
+        f"{results['worker_dispatch']['speedup']:6.1f}x vs pickle copy "
+        f"({results['worker_dispatch']['matrix_bytes'] / 1e6:.0f} MB matrix)"
+    )
+
+    payload = {
+        "benchmark": "pool_scale",
+        "mode": "quick" if quick else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "results": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_poolscale] wrote {output}")
+    return results
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -566,8 +724,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="sequence-model JSON output path",
     )
     parser.add_argument(
+        "--pool-output",
+        type=Path,
+        default=POOL_OUTPUT_DEFAULT,
+        help="pool-scale JSON output path",
+    )
+    parser.add_argument(
         "--suite",
-        choices=("all", "hotpaths", "seqmodels"),
+        choices=("all", "hotpaths", "seqmodels", "pool_scale"),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -580,6 +744,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if arguments.suite == "seqmodels":
         run_seqmodels(quick, repeats, arguments.seq_output)
+        return 0
+    if arguments.suite == "pool_scale":
+        run_pool_scale(quick, repeats, arguments.pool_output)
         return 0
 
     results: dict[str, dict] = {}
@@ -653,6 +820,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if arguments.suite == "all":
         run_seqmodels(quick, repeats, arguments.seq_output)
+        run_pool_scale(quick, repeats, arguments.pool_output)
     return 0
 
 

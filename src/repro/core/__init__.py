@@ -11,22 +11,25 @@
 * :mod:`repro.core.events` — lifecycle observer seam over the engine.
 * :mod:`repro.core.loop` — the closed auto-oracle driver over the engine.
 * :mod:`repro.core.prediction_cache` — per-round forward-pass memoisation.
+* :mod:`repro.core.selection` — partial top-k batch selection.
 * :mod:`repro.core.ranker_training` — Algorithm 1 (training the LHS ranker).
 """
 
 from .events import EventLog, SessionObserver
 from .features import RankingFeatureExtractor
-from .history import HistoryStore
+from .history import HISTORY_BACKENDS, HistoryStore
 from .loop import ActiveLearningLoop
 from .pool import Pool
 from .prediction_cache import PredictionCache
 from .ranker_training import LHSRanker, train_lhs_ranker
+from .selection import top_k_indices, top_k_reference
 from .session import ALResult, RoundRecord, SessionEngine, SessionState
 
 __all__ = [
     "ALResult",
     "ActiveLearningLoop",
     "EventLog",
+    "HISTORY_BACKENDS",
     "HistoryStore",
     "LHSRanker",
     "Pool",
@@ -36,5 +39,7 @@ __all__ = [
     "SessionEngine",
     "SessionObserver",
     "SessionState",
+    "top_k_indices",
+    "top_k_reference",
     "train_lhs_ranker",
 ]

@@ -103,6 +103,7 @@ class ActiveLearningLoop:
         seed_or_rng: "int | np.random.Generator | None" = None,
         reseed_model: bool = True,
         history_limit: "int | None" = None,
+        history_backend: str = "local",
     ) -> None:
         self._rng = ensure_rng(seed_or_rng)
         # Validate eagerly with a throwaway engine so misconfiguration
@@ -120,6 +121,7 @@ class ActiveLearningLoop:
             seed_or_rng=self._rng,
             reseed_model=reseed_model,
             history_limit=history_limit,
+            history_backend=history_backend,
         )
         self.model_prototype = model_prototype
         self.strategy = strategy
@@ -131,6 +133,7 @@ class ActiveLearningLoop:
         self.metric = probe.metric
         self.reseed_model = reseed_model
         self.history_limit = history_limit
+        self.history_backend = history_backend
         self._keep_models = probe._keep_models
 
     def build_engine(self, observers: Sequence = ()) -> SessionEngine:
@@ -152,6 +155,7 @@ class ActiveLearningLoop:
             seed_or_rng=self._rng,
             reseed_model=self.reseed_model,
             history_limit=self.history_limit,
+            history_backend=self.history_backend,
             observers=observers,
         )
 

@@ -1,25 +1,32 @@
-"""Per-round memoisation of model forward passes.
+"""Round-scoped memoisation of model forward passes.
 
 One active-learning round runs the same fitted model over the same
 datasets several times: ``evaluate_model`` decodes the test split,
 strategy scoring reads probabilities or marginals on the candidate pool,
 and multi-pass strategies (BALD, QBC, combined scores) revisit the same
 predictions.  :class:`PredictionCache` keys each forward pass by
-``(kind, model identity, dataset identity)`` so every pass happens once
-per round; :class:`~repro.core.loop.ActiveLearningLoop` clears it when a
-new model is fitted.
+``(kind, model identity, dataset identity)`` so every pass happens once.
 
 Identity is ``id()`` with the model/dataset objects pinned inside the
-cache entry, so an id cannot be recycled while its entry is alive.  The
-pins are also why the cache must be cleared per round — entries would
-otherwise keep every round's model reachable.
+cache entry, so an id cannot be recycled while its entry is alive.  That
+pinning is also why entries must not live forever: each entry is tagged
+with the round it was inserted in, and
+:class:`~repro.core.session.SessionEngine` calls :meth:`advance_round`
+when a new model is fitted — evicting entries older than
+``keep_rounds`` rounds instead of clearing wholesale.  With the default
+``keep_rounds=1`` that reproduces the historical clear-per-round
+behaviour exactly; committee strategies that retain past models can run
+with a larger window so the retained models' passes survive alongside
+them.
 
 For CRF-output labelers that expose ``emissions(dataset)``
 (:class:`~repro.models.crf.LinearChainCRF`,
 :class:`~repro.models.bilstm_crf.BiLSTMCRF`), the emission matrices are
 cached once and shared by Viterbi decoding, path log-probabilities, and
 token marginals, so e.g. span-F1 evaluation plus an MNLP score reuse the
-same encoder pass.
+same encoder pass.  Models exposing the fused ``decode()`` additionally
+share one Viterbi lattice walk between ``predict_tags`` and
+``best_path_log_proba`` — asking for both costs a single decode.
 """
 
 from __future__ import annotations
@@ -33,14 +40,25 @@ from ..models.base import Classifier, SequenceLabeler
 
 
 class PredictionCache:
-    """Memoise deterministic forward passes within one AL round.
+    """Memoise deterministic forward passes within a rolling round window.
 
     Stochastic passes (MC-dropout draws) are never cached — they must
     consume the round RNG exactly as often as the uncached code would.
+
+    Parameters
+    ----------
+    keep_rounds:
+        How many rounds an entry survives after the round it was
+        inserted in; ``1`` (default) evicts each round's entries when
+        the next round's model is fitted.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, keep_rounds: int = 1) -> None:
+        if keep_rounds < 1:
+            raise ValueError(f"keep_rounds must be >= 1, got {keep_rounds}")
         self._store: dict = {}
+        self._round = 0
+        self.keep_rounds = keep_rounds
         self.hits = 0
         self.misses = 0
 
@@ -51,6 +69,22 @@ class PredictionCache:
         """Drop all entries (and the model/dataset pins keeping them alive)."""
         self._store.clear()
 
+    def advance_round(self, round_index: int) -> int:
+        """Start round ``round_index``: evict entries that aged out.
+
+        An entry inserted in round ``r`` survives while
+        ``round_index - r < keep_rounds``.  Returns the number of
+        entries evicted.
+        """
+        self._round = int(round_index)
+        cutoff = self._round - self.keep_rounds
+        stale = [
+            key for key, entry in self._store.items() if entry[3] <= cutoff
+        ]
+        for key in stale:
+            del self._store[key]
+        return len(stale)
+
     def _memo(self, kind: str, model, dataset, compute: Callable):
         key = (kind, id(model), id(dataset))
         if key in self._store:
@@ -58,7 +92,7 @@ class PredictionCache:
             return self._store[key][2]
         self.misses += 1
         value = compute()
-        self._store[key] = (model, dataset, value)
+        self._store[key] = (model, dataset, value, self._round)
         return value
 
     # -- classifier passes -------------------------------------------------
@@ -88,10 +122,25 @@ class PredictionCache:
             "emissions", model, dataset, lambda: model.emissions(dataset)
         )
 
+    def _decode(self, model: SequenceLabeler, dataset: SequenceDataset):
+        """Cached fused ``(paths, log_probas)``, or ``None`` without it."""
+        if not hasattr(model, "decode"):
+            return None
+        emissions = self._emissions(model, dataset)
+        return self._memo(
+            "decode",
+            model,
+            dataset,
+            lambda: model.decode(dataset, emissions=emissions),
+        )
+
     def predict_tags(
         self, model: SequenceLabeler, dataset: SequenceDataset
     ) -> list[np.ndarray]:
-        """Cached Viterbi decode, sharing cached emissions when available."""
+        """Cached Viterbi decode, sharing emissions and the fused pass."""
+        decoded = self._decode(model, dataset)
+        if decoded is not None:
+            return decoded[0]
         emissions = self._emissions(model, dataset)
         if emissions is None:
             compute = lambda: model.predict_tags(dataset)  # noqa: E731
@@ -102,7 +151,10 @@ class PredictionCache:
     def best_path_log_proba(
         self, model: SequenceLabeler, dataset: SequenceDataset
     ) -> np.ndarray:
-        """Cached Viterbi-path log-probabilities, sharing cached emissions."""
+        """Cached Viterbi-path log-probabilities via the shared decode."""
+        decoded = self._decode(model, dataset)
+        if decoded is not None:
+            return decoded[1]
         emissions = self._emissions(model, dataset)
         if emissions is None:
             compute = lambda: model.best_path_log_proba(dataset)  # noqa: E731

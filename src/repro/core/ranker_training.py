@@ -38,6 +38,7 @@ from ..timeseries.predictor import (
 from .features import RankingFeatureExtractor
 from .history import HistoryStore
 from .pool import Pool
+from .selection import top_k_indices
 from .strategies.base import QueryStrategy, SelectionContext
 from .strategies.uncertainty import Entropy, LeastConfidence
 
@@ -172,7 +173,7 @@ def _collect_history(
         )
         scores = np.asarray(base.scores(model, context), dtype=np.float64)
         history.append(round_index, context.unlabeled, scores)
-        batch = context.unlabeled[np.argsort(-scores)[:batch_size]]
+        batch = context.unlabeled[top_k_indices(scores, batch_size)]
         pool.label(batch)
     return history
 
@@ -304,7 +305,7 @@ def train_lhs_ranker(
                     strategy.scores(model, context), dtype=np.float64
                 )
             candidate_positions.update(
-                np.argsort(-strategy_scores)[:per_strategy].tolist()
+                top_k_indices(strategy_scores, per_strategy).tolist()
             )
         positions = np.asarray(sorted(candidate_positions), dtype=np.int64)
 
@@ -322,7 +323,7 @@ def train_lhs_ranker(
         relevance.append(_delta_levels(deltas, config.levels))
         query_ids.append(np.full(len(positions), round_index))
 
-        best = positions[np.argsort(-deltas)[: config.add_per_round]]
+        best = positions[top_k_indices(deltas, config.add_per_round)]
         pool.label(context.unlabeled[best])
 
     if not feature_rows:

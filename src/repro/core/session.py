@@ -58,7 +58,11 @@ from .events import emit
 from .history import HistoryStore
 from .pool import Pool
 from .prediction_cache import PredictionCache
-from .strategies.base import QueryStrategy, SelectionContext
+from .strategies.base import (
+    QueryStrategy,
+    SelectionContext,
+    strategy_capabilities,
+)
 
 #: Format marker of :meth:`SessionEngine.snapshot` payloads.
 SNAPSHOT_FORMAT = "repro.al_session"
@@ -247,6 +251,7 @@ class SessionEngine:
         seed_or_rng: "int | np.random.Generator | None" = None,
         reseed_model: bool = True,
         history_limit: "int | None" = None,
+        history_backend: str = "local",
         observers: Sequence = (),
     ) -> None:
         if batch_size < 1:
@@ -277,6 +282,7 @@ class SessionEngine:
         self.metric = metric or evaluate_model
         self.reseed_model = reseed_model
         self.history_limit = history_limit
+        self.history_backend = history_backend
         self.observers = list(observers)
         self._metric_wants_cache = metric_accepts_cache(self.metric)
         self._keep_models = validated_model_history(strategy)
@@ -287,8 +293,10 @@ class SessionEngine:
         self._round_index = 0
         self._bootstrap_done = False
         self._pool = Pool(n)
-        self._history = HistoryStore(n, strategy_name=strategy.name)
-        self._cache = PredictionCache()
+        self._history = HistoryStore(
+            n, strategy_name=strategy.name, backend=history_backend
+        )
+        self._cache = PredictionCache(keep_rounds=max(1, self._keep_models))
         self._records: list[RoundRecord] = []
         self._selection_order: list[np.ndarray] = []
         self._pending: "np.ndarray | None" = None
@@ -475,9 +483,12 @@ class SessionEngine:
             self._round_index,
             self._pool.num_labeled,
         )
-        # The previous round's model is gone; keeping its cache entries
-        # would only pin dead models and recycle their ids.
-        self._cache.clear()
+        # Age out stale forward passes: entries from rounds beyond the
+        # cache's keep window would only pin dead models and recycle
+        # their ids.  With the default window of one round this is the
+        # historical clear-per-round behaviour; committee strategies
+        # keep as many rounds as they keep models.
+        self._cache.advance_round(self._round_index)
         model = self.model_prototype.clone()
         seed = None
         if self.reseed_model and hasattr(model, "seed"):
@@ -658,6 +669,10 @@ class SessionEngine:
                 "initial_size": self.initial_size,
                 "reseed_model": self.reseed_model,
                 "history_limit": self.history_limit,
+                # Informational: backends are result-neutral, so restore
+                # accepts a snapshot regardless of which one wrote it.
+                "history_backend": self.history_backend,
+                "capabilities": strategy_capabilities(self.strategy),
                 "default_metric": self.metric is evaluate_model,
             },
             "state": self._state.value,
@@ -688,9 +703,14 @@ class SessionEngine:
         train_dataset: "TextDataset | SequenceDataset",
         test_dataset: "TextDataset | SequenceDataset",
         metric: "Callable[[object, object], float] | None" = None,
+        history_backend: "str | None" = None,
         observers: Sequence = (),
     ) -> "SessionEngine":
         """Resume a session from a :meth:`snapshot` payload.
+
+        ``history_backend`` overrides the snapshot's recorded backend
+        (backends are result-neutral, so resuming on a different one is
+        always legal); ``None`` keeps the recorded choice.
 
         The components must be configured identically to the originals
         (the snapshot fingerprints strategy name, dataset sizes, and
@@ -764,13 +784,20 @@ class SessionEngine:
             seed_or_rng=rng_from_state(snapshot["rng"]),
             reseed_model=bool(config["reseed_model"]),
             history_limit=config["history_limit"],
+            history_backend=(
+                str(config.get("history_backend", "local"))
+                if history_backend is None
+                else history_backend
+            ),
             observers=observers,
         )
         engine._state = SessionState(snapshot["state"])
         engine._round_index = int(snapshot["round_index"])
         engine._bootstrap_done = bool(snapshot["bootstrap_done"])
         engine._pool = Pool.from_dict(snapshot["pool"])
-        engine._history = HistoryStore.from_dict(snapshot["history"])
+        engine._history = HistoryStore.from_dict(
+            snapshot["history"], backend=engine.history_backend
+        )
         engine._records = [record_from_dict(r) for r in snapshot["records"]]
         engine._selection_order = [
             np.asarray(selected, dtype=np.int64)

@@ -27,6 +27,7 @@ from ...exceptions import ConfigurationError, StrategyError
 from ...models.base import Classifier, SequenceLabeler
 from ..history import HistoryStore
 from ..prediction_cache import PredictionCache
+from ..selection import top_k_indices, top_k_reference
 
 
 @dataclass
@@ -107,6 +108,14 @@ class QueryStrategy(ABC):
     #: strategy (0 = none).  HKLD sets this to its committee size.
     requires_model_history: int = 0
 
+    #: Capability flag: ``scores`` is a deterministic, RNG-free function
+    #: of the current model and the candidate set alone (no history, no
+    #: model committee, no randomness).  History-aware wrappers use this
+    #: to skip rescoring within a round: once such a base's scores are
+    #: recorded for the current round, :meth:`HistoryStore.current_scores`
+    #: already holds them bit for bit.
+    model_only_scores: bool = False
+
     @property
     @abstractmethod
     def name(self) -> str:
@@ -128,8 +137,36 @@ class QueryStrategy(ABC):
 
         Ties are broken uniformly at random so runs with symmetric
         initial scores (e.g. an untrained model) don't systematically
-        prefer low indices.
+        prefer low indices.  The pick runs through the partial
+        :func:`~repro.core.selection.top_k_indices` — bit-identical to
+        the full-sort :meth:`select_reference` oracle, O(n) in the pool.
         """
+        score_vector = self._validated_scores(model, context, batch_size)
+        order = top_k_indices(score_vector, batch_size, context.rng)
+        return context.unlabeled[order]
+
+    def select_reference(
+        self,
+        model: "Classifier | SequenceLabeler",
+        context: SelectionContext,
+        batch_size: int,
+    ) -> np.ndarray:
+        """Full-sort oracle for :meth:`select` (tests and benchmarks).
+
+        Runs the historical ``np.lexsort((jitter, -scores))`` over the
+        whole pool; :meth:`select` must match it bit for bit.
+        """
+        score_vector = self._validated_scores(model, context, batch_size)
+        order = top_k_reference(score_vector, batch_size, context.rng)
+        return context.unlabeled[order]
+
+    def _validated_scores(
+        self,
+        model: "Classifier | SequenceLabeler",
+        context: SelectionContext,
+        batch_size: int,
+    ) -> np.ndarray:
+        """Shared ``select`` precondition checks + score computation."""
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         if batch_size > len(context.unlabeled):
@@ -143,9 +180,7 @@ class QueryStrategy(ABC):
                 f"{self.name}: scores shape {score_vector.shape} does not match "
                 f"{len(context.unlabeled)} candidates"
             )
-        jitter = context.rng.random(len(score_vector))
-        order = np.lexsort((jitter, -score_vector))
-        return context.unlabeled[order[:batch_size]]
+        return score_vector
 
     def __repr__(self) -> str:
         return self.name
@@ -177,11 +212,42 @@ class HistoryAwareStrategy(QueryStrategy):
     def base_scores(
         self, model: "Classifier | SequenceLabeler", context: SelectionContext
     ) -> np.ndarray:
-        """Compute the base strategy's current scores and record them."""
+        """Compute the base strategy's current scores and record them.
+
+        Short-circuit: when the base declares
+        :attr:`QueryStrategy.model_only_scores` and this round's scores
+        are already recorded, the history's last-observation cache *is*
+        the current score vector (the model hasn't changed within a
+        round), so rescoring is skipped entirely.  Bases that consume
+        RNG or read mutable state don't qualify and are always re-asked.
+        """
+        history = context.history
+        if self.base.model_only_scores and history.has_round(context.round_index):
+            recorded = history.current_scores(context.unlabeled)
+            if not np.isnan(recorded).any():
+                return recorded
         scores = np.asarray(self.base.scores(model, context), dtype=np.float64)
-        if not context.history.has_round(context.round_index):
-            context.history.append(context.round_index, context.unlabeled, scores)
+        if not history.has_round(context.round_index):
+            history.append(context.round_index, context.unlabeled, scores)
         return scores
+
+
+def strategy_capabilities(strategy: QueryStrategy) -> dict:
+    """A strategy's capability flags as plain JSON-compatible data.
+
+    Surfaced in session snapshots and spec-validation notes so a grid
+    document records which optimisations (round-level rescoring
+    short-circuit, model-history retention) each strategy allows.
+    Wrappers report their own flags plus their base's under ``"base"``.
+    """
+    capabilities = {
+        "model_only_scores": bool(getattr(strategy, "model_only_scores", False)),
+        "requires_model_history": int(getattr(strategy, "requires_model_history", 0)),
+    }
+    base = getattr(strategy, "base", None)
+    if isinstance(base, QueryStrategy):
+        capabilities["base"] = strategy_capabilities(base)
+    return capabilities
 
 
 # -- shared scoring helpers ----------------------------------------------------

@@ -19,6 +19,8 @@ from .base import QueryStrategy, SelectionContext, register_strategy
 class EGL(QueryStrategy):
     """Expected loss-gradient norm over all candidate labels."""
 
+    model_only_scores = True
+
     @property
     def name(self) -> str:
         return "EGL"

@@ -20,6 +20,8 @@ from .base import QueryStrategy, SelectionContext, register_strategy
 class EGLWord(QueryStrategy):
     """Max-over-words expected embedding gradient."""
 
+    model_only_scores = True
+
     @property
     def name(self) -> str:
         return "EGL-word"

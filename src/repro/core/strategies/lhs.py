@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...exceptions import ConfigurationError, StrategyError
+from ..selection import top_k_indices
 from .base import (
     HistoryAwareStrategy,
     QueryStrategy,
@@ -79,16 +80,14 @@ class LHS(HistoryAwareStrategy):
         per_strategy = min(
             self.candidate_factor * batch_size, len(context.unlabeled)
         )
-        candidate_positions = set(np.argsort(-current)[:per_strategy].tolist())
+        candidate_positions = set(top_k_indices(current, per_strategy).tolist())
         for strategy in self.candidate_strategies:
             other = np.asarray(strategy.scores(model, context), dtype=np.float64)
-            candidate_positions.update(np.argsort(-other)[:per_strategy].tolist())
+            candidate_positions.update(top_k_indices(other, per_strategy).tolist())
         positions = np.asarray(sorted(candidate_positions), dtype=np.int64)
         if len(positions) < batch_size:
             positions = np.arange(len(context.unlabeled))
         features = self.ranker.extractor.extract(model, context, positions)
         ranking = self.ranker.model.predict(features)
-        jitter = context.rng.random(len(ranking))
-        order = np.lexsort((jitter, -ranking))
-        chosen_positions = positions[order[:batch_size]]
-        return context.unlabeled[chosen_positions]
+        order = top_k_indices(ranking, batch_size, context.rng)
+        return context.unlabeled[positions[order]]

@@ -23,6 +23,8 @@ from .base import QueryStrategy, SelectionContext, register_strategy
 class MNLP(QueryStrategy):
     """Length-normalised sequence uncertainty for NER."""
 
+    model_only_scores = True
+
     @property
     def name(self) -> str:
         return "MNLP"

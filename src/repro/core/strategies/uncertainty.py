@@ -25,6 +25,8 @@ from .base import (
 class Entropy(QueryStrategy):
     """Predictive-distribution entropy (Eq. 4)."""
 
+    model_only_scores = True
+
     @property
     def name(self) -> str:
         return "Entropy"
@@ -44,6 +46,8 @@ class Entropy(QueryStrategy):
 class LeastConfidence(QueryStrategy):
     """1 - probability of the most likely prediction (Eq. 3)."""
 
+    model_only_scores = True
+
     @property
     def name(self) -> str:
         return "LC"
@@ -59,6 +63,8 @@ class LeastConfidence(QueryStrategy):
 @register_strategy("margin")
 class Margin(QueryStrategy):
     """1 - (top probability - runner-up probability); classifiers only."""
+
+    model_only_scores = True
 
     @property
     def name(self) -> str:

@@ -149,6 +149,11 @@ class CheckpointStore:
             "repeats": config.repeats,
             "seed": config.seed,
         }
+        # Recorded in every payload for provenance, but deliberately NOT
+        # part of the fingerprint: history backends are result-neutral
+        # (byte-identical runs), so resuming under a different backend is
+        # legal and must not invalidate existing checkpoints.
+        self._history_backend = config.history_backend
 
     def _cell_specs(self, strategy: str) -> dict:
         """The spec fingerprint stored in (and expected of) a cell file."""
@@ -178,6 +183,7 @@ class CheckpointStore:
             "repeat": int(repeat),
             "seed": int(seed),
             "config": self._config_fingerprint,
+            "history_backend": self._history_backend,
             "specs": self._cell_specs(strategy),
             "result": result_to_dict(result),
         }
@@ -251,6 +257,7 @@ class CheckpointStore:
             "repeat": int(repeat),
             "seed": int(seed),
             "config": self._config_fingerprint,
+            "history_backend": self._history_backend,
             "specs": self._cell_specs(strategy),
             "session": snapshot,
         }

@@ -24,6 +24,12 @@ class ExperimentConfig:
         paper averages over cross-validation folds / repeated runs).
     seed:
         Master seed; repetition ``r`` derives its own child stream.
+    history_backend:
+        :class:`~repro.core.history.HistoryStore` buffer backend for
+        every cell's history ("local", "shared", or "mmap").  Backends
+        are result-neutral — runs are byte-identical across them — so
+        this is a deployment knob, not part of the experiment's
+        identity.
     """
 
     batch_size: int = 25
@@ -31,14 +37,22 @@ class ExperimentConfig:
     initial_size: "int | None" = None
     repeats: int = 3
     seed: int = 7
+    history_backend: str = "local"
 
     def __post_init__(self) -> None:
+        from ..core.history import HISTORY_BACKENDS
+
         if self.batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
         if self.repeats < 1:
             raise ConfigurationError(f"repeats must be >= 1, got {self.repeats}")
+        if self.history_backend not in HISTORY_BACKENDS:
+            raise ConfigurationError(
+                f"history_backend must be one of {HISTORY_BACKENDS}, "
+                f"got {self.history_backend!r}"
+            )
 
     @property
     def labels_needed(self) -> int:

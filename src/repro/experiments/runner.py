@@ -232,6 +232,7 @@ def _run_cell(
             train_dataset,
             test_dataset,
             metric=metric,
+            history_backend=config.history_backend,
         )
     else:
         engine = SessionEngine(
@@ -244,6 +245,7 @@ def _run_cell(
             initial_size=config.initial_size,
             metric=metric,
             seed_or_rng=int(seed),
+            history_backend=config.history_backend,
         )
     on_round_committed = None
     if store is not None:

@@ -23,6 +23,7 @@ from ..rng import ensure_rng
 from .base import SequenceLabeler
 from .batching import length_buckets
 from .crf_core import (
+    crf_decode_buckets,
     crf_forward,
     crf_forward_batch,
     crf_marginals,
@@ -379,6 +380,32 @@ class BiLSTMCRF(SequenceLabeler):
             )
             log_probas[rows] = best_scores - log_z
         return log_probas
+
+
+    def decode(
+        self,
+        dataset: SequenceDataset,
+        *,
+        emissions: "list[np.ndarray] | None" = None,
+    ) -> "tuple[list[np.ndarray], np.ndarray]":
+        """Fused ``(predict_tags, best_path_log_proba)`` in one pass.
+
+        Runs each length bucket through the Viterbi and forward lattices
+        once, so callers needing both tags and path confidences (e.g.
+        the per-round :class:`~repro.core.prediction_cache.PredictionCache`)
+        pay for a single decode instead of two.  Outputs are bit-for-bit
+        the separate methods' results.
+        """
+        params = self._require_fitted()
+        if emissions is None:
+            emissions = self.emissions(dataset)
+        return crf_decode_buckets(
+            emissions,
+            length_buckets([len(s) for s in dataset.sentences]),
+            params["A"],
+            params["start"],
+            params["end"],
+        )
 
     def token_marginals(
         self,

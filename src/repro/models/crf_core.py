@@ -167,6 +167,49 @@ def crf_viterbi_batch(
     return paths, delta[rows, best_last]
 
 
+def crf_decode_buckets(
+    emissions: "list[np.ndarray]",
+    bucket_rows: "list[tuple[int, np.ndarray]]",
+    transitions: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+) -> "tuple[list[np.ndarray], np.ndarray]":
+    """One pass per length bucket: Viterbi paths *and* path log-probas.
+
+    ``predict_tags`` and ``best_path_log_proba`` each used to walk the
+    buckets separately, so a round needing both (span-F1 evaluation plus
+    a path-confidence score on the same dataset) ran Viterbi twice.
+    This fused decode stacks each bucket once and reuses its Viterbi
+    lattice for both outputs; the per-kernel results are the exact
+    arrays the separate passes produce.
+
+    Parameters
+    ----------
+    emissions:
+        Per-sentence emission matrices ``(L_i, T)``.
+    bucket_rows:
+        ``(length, rows)`` pairs from
+        :func:`~repro.models.batching.length_buckets`.
+
+    Returns
+    -------
+    ``(paths, log_probas)`` — per-sentence Viterbi tag arrays and the
+    ``log p(y*|x)`` vector, index-aligned with ``emissions``.
+    """
+    paths: "list[np.ndarray | None]" = [None] * len(emissions)
+    log_probas = np.empty(len(emissions))
+    for _length, rows in bucket_rows:
+        batch = np.stack([emissions[int(row)] for row in rows])
+        bucket_paths, best_scores = crf_viterbi_batch(
+            batch, transitions, start, end
+        )
+        _, log_z = crf_forward_batch(batch, transitions, start, end)
+        log_probas[rows] = best_scores - log_z
+        for row, path in zip(rows, bucket_paths):
+            paths[int(row)] = path.copy()
+    return paths, log_probas
+
+
 def crf_marginals_batch(
     emissions: np.ndarray, transitions: np.ndarray,
     start: np.ndarray, end: np.ndarray,

@@ -32,6 +32,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..core.strategies.base import strategy_capabilities
 from ..exceptions import SpecError
 from ..experiments.config import ExperimentConfig
 from ..ioutil import atomic_write_json
@@ -120,6 +121,7 @@ class ExperimentSpec:
                 "initial_size": self.config.initial_size,
                 "repeats": self.config.repeats,
                 "seed": self.config.seed,
+                "history_backend": self.config.history_backend,
             },
             "runner": dict(self.runner),
             "report": dict(self.report),
@@ -154,6 +156,7 @@ class ExperimentSpec:
             raise SpecError("experiment 'experiment' section must be a dict")
         unknown_shape = set(shape) - {
             "batch_size", "rounds", "initial_size", "repeats", "seed",
+            "history_backend",
         }
         if unknown_shape:
             raise SpecError(f"unknown experiment option(s): {sorted(unknown_shape)}")
@@ -218,7 +221,18 @@ class ExperimentSpec:
         notes.append(f"model: {type(model).__name__}")
         for name, spec in self.strategies.items():
             strategy = build_strategy(spec)
-            notes.append(f"strategy {name!r}: {strategy.name}")
+            tags = []
+            capabilities = strategy_capabilities(strategy)
+            if capabilities["model_only_scores"] or (
+                capabilities.get("base", {}).get("model_only_scores")
+            ):
+                tags.append("model-only scores")
+            if capabilities["requires_model_history"]:
+                tags.append(
+                    f"retains {capabilities['requires_model_history']} models"
+                )
+            suffix = f" [{', '.join(tags)}]" if tags else ""
+            notes.append(f"strategy {name!r}: {strategy.name}{suffix}")
         needed = self.config.labels_needed
         if needed > len(train):
             raise SpecError(

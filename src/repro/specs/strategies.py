@@ -148,6 +148,20 @@ def spec_of_strategy(strategy: object) -> Spec:
     return STRATEGY_REGISTRY.spec_of(strategy)
 
 
+def capabilities_of(spec) -> dict:
+    """Capability flags of the strategy a spec describes.
+
+    Builds the strategy and reads its
+    :func:`~repro.core.strategies.base.strategy_capabilities` — the
+    declared optimisation surface (model-only rescoring short-circuit,
+    model-history retention) of a grid document's entries, without
+    running anything.
+    """
+    from ..core.strategies.base import strategy_capabilities
+
+    return strategy_capabilities(build_strategy(spec))
+
+
 def strategy_kinds() -> list[str]:
     """Sorted registered strategy kinds."""
     return STRATEGY_REGISTRY.kinds()

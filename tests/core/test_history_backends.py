@@ -1,0 +1,182 @@
+"""HistoryStore buffer backends: equivalence, sharing, and spawn workers."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pickle
+import pytest
+
+from repro.core.history import HISTORY_BACKENDS, HistoryStore
+from repro.core.loop import ActiveLearningLoop
+from repro.core.strategies.wshs import WSHS
+from repro.core.strategies.uncertainty import Entropy
+from repro.exceptions import ConfigurationError, HistoryError
+from repro.models import LinearSoftmax
+
+
+def _filled_store(backend: str, n: int = 40, rounds: int = 6) -> HistoryStore:
+    rng = np.random.default_rng(5)
+    store = HistoryStore(n, strategy_name="entropy", backend=backend)
+    for round_index in range(1, rounds + 1):
+        indices = np.sort(rng.choice(n, size=n - round_index, replace=False))
+        store.append(round_index, indices, rng.random(len(indices)))
+    return store
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["shared", "mmap"])
+    def test_all_reads_match_local(self, backend):
+        local = _filled_store("local")
+        other = _filled_store(backend)
+        assert other.backend == backend
+        indices = np.arange(40)
+        np.testing.assert_array_equal(other._matrix, local._matrix)
+        np.testing.assert_array_equal(
+            other.current_scores(indices), local.current_scores(indices)
+        )
+        np.testing.assert_array_equal(
+            other.window_matrix(indices, 3), local.window_matrix(indices, 3)
+        )
+        np.testing.assert_array_equal(
+            other.weighted_sum(indices, 3), local.weighted_sum(indices, 3)
+        )
+        np.testing.assert_array_equal(
+            other.fluctuation(indices, 3), local.fluctuation(indices, 3)
+        )
+        assert other.to_dict() == local.to_dict()
+        other.close()
+
+    @pytest.mark.parametrize("backend", HISTORY_BACKENDS)
+    def test_dict_round_trip(self, backend):
+        store = _filled_store(backend)
+        rebuilt = HistoryStore.from_dict(store.to_dict(), backend=backend)
+        assert rebuilt.backend == backend
+        np.testing.assert_array_equal(rebuilt._matrix, store._matrix)
+        assert rebuilt.rounds == store.rounds
+        store.close()
+        rebuilt.close()
+
+    @pytest.mark.parametrize("backend", ["shared", "mmap"])
+    def test_pickle_round_trip_keeps_backend(self, backend):
+        store = _filled_store(backend)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.backend == backend
+        np.testing.assert_array_equal(clone._matrix, store._matrix)
+        assert clone.rounds == store.rounds
+        store.close()
+        clone.close()
+
+    def test_growth_preserves_rows(self):
+        """Doubling reallocation must copy recorded rows across segments."""
+        store = HistoryStore(10, backend="shared")
+        rows = []
+        for round_index in range(1, 25):  # forces several regrows
+            scores = np.full(10, float(round_index))
+            store.append(round_index, np.arange(10), scores)
+            rows.append(scores)
+        np.testing.assert_array_equal(store._matrix, np.stack(rows))
+        store.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HistoryStore(5, backend="redis")
+
+
+class TestAttach:
+    @pytest.mark.parametrize("backend", ["shared", "mmap"])
+    def test_attached_view_is_read_only_and_identical(self, backend):
+        owner = _filled_store(backend)
+        view = HistoryStore.attach(owner.share_descriptor())
+        np.testing.assert_array_equal(view._matrix, owner._matrix)
+        assert view.rounds == owner.rounds
+        assert view.strategy_name == owner.strategy_name
+        np.testing.assert_array_equal(
+            view.current_scores(np.arange(40)), owner.current_scores(np.arange(40))
+        )
+        with pytest.raises(HistoryError):
+            view.append(99, np.arange(3), np.zeros(3))
+        with pytest.raises(HistoryError):
+            view.prune(1)
+        view.close()
+        owner.close()
+
+    def test_attached_sees_owner_writes_in_place(self):
+        """Zero-copy: a write through the owner is visible in the view
+        without any transfer (same physical memory)."""
+        owner = HistoryStore(8, backend="shared")
+        owner.append(1, np.arange(8), np.zeros(8))
+        view = HistoryStore.attach(owner.share_descriptor())
+        owner._buffer[0, 3] = 42.0  # direct poke, no reallocation
+        assert view._matrix[0, 3] == 42.0
+        view.close()
+        owner.close()
+
+    def test_local_store_has_no_descriptor(self):
+        with pytest.raises(HistoryError):
+            _filled_store("local").share_descriptor()
+
+
+def _read_attached(descriptor, indices, queue):
+    """Spawn-worker body: attach by name and report reads (no pickle of
+    the matrix crosses the process boundary)."""
+    store = HistoryStore.attach(descriptor)
+    queue.put(
+        {
+            "matrix": np.asarray(store._matrix).copy(),
+            "rounds": store.rounds,
+            "current": store.current_scores(np.asarray(indices)),
+            "weighted": store.weighted_sum(np.asarray(indices), 3),
+        }
+    )
+    store.close()
+
+
+class TestSpawnWorkerAttach:
+    def test_spawn_worker_reads_match_owner(self):
+        owner = _filled_store("shared")
+        context = mp.get_context("spawn")
+        queue = context.Queue()
+        indices = np.arange(40)
+        worker = context.Process(
+            target=_read_attached,
+            args=(owner.share_descriptor(), indices.tolist(), queue),
+        )
+        worker.start()
+        seen = queue.get(timeout=60)
+        worker.join(timeout=60)
+        assert worker.exitcode == 0
+        np.testing.assert_array_equal(seen["matrix"], owner._matrix)
+        assert seen["rounds"] == owner.rounds
+        np.testing.assert_array_equal(
+            seen["current"], owner.current_scores(indices)
+        )
+        np.testing.assert_array_equal(
+            seen["weighted"], owner.weighted_sum(indices, 3)
+        )
+        owner.close()
+
+
+class TestEngineAcrossBackends:
+    @pytest.mark.parametrize("backend", ["shared", "mmap"])
+    def test_loop_run_byte_identical_to_local(self, backend, text_dataset):
+        def run(history_backend):
+            return ActiveLearningLoop(
+                model_prototype=LinearSoftmax(epochs=4, seed=0),
+                strategy=WSHS(Entropy(), window=3),
+                train_dataset=text_dataset.subset(range(300)),
+                test_dataset=text_dataset.subset(range(300, 380)),
+                batch_size=20,
+                rounds=3,
+                seed_or_rng=11,
+                history_backend=history_backend,
+            ).run()
+
+        local, other = run("local"), run(backend)
+        assert [r.metric for r in local.records] == [r.metric for r in other.records]
+        for a, b in zip(local.selection_order, other.selection_order):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(local.history._matrix, other.history._matrix)
+        assert other.history.backend == backend
+        other.history.close()

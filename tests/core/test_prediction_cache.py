@@ -66,12 +66,54 @@ class TestCache:
             fitted_crf.best_path_log_proba(small_ner),
         )
 
+    def test_tags_and_logp_share_one_decode(self, fitted_crf, small_ner):
+        """Models exposing the fused decode() run Viterbi once for both
+        predict_tags and best_path_log_proba."""
+        cache = PredictionCache()
+        cache.predict_tags(fitted_crf, small_ner)
+        cache.best_path_log_proba(fitted_crf, small_ner)
+        decode_entries = [k for k in cache._store if k[0] == "decode"]
+        assert len(decode_entries) == 1
+        assert not any(k[0] in ("tags", "logp") for k in cache._store)
+        # Second asks are pure hits (emissions + decode lookups each).
+        misses_before = cache.misses
+        cache.predict_tags(fitted_crf, small_ner)
+        cache.best_path_log_proba(fitted_crf, small_ner)
+        assert cache.misses == misses_before
+
     def test_clear_empties_store(self, fitted_classifier, text_dataset):
         cache = PredictionCache()
         cache.predict_proba(fitted_classifier, text_dataset)
         assert len(cache)
         cache.clear()
         assert len(cache) == 0
+
+    def test_advance_round_evicts_aged_entries(self, fitted_classifier, text_dataset):
+        cache = PredictionCache()  # keep_rounds=1
+        cache.advance_round(1)
+        cache.predict_proba(fitted_classifier, text_dataset)
+        assert len(cache) == 1
+        # Same round again (a restore, say): entries survive.
+        assert cache.advance_round(1) == 0
+        assert len(cache) == 1
+        # Next round: the round-1 entry aged out.
+        assert cache.advance_round(2) == 1
+        assert len(cache) == 0
+
+    def test_keep_rounds_window_retains_entries(self, fitted_classifier, text_dataset):
+        cache = PredictionCache(keep_rounds=2)
+        cache.advance_round(1)
+        first = cache.predict_proba(fitted_classifier, text_dataset)
+        cache.advance_round(2)
+        assert len(cache) == 1
+        # Still a hit: the model objects (and ids) are pinned alive.
+        assert cache.predict_proba(fitted_classifier, text_dataset) is first
+        assert cache.advance_round(3) == 1
+        assert len(cache) == 0
+
+    def test_keep_rounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PredictionCache(keep_rounds=0)
 
     def test_distinct_models_do_not_collide(self, text_dataset):
         cache = PredictionCache()
