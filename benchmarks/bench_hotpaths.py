@@ -4,12 +4,14 @@ Times the layers the per-round cost of an active-learning run is made
 of — history append/window ops, LHS feature extraction, LambdaMART fit,
 a small end-to-end comparison, the sequence-model kernels (batched
 LSTM predictor inference, bucketed CRF/BiLSTM-CRF tagging, MC-dropout
-reuse, the per-round prediction cache), and the million-sample pool
+reuse, the per-round prediction cache), the million-sample pool
 paths (partial top-k selection, history append at scale, zero-copy
-worker dispatch) — against the retained ``_*_reference``/oracle
-implementations of the per-sample code paths, and writes the
-measurements to ``BENCH_hotpaths.json``, ``BENCH_seqmodels.json``, and
-``BENCH_poolscale.json`` at the repo root so later PRs can track the
+worker dispatch), and the broker-less distributed grid (cells/sec at
+1/2/4 workers, stale-lease reclaim latency per backend) — against the
+retained ``_*_reference``/oracle implementations of the per-sample
+code paths, and writes the measurements to ``BENCH_hotpaths.json``,
+``BENCH_seqmodels.json``, ``BENCH_poolscale.json``, and
+``BENCH_distscale.json`` at the repo root so later PRs can track the
 perf trajectory.
 
 Usage::
@@ -31,6 +33,7 @@ import multiprocessing
 import os
 import pickle
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -53,6 +56,12 @@ from repro.core.strategies.base import SelectionContext
 from repro.data.ner import NERCorpusSpec, make_ner_corpus
 from repro.data.text import TextCorpusSpec, make_text_corpus
 from repro.experiments import ExperimentConfig, run_comparison
+from repro.experiments.distributed import (
+    LeaseConfig,
+    create_queue,
+    run_distributed,
+)
+from repro.specs import ExperimentSpec, Spec
 from repro.ltr.lambdamart import (
     LambdaMART,
     RankingDataset,
@@ -70,6 +79,7 @@ from repro.timeseries.mann_kendall import mann_kendall_test
 OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 SEQ_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_seqmodels.json"
 POOL_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_poolscale.json"
+DIST_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_distscale.json"
 
 
 class _LegacyHistoryStore:
@@ -707,6 +717,183 @@ def run_pool_scale(quick: bool, repeats: int, output: Path) -> dict:
     return results
 
 
+# -- distributed grid scaling (BENCH_distscale.json) -------------------------
+
+
+def _dist_spec(repeats: int, rounds: int, scale: float, epochs: int) -> ExperimentSpec:
+    """A self-contained grid spec: 2 strategies x ``repeats`` cells."""
+    return ExperimentSpec(
+        dataset=Spec(kind="mr", params={"scale": scale, "seed": 7}),
+        split=Spec(kind="fraction", params={"test_fraction": 0.3}),
+        model=Spec(
+            kind="linear", params={"epochs": epochs, "batch_size": 32, "seed": 0}
+        ),
+        strategies={"random": Spec(kind="random"), "entropy": Spec(kind="entropy")},
+        config=ExperimentConfig(batch_size=15, rounds=rounds, repeats=repeats, seed=9),
+    )
+
+
+def bench_dist_throughput(spec: ExperimentSpec, worker_counts: "list[int]") -> dict:
+    """Grid cells/sec through the work queue at 1/2/4 local workers.
+
+    Each run gets a fresh queue directory (a settled queue would just
+    aggregate), so the timing includes materialization, worker startup,
+    per-worker dataset rebuild, and coordinator polling — the real cost
+    of ``repro compare --queue-dir``.  The scaling across worker counts
+    is the number to watch; the absolute rate depends on cell size.
+    """
+    cells = len(spec.strategies) * spec.config.repeats
+    runs = []
+    for workers in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="bench-dist-") as scratch:
+            start = time.perf_counter()
+            run_distributed(
+                spec, Path(scratch) / "queue", workers=workers, poll=0.05
+            )
+            seconds = time.perf_counter() - start
+        runs.append(
+            {
+                "workers": workers,
+                "seconds": seconds,
+                "cells_per_second": cells / seconds,
+            }
+        )
+    baseline = runs[0]["seconds"]
+    for entry in runs:
+        entry["speedup_vs_one_worker"] = baseline / entry["seconds"]
+    return {
+        "cells": cells,
+        "rounds": spec.config.rounds,
+        "repeats": spec.config.repeats,
+        "worker_counts": runs,
+    }
+
+
+def _backdate_leases(queue, seconds: float) -> None:
+    """Age every held lease by ``seconds`` — a worker census that died.
+
+    Reaches into the backend's heartbeat representation (lease-file
+    mtime / ``heartbeat`` column) so the bench can make leases stale
+    instantly instead of using a TTL so short the successor's *own*
+    claims would expire mid-measurement.
+    """
+    past = time.time() - seconds
+    lease_dir = queue.directory / "leases"
+    if lease_dir.is_dir():
+        for lease in lease_dir.glob("*.json"):
+            os.utime(lease, (past, past))
+    db_path = queue.directory / "queue.db"
+    if db_path.exists():
+        import sqlite3
+
+        with sqlite3.connect(db_path) as connection:
+            connection.execute(
+                "UPDATE cells SET heartbeat = heartbeat - ? "
+                "WHERE state = 'claimed'",
+                (seconds,),
+            )
+
+
+def bench_dist_reclaim(repeats_per_strategy: int, backend: str) -> dict:
+    """Latency for a successor to reap a dead worker's lease and reclaim.
+
+    Pure queue protocol, no model training: materialize a grid, claim
+    every cell as a worker that then "dies" (never heartbeats), age the
+    leases past the TTL, and time each successor ``claim()`` that must
+    detect the stale lease, reap it, and re-issue the cell.  The
+    fresh-claim column is the same call on never-leased cells — the
+    reap overhead is the difference.
+    """
+    spec = _dist_spec(repeats_per_strategy, rounds=2, scale=0.05, epochs=2)
+    lease = LeaseConfig(ttl=600.0)  # ample: only backdated leases go stale
+    with tempfile.TemporaryDirectory(prefix="bench-reclaim-") as scratch:
+        fresh = create_queue(
+            Path(scratch) / "fresh", spec, backend=backend, lease=lease
+        )
+        fresh_latencies = []
+        while True:
+            start = time.perf_counter()
+            claim = fresh.claim("alive")
+            if claim is None:
+                break
+            fresh_latencies.append(time.perf_counter() - start)
+
+        queue = create_queue(
+            Path(scratch) / "queue", spec, backend=backend, lease=lease
+        )
+        while queue.claim("dead") is not None:
+            pass
+        _backdate_leases(queue, seconds=lease.ttl * 4)
+        reclaim_latencies = []
+        while True:
+            start = time.perf_counter()
+            claim = queue.claim("successor")
+            if claim is None:
+                break
+            reclaim_latencies.append(time.perf_counter() - start)
+    assert len(reclaim_latencies) == len(fresh_latencies)
+    return {
+        "backend": backend,
+        "cells": len(reclaim_latencies),
+        "fresh_claim_mean_ms": float(np.mean(fresh_latencies) * 1e3),
+        "reclaim_mean_ms": float(np.mean(reclaim_latencies) * 1e3),
+        "reclaim_max_ms": float(np.max(reclaim_latencies) * 1e3),
+        "reap_overhead": float(
+            np.mean(reclaim_latencies) / np.mean(fresh_latencies)
+        ),
+    }
+
+
+def run_dist_scale(quick: bool, output: Path) -> dict:
+    """Run the distributed-grid suite and write ``BENCH_distscale.json``."""
+    results: dict[str, dict] = {}
+    print(f"[bench_distscale] mode={'quick' if quick else 'full'}")
+
+    spec = (
+        _dist_spec(repeats=4, rounds=2, scale=0.05, epochs=2)
+        if quick
+        else _dist_spec(repeats=8, rounds=4, scale=0.1, epochs=4)
+    )
+    worker_counts = [1, 2, 4]
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("  (no fork start method: spawn workers, expect higher startup)")
+    results["throughput"] = bench_dist_throughput(spec, worker_counts)
+    cores = os.cpu_count() or 1
+    for entry in results["throughput"]["worker_counts"]:
+        print(
+            f"  throughput {entry['workers']} worker(s): "
+            f"{entry['cells_per_second']:6.1f} cells/s "
+            f"({entry['speedup_vs_one_worker']:.2f}x vs 1 worker; "
+            f"{cores} core{'s' if cores != 1 else ''}, expect < 1x on one)"
+        )
+
+    cells = 10 if quick else 50
+    reclaim = [
+        bench_dist_reclaim(repeats_per_strategy=cells, backend=backend)
+        for backend in ("file", "sqlite")
+    ]
+    results["reclaim"] = {"backends": reclaim}
+    for entry in reclaim:
+        print(
+            f"  reclaim ({entry['backend']:>6}): "
+            f"{entry['reclaim_mean_ms']:6.2f} ms/cell mean, "
+            f"{entry['reclaim_max_ms']:.2f} ms max "
+            f"({entry['reap_overhead']:.1f}x a fresh claim)"
+        )
+
+    payload = {
+        "benchmark": "dist_scale",
+        "mode": "quick" if quick else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "results": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_distscale] wrote {output}")
+    return results
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -730,8 +917,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="pool-scale JSON output path",
     )
     parser.add_argument(
+        "--dist-output",
+        type=Path,
+        default=DIST_OUTPUT_DEFAULT,
+        help="distributed-grid JSON output path",
+    )
+    parser.add_argument(
         "--suite",
-        choices=("all", "hotpaths", "seqmodels", "pool_scale"),
+        choices=("all", "hotpaths", "seqmodels", "pool_scale", "dist_scale"),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -747,6 +940,9 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     if arguments.suite == "pool_scale":
         run_pool_scale(quick, repeats, arguments.pool_output)
+        return 0
+    if arguments.suite == "dist_scale":
+        run_dist_scale(quick, arguments.dist_output)
         return 0
 
     results: dict[str, dict] = {}
@@ -821,6 +1017,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if arguments.suite == "all":
         run_seqmodels(quick, repeats, arguments.seq_output)
         run_pool_scale(quick, repeats, arguments.pool_output)
+        run_dist_scale(quick, arguments.dist_output)
     return 0
 
 

@@ -55,6 +55,11 @@ from .core.strategies import create_strategy
 from .exceptions import ConfigurationError, IngestError, ReproError, SessionError
 from .experiments import ExperimentConfig, RetryPolicy, plot_curves, run_comparison
 from .experiments.checkpoint import result_to_dict
+from .experiments.distributed import (
+    LeaseConfig,
+    run_distributed,
+    run_worker,
+)
 from .experiments.reporting import format_curve_table, format_target_table
 from .ioutil import atomic_write_json, read_json_document
 from .models import LinearSoftmax
@@ -127,7 +132,13 @@ def _experiment_from_flags(args: argparse.Namespace) -> ExperimentSpec:
             "checkpoint_dir": args.checkpoint_dir,
             "resume": args.resume,
             "max_retries": args.max_retries,
+            "backoff": args.backoff,
             "on_error": args.on_error,
+            "queue_dir": args.queue_dir,
+            "queue_backend": args.queue_backend,
+            "local_workers": args.local_workers,
+            "lease_ttl": args.lease_ttl,
+            "timeout": args.grid_timeout,
         },
         report={"targets": list(args.targets), "plot": args.plot},
     )
@@ -140,20 +151,36 @@ def _run_experiment(spec: ExperimentSpec) -> int:
     runner = spec.runner
     if runner["resume"] and not runner["checkpoint_dir"]:
         raise ConfigurationError("--resume requires --checkpoint-dir")
-    train, test, task = spec.build_datasets()
-    results = run_comparison(
-        spec.resolved_model(),
-        spec.strategies,
-        train,
-        test,
-        config=spec.config,
-        n_jobs=runner["n_jobs"],
-        checkpoint_dir=runner["checkpoint_dir"],
-        resume=runner["resume"],
-        retry=RetryPolicy(max_attempts=runner["max_retries"] + 1),
-        on_error=runner["on_error"],
-        start_method=runner["start_method"],
+    retry = RetryPolicy(
+        max_attempts=runner["max_retries"] + 1, backoff=runner["backoff"]
     )
+    train, test, task = spec.build_datasets()
+    if runner["queue_dir"]:
+        results = run_distributed(
+            spec,
+            runner["queue_dir"],
+            workers=runner["local_workers"],
+            backend=runner["queue_backend"],
+            lease=LeaseConfig(ttl=runner["lease_ttl"]),
+            retry=retry,
+            on_error=runner["on_error"],
+            timeout=runner["timeout"],
+            checkpoint_dir=runner["checkpoint_dir"],
+        )
+    else:
+        results = run_comparison(
+            spec.resolved_model(),
+            spec.strategies,
+            train,
+            test,
+            config=spec.config,
+            n_jobs=runner["n_jobs"],
+            checkpoint_dir=runner["checkpoint_dir"],
+            resume=runner["resume"],
+            retry=retry,
+            on_error=runner["on_error"],
+            start_method=runner["start_method"],
+        )
     for result in results.values():
         for failure in result.failures:
             print(
@@ -186,6 +213,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     return _run_experiment(ExperimentSpec.from_file(args.config))
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Join a distributed grid: claim, execute, and commit cells."""
+
+    def report(event: str, cell_id: str) -> None:
+        if event != "heartbeat":  # one line per renewal would be noise
+            print(f"worker: {event} {cell_id}", file=sys.stderr)
+
+    summary = run_worker(
+        args.queue_dir,
+        owner=args.owner,
+        poll=args.poll,
+        max_cells=args.max_cells,
+        on_event=report if args.verbose else None,
+    )
+    print(
+        f"worker {summary['owner']}: {summary['completed']} cell(s) completed "
+        f"({summary['recovered']} recovered from dead workers), "
+        f"{summary['failed']} attempt(s) failed"
+    )
+    return 0
 
 
 def _cmd_config_validate(args: argparse.Namespace) -> int:
@@ -504,6 +553,33 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-retries", type=int, default=0,
                          help="extra attempts for a failing cell before it "
                               "counts as permanently failed (default 0)")
+    compare.add_argument("--backoff", type=float, default=0.0,
+                         help="base delay in seconds before retrying a failed "
+                              "cell; doubles per failure with deterministic "
+                              "jitter (default 0: retry immediately, the old "
+                              "behavior)")
+    compare.add_argument("--queue-dir", default=None,
+                         help="run the grid through a broker-less work queue "
+                              "materialized in this directory; extra workers "
+                              "on any host sharing it can join with "
+                              "'repro worker --queue-dir DIR'")
+    compare.add_argument("--queue-backend", choices=["file", "sqlite"],
+                         default="file",
+                         help="queue state as lease files (safe on shared/"
+                              "network filesystems) or a sqlite database "
+                              "(faster for many small cells on local disk)")
+    compare.add_argument("--local-workers", type=int, default=1,
+                         help="worker processes to spawn locally alongside the "
+                              "coordinator (0 = coordinate only, workers run "
+                              "elsewhere; default 1)")
+    compare.add_argument("--lease-ttl", type=float, default=30.0,
+                         help="seconds without a heartbeat before a worker's "
+                              "cell lease is considered stale and reclaimed "
+                              "(default 30)")
+    compare.add_argument("--grid-timeout", type=float, default=None,
+                         help="give up coordinating after this many seconds; "
+                              "with --on-error skip, unfinished cells are "
+                              "quarantined and the finished ones aggregated")
     compare.add_argument("--on-error", choices=["raise", "skip"], default="raise",
                          help="'skip' drops permanently failed cells from the "
                               "averages (with a warning) instead of aborting")
@@ -543,6 +619,32 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--defaults", action="store_true",
                       help="print a runnable starting-point document instead")
     show.set_defaults(handler=_cmd_config_show)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="join a distributed comparison grid as a worker process",
+        description="Claim, execute, and commit cells of a grid "
+                    "materialized by 'repro compare --queue-dir' (or "
+                    "run_distributed) until every cell is settled.  Run it "
+                    "on any host that shares the queue directory; workers "
+                    "may join or leave (even by SIGKILL) at any time "
+                    "without affecting the grid's results.",
+    )
+    worker.add_argument("--queue-dir", required=True,
+                        help="queue directory the coordinator materialized")
+    worker.add_argument("--owner", default=None,
+                        help="worker identity recorded in leases and the "
+                             "audit log (default: hostname-pid)")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        help="seconds between claim attempts when no cell is "
+                             "eligible (default 0.5)")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit after completing this many cells "
+                             "(default: run until the queue settles)")
+    worker.add_argument("--verbose", action="store_true",
+                        help="print each lifecycle event (claim, commit, "
+                             "retry, ...) to stderr")
+    worker.set_defaults(handler=_cmd_worker)
 
     train = subparsers.add_parser(
         "train-ranker", help="run Algorithm 1 and save an LHS ranker"
@@ -609,8 +711,20 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     try:
         return args.handler(args)
     except KeyboardInterrupt:
+        # By the time the interrupt reaches here, the queue layer has
+        # already released any held leases with an "interrupted" audit
+        # annotation (run_worker / run_distributed release on the way
+        # out), so the cells are instantly reclaimable — the hint only
+        # has to say how to pick the grid back up.
         hint = ""
-        if getattr(args, "checkpoint_dir", None):
+        queue_dir = getattr(args, "queue_dir", None)
+        if queue_dir:
+            hint = (
+                f"; held leases were released — rerun with the same "
+                f"--queue-dir {queue_dir} (or restart workers) to resume "
+                "the grid"
+            )
+        elif getattr(args, "checkpoint_dir", None):
             hint = (
                 f"; completed cells are checkpointed in {args.checkpoint_dir} "
                 "— rerun with --resume to continue"

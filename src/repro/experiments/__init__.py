@@ -3,18 +3,34 @@
 from .ascii_plot import plot_curves
 from .checkpoint import CheckpointStore
 from .config import ExperimentConfig
+from .distributed import (
+    CellTicket,
+    LeaseConfig,
+    coordinate,
+    create_queue,
+    open_queue,
+    run_distributed,
+    run_worker,
+)
 from .reporting import format_curve_table, format_table, format_target_table
 from .runner import CellFailure, RetryPolicy, StrategyResult, run_comparison
 
 __all__ = [
     "CellFailure",
+    "CellTicket",
     "CheckpointStore",
     "ExperimentConfig",
+    "LeaseConfig",
     "RetryPolicy",
     "StrategyResult",
+    "coordinate",
+    "create_queue",
     "format_curve_table",
     "format_table",
     "format_target_table",
+    "open_queue",
     "plot_curves",
     "run_comparison",
+    "run_distributed",
+    "run_worker",
 ]

@@ -63,6 +63,21 @@ SESSION_CHECKPOINT_FORMAT = "repro.al_cell_session"
 SESSION_CHECKPOINT_VERSION = 2
 
 
+def cell_stem(strategy: str, repeat: int) -> str:
+    """Filesystem-safe identifier of one ``(strategy, repeat)`` cell.
+
+    Strategy display names may contain characters that are unsafe in
+    file names (``wshs:entropy``), so the name is slugged for
+    readability and disambiguated with a short hash of the exact name.
+    The same stem keys checkpoint files, session snapshots, and the
+    distributed queue's cell tickets, so every artifact of one cell is
+    greppable by one string.
+    """
+    digest = hashlib.sha1(strategy.encode("utf-8")).hexdigest()[:8]
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", strategy)[:40] or "strategy"
+    return f"{slug}.{digest}_r{int(repeat)}"
+
+
 # -- history store -----------------------------------------------------------
 
 
@@ -163,16 +178,8 @@ class CheckpointStore:
         }
 
     def cell_path(self, strategy: str, repeat: int) -> Path:
-        """The checkpoint file for one ``(strategy, repeat)`` cell.
-
-        Strategy display names may contain characters that are unsafe in
-        file names (``wshs:entropy``), so the name is slugged for
-        readability and disambiguated with a short hash of the exact
-        name.
-        """
-        digest = hashlib.sha1(strategy.encode("utf-8")).hexdigest()[:8]
-        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", strategy)[:40] or "strategy"
-        return self.directory / f"cell_{slug}.{digest}_r{int(repeat)}.json"
+        """The checkpoint file for one ``(strategy, repeat)`` cell."""
+        return self.directory / f"cell_{cell_stem(strategy, repeat)}.json"
 
     def save(self, strategy: str, repeat: int, seed: int, result: ALResult) -> Path:
         """Atomically write one completed cell; returns the file path."""
@@ -242,9 +249,7 @@ class CheckpointStore:
         globbing ``cell_*.json``) never mistakes an in-flight snapshot
         for a finished result.
         """
-        digest = hashlib.sha1(strategy.encode("utf-8")).hexdigest()[:8]
-        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", strategy)[:40] or "strategy"
-        return self.directory / f"session_{slug}.{digest}_r{int(repeat)}.json"
+        return self.directory / f"session_{cell_stem(strategy, repeat)}.json"
 
     def save_session(
         self, strategy: str, repeat: int, seed: int, snapshot: dict

@@ -1,0 +1,1435 @@
+"""Broker-less distributed grid execution over a shared work queue.
+
+:func:`~repro.experiments.runner.run_comparison` fans a comparison grid
+over a process pool on one machine.  This module takes the same grid
+beyond one machine without introducing a broker: the *coordinator*
+materializes one pure-JSON spec document per (strategy, repeat) cell
+into a queue directory on a shared filesystem, and independent *worker*
+processes — started on any host that can see that directory, via
+:func:`run_worker` or the ``repro worker`` CLI — claim cells, execute
+them through the exact spec-built runner path serial execution uses, and
+commit their results atomically into the existing
+:class:`~repro.experiments.checkpoint.CheckpointStore`.  The coordinator
+just watches the checkpoint store fill in.
+
+Two queue backends share one protocol:
+
+* ``file`` — everything is plain files.  A cell is claimed by creating
+  its lease file with ``O_CREAT | O_EXCL`` (atomic on POSIX, including
+  NFS v3+); the lease carries the owner id and its mtime is the
+  heartbeat, renewed by ``os.utime``.
+* ``sqlite`` — cell state lives in a single ``queue.db`` (sqlite3,
+  stdlib); claims are ``BEGIN IMMEDIATE`` transactions.  Better for
+  many small cells on a local disk; the file backend is the one to use
+  over network filesystems.
+
+Robustness model
+----------------
+
+Every transition is crash-equivalent: a worker may be SIGKILLed at any
+instant and the grid still converges to checkpoints byte-identical to a
+serial run, because
+
+* cell execution is a pure function of the cell ticket (spec + seed) —
+  re-running a cell produces the same bytes, so reclaiming the cell of
+  a dead worker (its lease's heartbeat went stale) is always safe;
+* mid-cell progress is snapshotted per round through the checkpoint
+  store, so a reclaimed cell resumes from its last committed round and
+  still produces identical bytes (PR 4's byte-identical restore);
+* results commit by atomic rename *before* the ``done`` marker is
+  created, so a marker never vouches for bytes that are not there; a
+  worker killed between the two leaves a finished checkpoint that the
+  next claimant detects and commits without recomputing;
+* duplicate executions (a slow worker whose lease was reaped races its
+  replacement) commit identical bytes through atomic renames and
+  settle the ``done`` marker with ``O_EXCL`` — last writer loses and
+  records a ``duplicate-commit`` audit event, nothing is double-counted.
+
+Clock skew: lease staleness is judged by ``abs(now - heartbeat)`` — a
+lease whose heartbeat sits *in the future* beyond the skew tolerance was
+written by an untrustworthy clock and is reaped like an expired one.
+Reaping a live worker by mistake costs duplicated work, never
+correctness (see above), so the queue errs toward reclaiming.
+
+Cells that fail repeatedly are *quarantined*: after
+``RetryPolicy.max_attempts`` failures (counted across workers via
+``O_EXCL`` attempt tokens, paced by the policy's jittered exponential
+backoff) the cell gets a permanent :class:`CellFailure` audit record
+instead of stalling the grid, and the coordinator applies the usual
+``on_error`` semantics — ``"raise"`` aborts, ``"skip"`` aggregates the
+survivors with the failures attached to their
+:class:`~repro.experiments.runner.StrategyResult`.
+
+Every protocol event (claim, heartbeat loss, reap, commit, quarantine,
+release) is appended to ``audit.log`` in the queue directory as one JSON
+line, so a finished grid can answer "which host ran cell X, and what
+happened to the worker that died?".
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import os
+import socket
+import sqlite3
+import threading
+import time
+import uuid
+from contextlib import closing
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+
+from ..exceptions import ConfigurationError, ExecutionError, QueueError
+from ..ioutil import atomic_write_json, fsync_directory
+from ..specs.experiment import ExperimentSpec
+from ..specs.models import build_model
+from ..specs.strategies import build_strategy
+from .checkpoint import CheckpointStore, cell_stem
+from .runner import (
+    CellFailure,
+    RetryPolicy,
+    StrategyResult,
+    _run_cell,
+    aggregate_strategy_results,
+    grid_repeat_seeds,
+)
+
+QUEUE_FORMAT = "repro.cell_queue"
+QUEUE_VERSION = 1
+
+CELL_FORMAT = "repro.cell_ticket"
+CELL_VERSION = 1
+
+#: Queue backends :func:`create_queue` accepts.
+QUEUE_BACKENDS = ("file", "sqlite")
+
+
+@dataclass(frozen=True)
+class LeaseConfig:
+    """How long a claim stays valid without a heartbeat.
+
+    Attributes
+    ----------
+    ttl:
+        Seconds after the last heartbeat at which a lease counts as
+        stale and its cell may be reclaimed.  Must comfortably exceed
+        ``renewal_interval``; a TTL shorter than one engine round only
+        costs duplicated work (commits are idempotent), never
+        correctness.
+    renewal_interval:
+        Seconds between heartbeat renewals (default ``ttl / 3``).
+    skew_tolerance:
+        How far *in the future* a heartbeat may sit before the writer's
+        clock is declared untrustworthy and the lease reaped (default:
+        ``ttl``).
+    """
+
+    ttl: float = 30.0
+    renewal_interval: "float | None" = None
+    skew_tolerance: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ConfigurationError(f"lease ttl must be > 0, got {self.ttl}")
+        if self.renewal_interval is not None and not (
+            0 < self.renewal_interval < self.ttl
+        ):
+            raise ConfigurationError(
+                f"renewal_interval must be in (0, ttl), got {self.renewal_interval}"
+            )
+        if self.skew_tolerance is not None and self.skew_tolerance <= 0:
+            raise ConfigurationError(
+                f"skew_tolerance must be > 0, got {self.skew_tolerance}"
+            )
+
+    @property
+    def renewal(self) -> float:
+        return self.renewal_interval if self.renewal_interval is not None else self.ttl / 3.0
+
+    @property
+    def skew(self) -> float:
+        return self.skew_tolerance if self.skew_tolerance is not None else self.ttl
+
+    def to_dict(self) -> dict:
+        """The JSON form stored in the queue envelope."""
+        return {
+            "ttl": self.ttl,
+            "renewal_interval": self.renewal_interval,
+            "skew_tolerance": self.skew_tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LeaseConfig":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class CellTicket:
+    """One claimable unit of work: a (strategy, repeat) cell plus its seed."""
+
+    cell_id: str
+    strategy: str
+    strategy_index: int
+    repeat: int
+    seed: int
+
+    def to_dict(self) -> dict:
+        """The JSON form stored in the queue envelope and cell documents."""
+        return {
+            "cell_id": self.cell_id,
+            "strategy": self.strategy,
+            "strategy_index": self.strategy_index,
+            "repeat": self.repeat,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellTicket":
+        return cls(
+            cell_id=str(payload["cell_id"]),
+            strategy=str(payload["strategy"]),
+            strategy_index=int(payload["strategy_index"]),
+            repeat=int(payload["repeat"]),
+            seed=int(payload["seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A held lease on one cell: proof of the right to execute it."""
+
+    ticket: CellTicket
+    owner: str
+    attempt: int
+
+
+def _retry_to_dict(policy: RetryPolicy) -> dict:
+    return {
+        "max_attempts": policy.max_attempts,
+        "backoff": policy.backoff,
+        "backoff_factor": policy.backoff_factor,
+        "max_delay": policy.max_delay,
+        "jitter": policy.jitter,
+    }
+
+
+class CellQueue:
+    """Shared protocol of both queue backends (see module docstring).
+
+    Construction loads the queue's envelope (``queue.json``): the
+    experiment document every worker rebuilds its datasets from, the
+    lease and retry policies, the ordered cell tickets, and where the
+    checkpoint store lives.  Backends implement the claim/heartbeat/
+    commit/fail/reap state transitions.
+    """
+
+    backend = "abstract"
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        envelope_path = self.directory / "queue.json"
+        try:
+            envelope = json.loads(envelope_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise QueueError(
+                f"cannot read queue envelope {envelope_path}: {error}"
+            ) from error
+        if not isinstance(envelope, dict) or envelope.get("format") != QUEUE_FORMAT:
+            raise QueueError(f"{envelope_path} is not a {QUEUE_FORMAT!r} document")
+        if envelope.get("version") != QUEUE_VERSION:
+            raise QueueError(
+                f"unsupported queue version {envelope.get('version')!r} "
+                f"in {envelope_path}"
+            )
+        if envelope.get("backend") != self.backend:
+            raise QueueError(
+                f"{envelope_path} was materialized with backend "
+                f"{envelope.get('backend')!r}, opened as {self.backend!r}"
+            )
+        self.experiment: dict = envelope["experiment"]
+        self.lease = LeaseConfig.from_dict(envelope["lease"])
+        self.retry = RetryPolicy(**envelope["retry"])
+        self.tickets = [CellTicket.from_dict(cell) for cell in envelope["cells"]]
+        self._tickets_by_id = {ticket.cell_id: ticket for ticket in self.tickets}
+        self._checkpoint_dir = str(envelope["checkpoint_dir"])
+
+    # -- shared helpers ----------------------------------------------------
+
+    @property
+    def checkpoint_directory(self) -> Path:
+        """The checkpoint store's directory (relative paths anchor here)."""
+        path = Path(self._checkpoint_dir)
+        return path if path.is_absolute() else self.directory / path
+
+    def ticket(self, cell_id: str) -> CellTicket:
+        """Look up one cell's ticket by id (:class:`QueueError` if unknown)."""
+        if cell_id not in self._tickets_by_id:
+            raise QueueError(f"unknown cell {cell_id!r} in queue {self.directory}")
+        return self._tickets_by_id[cell_id]
+
+    def audit(self, event: str, cell: "str | None" = None,
+              owner: "str | None" = None, **detail) -> None:
+        """Append one JSON line to the queue's audit log (crash-safe).
+
+        A single ``O_APPEND`` write per record: concurrent writers from
+        any number of hosts interleave whole lines, never bytes.
+        """
+        record = {"ts": time.time(), "event": event}
+        if cell is not None:
+            record["cell"] = cell
+        if owner is not None:
+            record["owner"] = owner
+        record.update(detail)
+        line = (json.dumps(record) + "\n").encode("utf-8")
+        fd = os.open(
+            self.directory / "audit.log", os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def read_audit(self) -> list[dict]:
+        """Every audit record, in append order (unparsable lines skipped)."""
+        path = self.directory / "audit.log"
+        if not path.exists():
+            return []
+        records = []
+        for line in path.read_text().splitlines():
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        return records
+
+    def _lease_stale(self, age: float) -> bool:
+        """Stale = expired, or heartbeat from the future beyond tolerance."""
+        return age > self.lease.ttl or -age > self.lease.skew
+
+    # -- backend protocol --------------------------------------------------
+
+    def claim(self, owner: str) -> "Claim | None":
+        """Atomically claim the next eligible cell, or ``None``."""
+        raise NotImplementedError
+
+    def heartbeat(self, claim: Claim) -> bool:
+        """Renew the lease; ``False`` means it was lost (reaped/overtaken)."""
+        raise NotImplementedError
+
+    def commit(self, claim: Claim) -> bool:
+        """Settle the cell as done; ``False`` = someone beat us to it."""
+        raise NotImplementedError
+
+    def fail(self, claim: Claim, error: Exception) -> str:
+        """Record one failed attempt; returns ``"retry"`` or ``"quarantined"``."""
+        raise NotImplementedError
+
+    def release(self, claim: Claim, reason: str) -> None:
+        """Give the cell back without charging an attempt (e.g. Ctrl-C)."""
+        raise NotImplementedError
+
+    def release_owned(self, owners: "list[str]", reason: str) -> int:
+        """Release every lease held by one of ``owners``; returns count."""
+        raise NotImplementedError
+
+    def reap_stale(self) -> int:
+        """Reclaim cells whose lease went stale; returns how many."""
+        raise NotImplementedError
+
+    def settled(self) -> bool:
+        """True when every cell is done or permanently failed."""
+        raise NotImplementedError
+
+    def counts(self) -> dict:
+        """Cell-state tallies: total/done/failed/claimed/pending."""
+        raise NotImplementedError
+
+    def failures(self) -> "dict[str, CellFailure]":
+        """Quarantined cells: cell id -> audit record."""
+        raise NotImplementedError
+
+    def quarantine_unsettled(self, reason: str) -> int:
+        """Force-fail every not-yet-settled cell (coordinator timeout)."""
+        raise NotImplementedError
+
+
+class FileCellQueue(CellQueue):
+    """Pure-filesystem backend: every state transition is a file operation.
+
+    Layout under the queue directory::
+
+        queue.json          envelope (experiment doc, lease/retry, tickets)
+        cells/<id>.json     one self-contained spec document per cell
+        leases/<id>.json    O_CREAT|O_EXCL claim; mtime = heartbeat
+        retry/<id>.json     backoff state; .attempt-<n> tokens count failures
+        done/<id>.json      commit marker (created durably, after the result)
+        failed/<id>.json    quarantine record (a CellFailure, as JSON)
+        audit.log           append-only JSONL protocol trace
+
+    Only ``O_CREAT | O_EXCL`` creation, ``rename``, and ``utime`` are
+    load-bearing for correctness — the operations that are atomic on
+    POSIX filesystems including NFS — so the backend is safe for
+    multiple hosts sharing the directory.
+    """
+
+    backend = "file"
+
+    _SUBDIRS = ("cells", "leases", "retry", "done", "failed")
+
+    def __init__(self, directory: "str | Path") -> None:
+        super().__init__(directory)
+        for name in self._SUBDIRS:
+            (self.directory / name).mkdir(exist_ok=True)
+        self._reap_counter = itertools.count()
+
+    # -- paths -------------------------------------------------------------
+
+    def _lease_path(self, cell_id: str) -> Path:
+        return self.directory / "leases" / f"{cell_id}.json"
+
+    def _done_path(self, cell_id: str) -> Path:
+        return self.directory / "done" / f"{cell_id}.json"
+
+    def _failed_path(self, cell_id: str) -> Path:
+        return self.directory / "failed" / f"{cell_id}.json"
+
+    def _retry_path(self, cell_id: str) -> Path:
+        return self.directory / "retry" / f"{cell_id}.json"
+
+    # -- claim / lease lifecycle -------------------------------------------
+
+    def _read_json(self, path: Path) -> "dict | None":
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _attempt_count(self, cell_id: str) -> int:
+        retry_dir = self.directory / "retry"
+        return sum(
+            1 for _ in retry_dir.glob(f"{cell_id}.attempt-*")
+        )
+
+    def _eligible(self, ticket: CellTicket, now: float) -> bool:
+        if self._done_path(ticket.cell_id).exists():
+            return False
+        if self._failed_path(ticket.cell_id).exists():
+            return False
+        state = self._read_json(self._retry_path(ticket.cell_id))
+        if state and float(state.get("not_before", 0.0)) > now:
+            return False
+        return True
+
+    def _try_reap(self, cell_id: str) -> bool:
+        """Reclaim one stale lease via atomic rename (single winner)."""
+        lease = self._lease_path(cell_id)
+        tombstone = lease.with_name(
+            f"{lease.name}.reaped-{os.getpid()}-{next(self._reap_counter)}"
+            f"-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.rename(lease, tombstone)
+        except FileNotFoundError:
+            return False  # someone else reaped (or the owner released) first
+        info = self._read_json(tombstone) or {}
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        self.audit("reaped", cell=cell_id, owner=info.get("owner"))
+        return True
+
+    def claim(self, owner: str) -> "Claim | None":
+        now = time.time()
+        for ticket in self.tickets:
+            cell_id = ticket.cell_id
+            if not self._eligible(ticket, now):
+                continue
+            lease = self._lease_path(cell_id)
+            try:
+                age = now - lease.stat().st_mtime
+            except FileNotFoundError:
+                pass
+            else:
+                if not self._lease_stale(age) or not self._try_reap(cell_id):
+                    continue
+            attempt = self._attempt_count(cell_id)
+            try:
+                fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                continue  # lost the race for this cell; try the next one
+            with os.fdopen(fd, "w") as handle:
+                handle.write(
+                    json.dumps(
+                        {"owner": owner, "claimed_at": now, "attempt": attempt}
+                    )
+                )
+            if self._done_path(cell_id).exists():
+                # The cell settled between the eligibility check and the
+                # claim; drop the lease rather than re-executing.
+                try:
+                    os.unlink(lease)
+                except OSError:
+                    pass
+                continue
+            self.audit("claimed", cell=cell_id, owner=owner, attempt=attempt)
+            return Claim(ticket=ticket, owner=owner, attempt=attempt)
+        return None
+
+    def heartbeat(self, claim: Claim) -> bool:
+        lease = self._lease_path(claim.ticket.cell_id)
+        info = self._read_json(lease)
+        if info is None or info.get("owner") != claim.owner:
+            return False
+        try:
+            os.utime(lease)
+        except OSError:
+            return False
+        return True
+
+    def _drop_lease(self, claim: Claim) -> bool:
+        lease = self._lease_path(claim.ticket.cell_id)
+        info = self._read_json(lease)
+        if info is None or info.get("owner") != claim.owner:
+            return False
+        try:
+            os.unlink(lease)
+        except OSError:
+            return False
+        return True
+
+    # -- settling ----------------------------------------------------------
+
+    def commit(self, claim: Claim) -> bool:
+        cell_id = claim.ticket.cell_id
+        marker = self._done_path(cell_id)
+        payload = json.dumps(
+            {"cell_id": cell_id, "owner": claim.owner, "committed_at": time.time()}
+        ).encode("utf-8")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            # A reclaimed twin already committed the identical bytes.
+            self.audit("duplicate-commit", cell=cell_id, owner=claim.owner)
+            self._drop_lease(claim)
+            return False
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        fsync_directory(marker.parent)
+        self.audit("committed", cell=cell_id, owner=claim.owner)
+        self._drop_lease(claim)
+        return True
+
+    def fail(self, claim: Claim, error: Exception) -> str:
+        cell_id = claim.ticket.cell_id
+        # O_EXCL attempt tokens make the failure count monotone even when
+        # a reaped zombie and its replacement fail concurrently.
+        attempts = self._attempt_count(cell_id)
+        while True:
+            attempts += 1
+            token = self.directory / "retry" / f"{cell_id}.attempt-{attempts}"
+            try:
+                token.touch(exist_ok=False)
+            except FileExistsError:
+                continue
+            break
+        message = f"{type(error).__name__}: {error}"
+        if attempts >= self.retry.max_attempts:
+            failure = CellFailure(
+                strategy=claim.ticket.strategy,
+                repeat=claim.ticket.repeat,
+                attempts=attempts,
+                error=message,
+            )
+            atomic_write_json(
+                self._failed_path(cell_id),
+                {
+                    "cell_id": cell_id,
+                    "strategy": failure.strategy,
+                    "repeat": failure.repeat,
+                    "attempts": failure.attempts,
+                    "error": failure.error,
+                    "owner": claim.owner,
+                },
+                durable=True,
+            )
+            self.audit(
+                "quarantined", cell=cell_id, owner=claim.owner,
+                attempts=attempts, error=message,
+            )
+            self._drop_lease(claim)
+            return "quarantined"
+        delay = self.retry.delay(attempts, key=cell_id)
+        atomic_write_json(
+            self._retry_path(cell_id),
+            {
+                "attempts": attempts,
+                "not_before": time.time() + delay,
+                "last_error": message,
+            },
+        )
+        self.audit(
+            "failed", cell=cell_id, owner=claim.owner,
+            attempts=attempts, retry_in=delay, error=message,
+        )
+        self._drop_lease(claim)
+        return "retry"
+
+    def release(self, claim: Claim, reason: str) -> None:
+        if self._drop_lease(claim):
+            self.audit(
+                "released", cell=claim.ticket.cell_id, owner=claim.owner,
+                reason=reason,
+            )
+
+    def release_owned(self, owners: "list[str]", reason: str) -> int:
+        released = 0
+        wanted = set(owners)
+        for lease in (self.directory / "leases").glob("*.json"):
+            info = self._read_json(lease)
+            if info is None or info.get("owner") not in wanted:
+                continue
+            try:
+                os.unlink(lease)
+            except OSError:
+                continue
+            released += 1
+            self.audit(
+                "released", cell=lease.stem, owner=info.get("owner"), reason=reason
+            )
+        return released
+
+    def reap_stale(self) -> int:
+        now = time.time()
+        reaped = 0
+        for lease in (self.directory / "leases").glob("*.json"):
+            if lease.name.count(".reaped-"):
+                continue
+            try:
+                age = now - lease.stat().st_mtime
+            except FileNotFoundError:
+                continue
+            if self._lease_stale(age) and self._try_reap(lease.stem):
+                reaped += 1
+        return reaped
+
+    # -- queries -----------------------------------------------------------
+
+    def settled(self) -> bool:
+        return all(
+            self._done_path(t.cell_id).exists() or self._failed_path(t.cell_id).exists()
+            for t in self.tickets
+        )
+
+    def counts(self) -> dict:
+        done = failed = claimed = 0
+        for ticket in self.tickets:
+            if self._done_path(ticket.cell_id).exists():
+                done += 1
+            elif self._failed_path(ticket.cell_id).exists():
+                failed += 1
+            elif self._lease_path(ticket.cell_id).exists():
+                claimed += 1
+        total = len(self.tickets)
+        return {
+            "total": total,
+            "done": done,
+            "failed": failed,
+            "claimed": claimed,
+            "pending": total - done - failed - claimed,
+        }
+
+    def failures(self) -> "dict[str, CellFailure]":
+        records: dict[str, CellFailure] = {}
+        for ticket in self.tickets:
+            payload = self._read_json(self._failed_path(ticket.cell_id))
+            if payload is None:
+                continue
+            records[ticket.cell_id] = CellFailure(
+                strategy=str(payload.get("strategy", ticket.strategy)),
+                repeat=int(payload.get("repeat", ticket.repeat)),
+                attempts=int(payload.get("attempts", 0)),
+                error=str(payload.get("error", "unknown failure")),
+            )
+        return records
+
+    def quarantine_unsettled(self, reason: str) -> int:
+        quarantined = 0
+        for ticket in self.tickets:
+            cell_id = ticket.cell_id
+            if self._done_path(cell_id).exists() or self._failed_path(cell_id).exists():
+                continue
+            atomic_write_json(
+                self._failed_path(cell_id),
+                {
+                    "cell_id": cell_id,
+                    "strategy": ticket.strategy,
+                    "repeat": ticket.repeat,
+                    "attempts": self._attempt_count(cell_id),
+                    "error": reason,
+                },
+                durable=True,
+            )
+            self.audit("quarantined", cell=cell_id, error=reason)
+            quarantined += 1
+        return quarantined
+
+
+class SqliteCellQueue(CellQueue):
+    """Sqlite3 backend: cell state in one ``queue.db``, claims in
+    ``BEGIN IMMEDIATE`` transactions.
+
+    Every operation opens its own short-lived connection (workers are
+    independent processes), relies on sqlite's file locking for mutual
+    exclusion, and mirrors the file backend's semantics exactly — the
+    crash-equivalence tests run against both.  Heartbeats are a column
+    instead of an mtime.  The experiment envelope still lives in
+    ``queue.json`` so ``open_queue`` can dispatch without touching the
+    database.
+    """
+
+    backend = "sqlite"
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS cells (
+            cell_id        TEXT PRIMARY KEY,
+            position       INTEGER NOT NULL,
+            strategy       TEXT NOT NULL,
+            strategy_index INTEGER NOT NULL,
+            repeat_index   INTEGER NOT NULL,
+            seed           INTEGER NOT NULL,
+            state          TEXT NOT NULL DEFAULT 'pending',
+            owner          TEXT,
+            heartbeat      REAL,
+            attempts       INTEGER NOT NULL DEFAULT 0,
+            not_before     REAL NOT NULL DEFAULT 0,
+            error          TEXT,
+            document       TEXT NOT NULL
+        )
+    """
+
+    def __init__(self, directory: "str | Path") -> None:
+        super().__init__(directory)
+        self._db_path = self.directory / "queue.db"
+        if not self._db_path.exists():
+            raise QueueError(f"queue database missing: {self._db_path}")
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(
+            self._db_path, timeout=30.0, isolation_level=None
+        )
+        connection.row_factory = sqlite3.Row
+        return connection
+
+    @classmethod
+    def _initialise(cls, directory: Path, tickets: "list[CellTicket]",
+                    documents: "dict[str, dict]") -> None:
+        with closing(sqlite3.connect(directory / "queue.db")) as connection:
+            connection.execute(cls._SCHEMA)
+            connection.executemany(
+                "INSERT OR IGNORE INTO cells "
+                "(cell_id, position, strategy, strategy_index, repeat_index, "
+                " seed, document) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        ticket.cell_id,
+                        position,
+                        ticket.strategy,
+                        ticket.strategy_index,
+                        ticket.repeat,
+                        ticket.seed,
+                        json.dumps(documents[ticket.cell_id]),
+                    )
+                    for position, ticket in enumerate(tickets)
+                ],
+            )
+            connection.commit()
+
+    def _reap_in_transaction(self, connection: sqlite3.Connection, now: float) -> int:
+        stale = connection.execute(
+            "SELECT cell_id, owner FROM cells WHERE state = 'claimed' AND "
+            "(? - heartbeat > ? OR heartbeat - ? > ?)",
+            (now, self.lease.ttl, now, self.lease.skew),
+        ).fetchall()
+        for row in stale:
+            connection.execute(
+                "UPDATE cells SET state = 'pending', owner = NULL, "
+                "heartbeat = NULL WHERE cell_id = ?",
+                (row["cell_id"],),
+            )
+        return [(row["cell_id"], row["owner"]) for row in stale]
+
+    def claim(self, owner: str) -> "Claim | None":
+        now = time.time()
+        with closing(self._connect()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            reaped = self._reap_in_transaction(connection, now)
+            row = connection.execute(
+                "SELECT cell_id, attempts FROM cells WHERE state = 'pending' "
+                "AND not_before <= ? ORDER BY position LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is not None:
+                connection.execute(
+                    "UPDATE cells SET state = 'claimed', owner = ?, heartbeat = ? "
+                    "WHERE cell_id = ?",
+                    (owner, now, row["cell_id"]),
+                )
+            connection.execute("COMMIT")
+        for cell_id, previous in reaped:
+            self.audit("reaped", cell=cell_id, owner=previous)
+        if row is None:
+            return None
+        attempt = int(row["attempts"])
+        self.audit("claimed", cell=row["cell_id"], owner=owner, attempt=attempt)
+        return Claim(ticket=self.ticket(row["cell_id"]), owner=owner, attempt=attempt)
+
+    def heartbeat(self, claim: Claim) -> bool:
+        with closing(self._connect()) as connection:
+            cursor = connection.execute(
+                "UPDATE cells SET heartbeat = ? WHERE cell_id = ? AND "
+                "state = 'claimed' AND owner = ?",
+                (time.time(), claim.ticket.cell_id, claim.owner),
+            )
+            return cursor.rowcount == 1
+
+    def commit(self, claim: Claim) -> bool:
+        cell_id = claim.ticket.cell_id
+        with closing(self._connect()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            row = connection.execute(
+                "SELECT state FROM cells WHERE cell_id = ?", (cell_id,)
+            ).fetchone()
+            if row is None:
+                connection.execute("COMMIT")
+                raise QueueError(f"unknown cell {cell_id!r} in {self._db_path}")
+            duplicate = row["state"] == "done"
+            if not duplicate:
+                connection.execute(
+                    "UPDATE cells SET state = 'done', owner = ?, error = NULL "
+                    "WHERE cell_id = ?",
+                    (claim.owner, cell_id),
+                )
+            connection.execute("COMMIT")
+        if duplicate:
+            self.audit("duplicate-commit", cell=cell_id, owner=claim.owner)
+            return False
+        self.audit("committed", cell=cell_id, owner=claim.owner)
+        return True
+
+    def fail(self, claim: Claim, error: Exception) -> str:
+        cell_id = claim.ticket.cell_id
+        message = f"{type(error).__name__}: {error}"
+        with closing(self._connect()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            row = connection.execute(
+                "SELECT attempts, state FROM cells WHERE cell_id = ?", (cell_id,)
+            ).fetchone()
+            if row is None:
+                connection.execute("COMMIT")
+                raise QueueError(f"unknown cell {cell_id!r} in {self._db_path}")
+            if row["state"] == "done":
+                connection.execute("COMMIT")
+                return "retry"  # settled elsewhere; nothing to record
+            attempts = int(row["attempts"]) + 1
+            if attempts >= self.retry.max_attempts:
+                connection.execute(
+                    "UPDATE cells SET state = 'failed', attempts = ?, error = ?, "
+                    "owner = NULL, heartbeat = NULL WHERE cell_id = ?",
+                    (attempts, message, cell_id),
+                )
+                outcome = "quarantined"
+            else:
+                delay = self.retry.delay(attempts, key=cell_id)
+                connection.execute(
+                    "UPDATE cells SET state = 'pending', attempts = ?, error = ?, "
+                    "not_before = ?, owner = NULL, heartbeat = NULL "
+                    "WHERE cell_id = ?",
+                    (attempts, message, time.time() + delay, cell_id),
+                )
+                outcome = "retry"
+            connection.execute("COMMIT")
+        if outcome == "quarantined":
+            self.audit(
+                "quarantined", cell=cell_id, owner=claim.owner,
+                attempts=attempts, error=message,
+            )
+        else:
+            self.audit(
+                "failed", cell=cell_id, owner=claim.owner,
+                attempts=attempts, error=message,
+            )
+        return outcome
+
+    def release(self, claim: Claim, reason: str) -> None:
+        if self.release_owned([claim.owner], reason):
+            pass
+
+    def release_owned(self, owners: "list[str]", reason: str) -> int:
+        if not owners:
+            return 0
+        placeholders = ", ".join("?" for _ in owners)
+        with closing(self._connect()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            rows = connection.execute(
+                f"SELECT cell_id, owner FROM cells WHERE state = 'claimed' "
+                f"AND owner IN ({placeholders})",
+                list(owners),
+            ).fetchall()
+            for row in rows:
+                connection.execute(
+                    "UPDATE cells SET state = 'pending', owner = NULL, "
+                    "heartbeat = NULL WHERE cell_id = ?",
+                    (row["cell_id"],),
+                )
+            connection.execute("COMMIT")
+        for row in rows:
+            self.audit(
+                "released", cell=row["cell_id"], owner=row["owner"], reason=reason
+            )
+        return len(rows)
+
+    def reap_stale(self) -> int:
+        with closing(self._connect()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            reaped = self._reap_in_transaction(connection, time.time())
+            connection.execute("COMMIT")
+        for cell_id, previous in reaped:
+            self.audit("reaped", cell=cell_id, owner=previous)
+        return len(reaped)
+
+    def settled(self) -> bool:
+        with closing(self._connect()) as connection:
+            row = connection.execute(
+                "SELECT COUNT(*) AS open FROM cells "
+                "WHERE state NOT IN ('done', 'failed')"
+            ).fetchone()
+            return int(row["open"]) == 0
+
+    def counts(self) -> dict:
+        with closing(self._connect()) as connection:
+            rows = connection.execute(
+                "SELECT state, COUNT(*) AS n FROM cells GROUP BY state"
+            ).fetchall()
+        tally = {row["state"]: int(row["n"]) for row in rows}
+        total = sum(tally.values())
+        return {
+            "total": total,
+            "done": tally.get("done", 0),
+            "failed": tally.get("failed", 0),
+            "claimed": tally.get("claimed", 0),
+            "pending": tally.get("pending", 0),
+        }
+
+    def failures(self) -> "dict[str, CellFailure]":
+        with closing(self._connect()) as connection:
+            rows = connection.execute(
+                "SELECT cell_id, strategy, repeat_index, attempts, error "
+                "FROM cells WHERE state = 'failed'"
+            ).fetchall()
+        return {
+            row["cell_id"]: CellFailure(
+                strategy=row["strategy"],
+                repeat=int(row["repeat_index"]),
+                attempts=int(row["attempts"]),
+                error=str(row["error"] or "unknown failure"),
+            )
+            for row in rows
+        }
+
+    def quarantine_unsettled(self, reason: str) -> int:
+        with closing(self._connect()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            rows = connection.execute(
+                "SELECT cell_id FROM cells WHERE state NOT IN ('done', 'failed')"
+            ).fetchall()
+            for row in rows:
+                connection.execute(
+                    "UPDATE cells SET state = 'failed', error = ?, owner = NULL, "
+                    "heartbeat = NULL WHERE cell_id = ?",
+                    (reason, row["cell_id"]),
+                )
+            connection.execute("COMMIT")
+        for row in rows:
+            self.audit("quarantined", cell=row["cell_id"], error=reason)
+        return len(rows)
+
+
+# -- materialization ---------------------------------------------------------
+
+
+def _grid_tickets(spec: ExperimentSpec) -> "list[CellTicket]":
+    """Every (strategy, repeat) cell of the grid, with matched seeds."""
+    seeds = grid_repeat_seeds(spec.config)
+    tickets = []
+    for strategy_index, strategy in enumerate(spec.strategies):
+        for repeat in range(spec.config.repeats):
+            tickets.append(
+                CellTicket(
+                    cell_id=cell_stem(strategy, repeat),
+                    strategy=strategy,
+                    strategy_index=strategy_index,
+                    repeat=repeat,
+                    seed=int(seeds[repeat]),
+                )
+            )
+    return tickets
+
+
+def _cell_document(spec: ExperimentSpec, ticket: CellTicket) -> dict:
+    """One self-contained pure-JSON description of a cell: everything a
+    worker on another host needs to reproduce it bit-for-bit."""
+    return {
+        "format": CELL_FORMAT,
+        "version": CELL_VERSION,
+        **ticket.to_dict(),
+        "specs": {
+            "dataset": spec.dataset.to_dict(),
+            "split": spec.split.to_dict(),
+            "model": spec.resolved_model().to_dict(),
+            "strategy": spec.strategies[ticket.strategy].to_dict(),
+        },
+        "experiment": spec.to_dict()["experiment"],
+    }
+
+
+def _science_document(experiment_doc: dict) -> dict:
+    """The result-determining part of an experiment document.
+
+    ``runner`` and ``report`` options (worker counts, timeouts, plot
+    flags) do not affect the produced bytes, so re-opening a queue with
+    different ones is legal; everything else must match exactly.
+    """
+    return {
+        key: value
+        for key, value in experiment_doc.items()
+        if key not in ("runner", "report")
+    }
+
+
+def create_queue(
+    directory: "str | Path",
+    spec: ExperimentSpec,
+    backend: str = "file",
+    lease: "LeaseConfig | None" = None,
+    retry: "RetryPolicy | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
+) -> CellQueue:
+    """Materialize a comparison grid into a queue directory (idempotent).
+
+    Writes one spec document per cell plus the ``queue.json`` envelope —
+    the envelope goes last, so workers polling for it never see a
+    half-materialized queue.  Re-materializing an existing queue with
+    the same experiment document simply reopens it (that is how a
+    coordinator resumes); a *different* experiment raises
+    :class:`~repro.exceptions.QueueError` rather than mixing grids.
+    """
+    if backend not in QUEUE_BACKENDS:
+        raise ConfigurationError(
+            f"queue backend must be one of {QUEUE_BACKENDS}, got {backend!r}"
+        )
+    directory = Path(directory)
+    experiment_doc = spec.to_dict()
+    envelope_path = directory / "queue.json"
+    if envelope_path.exists():
+        queue = open_queue(directory)
+        if _science_document(queue.experiment) != _science_document(experiment_doc):
+            raise QueueError(
+                f"queue {directory} was materialized for a different "
+                "experiment; use a fresh queue directory"
+            )
+        return queue
+    directory.mkdir(parents=True, exist_ok=True)
+    tickets = _grid_tickets(spec)
+    documents = {
+        ticket.cell_id: _cell_document(spec, ticket) for ticket in tickets
+    }
+    cells_dir = directory / "cells"
+    cells_dir.mkdir(exist_ok=True)
+    for ticket in tickets:
+        atomic_write_json(
+            cells_dir / f"{ticket.cell_id}.json", documents[ticket.cell_id]
+        )
+    if backend == "sqlite":
+        SqliteCellQueue._initialise(directory, tickets, documents)
+    if checkpoint_dir is None:
+        stored_checkpoint = "checkpoints"
+        (directory / "checkpoints").mkdir(exist_ok=True)
+    else:
+        stored_checkpoint = str(Path(checkpoint_dir).resolve())
+    atomic_write_json(
+        envelope_path,
+        {
+            "format": QUEUE_FORMAT,
+            "version": QUEUE_VERSION,
+            "backend": backend,
+            "experiment": experiment_doc,
+            "lease": (lease or LeaseConfig()).to_dict(),
+            "retry": _retry_to_dict(retry or RetryPolicy()),
+            "checkpoint_dir": stored_checkpoint,
+            "cells": [ticket.to_dict() for ticket in tickets],
+        },
+        durable=True,
+    )
+    queue = open_queue(directory)
+    queue.audit("materialized", cells=len(tickets), backend=backend)
+    return queue
+
+
+def open_queue(directory: "str | Path") -> CellQueue:
+    """Open an existing queue directory, dispatching on its backend."""
+    envelope_path = Path(directory) / "queue.json"
+    try:
+        envelope = json.loads(envelope_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise QueueError(
+            f"cannot read queue envelope {envelope_path}: {error}"
+        ) from error
+    backend = envelope.get("backend") if isinstance(envelope, dict) else None
+    if backend == "file":
+        return FileCellQueue(directory)
+    if backend == "sqlite":
+        return SqliteCellQueue(directory)
+    raise QueueError(
+        f"unknown queue backend {backend!r} in {envelope_path}"
+    )
+
+
+# -- the worker --------------------------------------------------------------
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Renews a claim's lease in the background while the cell runs.
+
+    Losing the lease (reaped by a skew-suspicious peer, or the file
+    vanished) flips :attr:`lost` and stops renewing; execution carries
+    on, because committing after lease loss is safe — the result bytes
+    are identical to whatever the replacement worker produces.
+    """
+
+    def __init__(self, queue: CellQueue, claim: Claim, interval: float,
+                 on_event=None) -> None:
+        super().__init__(daemon=True, name=f"lease-{claim.ticket.cell_id}")
+        self._queue = queue
+        self._claim = claim
+        self._interval = interval
+        self._on_event = on_event
+        self._stop_event = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        cell_id = self._claim.ticket.cell_id
+        while not self._stop_event.wait(self._interval):
+            if self._on_event is not None:
+                self._on_event("heartbeat", cell_id)
+            if not self._queue.heartbeat(self._claim):
+                self.lost = True
+                if self._on_event is not None:
+                    self._on_event("heartbeat-lost", cell_id)
+                return
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=5.0)
+
+
+def default_owner() -> str:
+    """The worker identity recorded in leases and the audit log."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(
+    queue_dir: "str | Path",
+    owner: "str | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
+    poll: float = 0.5,
+    max_cells: "int | None" = None,
+    on_event=None,
+) -> dict:
+    """Claim-execute-commit cells until the queue settles (or ``max_cells``).
+
+    The worker rebuilds its datasets once from the queue's experiment
+    document (deterministic: every worker holds byte-identical corpora),
+    then loops: claim a cell, run it through the same
+    spec-built engine path :func:`run_comparison` uses (round-level
+    session snapshots included, so a reclaimed cell resumes mid-cell),
+    write the result checkpoint atomically, and settle the ``done``
+    marker.  A claimed cell whose checkpoint already exists — its
+    previous owner died between saving and committing — is committed
+    without recomputation.  Failures are charged to the queue's retry
+    policy (jittered exponential backoff, quarantine past the poison
+    threshold).  ``KeyboardInterrupt`` releases the held lease with a
+    ``"interrupted"`` audit annotation before propagating, so a Ctrl-C'd
+    worker never strands its cell for a full lease TTL.
+
+    ``on_event`` is a test/observability hook called as
+    ``on_event(event, cell_id)`` at every lifecycle point (``claimed``,
+    ``heartbeat``, ``saved``, ``committed``, ``recovered``, ``retry``,
+    ``quarantined``).
+
+    Returns a summary dict: owner id plus completed/recovered/failed
+    cell counts.
+    """
+    queue = open_queue(queue_dir)
+    owner = owner or default_owner()
+    emit = on_event if on_event is not None else (lambda event, cell_id: None)
+    spec = ExperimentSpec.from_dict(queue.experiment)
+    train_dataset, test_dataset, _task = spec.build_datasets()
+    model_spec = spec.resolved_model().to_dict()
+    strategy_specs = {
+        name: strategy.to_dict() for name, strategy in spec.strategies.items()
+    }
+    store = CheckpointStore(
+        checkpoint_dir or queue.checkpoint_directory,
+        spec.config,
+        model_spec=model_spec,
+        strategy_specs=strategy_specs,
+    )
+    model_factory = partial(build_model, model_spec)
+    summary = {"owner": owner, "completed": 0, "recovered": 0, "failed": 0}
+    while max_cells is None or summary["completed"] < max_cells:
+        claim = queue.claim(owner)
+        if claim is None:
+            if queue.settled():
+                break
+            queue.reap_stale()
+            time.sleep(poll)
+            continue
+        ticket = claim.ticket
+        try:
+            # Inside the try-block so a raising on_event hook (fault
+            # injection) is charged to the cell like any worker failure.
+            emit("claimed", ticket.cell_id)
+            existing = store.load(ticket.strategy, ticket.repeat, ticket.seed)
+            if existing is not None:
+                # The previous owner died between checkpoint and commit:
+                # the bytes are already on disk, only the marker is owed.
+                emit("recovered", ticket.cell_id)
+                queue.commit(claim)
+                emit("committed", ticket.cell_id)
+                summary["completed"] += 1
+                summary["recovered"] += 1
+                continue
+            heartbeat = _LeaseHeartbeat(queue, claim, queue.lease.renewal, on_event)
+            heartbeat.start()
+            try:
+                result = _run_cell(
+                    model_factory,
+                    partial(build_strategy, strategy_specs[ticket.strategy]),
+                    train_dataset,
+                    test_dataset,
+                    spec.config,
+                    None,
+                    ticket.seed,
+                    store=store,
+                    strategy_name=ticket.strategy,
+                    repeat=ticket.repeat,
+                )
+            finally:
+                heartbeat.stop()
+            store.save(ticket.strategy, ticket.repeat, ticket.seed, result)
+            store.discard_session(ticket.strategy, ticket.repeat)
+            emit("saved", ticket.cell_id)
+            queue.commit(claim)
+            emit("committed", ticket.cell_id)
+            summary["completed"] += 1
+        except KeyboardInterrupt:
+            queue.release(claim, "interrupted")
+            raise
+        except Exception as error:
+            outcome = queue.fail(claim, error)
+            emit(outcome, ticket.cell_id)
+            summary["failed"] += 1
+    return summary
+
+
+# -- the coordinator ---------------------------------------------------------
+
+
+def collect_results(
+    queue: CellQueue, on_error: str = "raise"
+) -> "dict[str, StrategyResult]":
+    """Aggregate a settled queue from its checkpoint store.
+
+    A cell with both a checkpoint and a failure record counts as done —
+    the checkpoint is the ground truth (e.g. a worker finished after the
+    coordinator's timeout already quarantined the cell).
+
+    Raises
+    ------
+    ExecutionError
+        Under ``on_error="raise"`` when any cell was quarantined, or in
+        any mode when a cell is unsettled or every repeat of a strategy
+        failed.
+    """
+    spec = ExperimentSpec.from_dict(queue.experiment)
+    store = CheckpointStore(
+        queue.checkpoint_directory,
+        spec.config,
+        model_spec=spec.resolved_model().to_dict(),
+        strategy_specs={
+            name: strategy.to_dict() for name, strategy in spec.strategies.items()
+        },
+    )
+    recorded = queue.failures()
+    cell_results: dict[tuple[int, int], object] = {}
+    cell_failures: dict[tuple[int, int], CellFailure] = {}
+    for ticket in queue.tickets:
+        key = (ticket.strategy_index, ticket.repeat)
+        result = store.load(ticket.strategy, ticket.repeat, ticket.seed)
+        if result is not None:
+            cell_results[key] = result
+        elif ticket.cell_id in recorded:
+            cell_failures[key] = recorded[ticket.cell_id]
+        else:
+            raise ExecutionError(
+                f"cell {ticket.cell_id} is unsettled: no checkpoint and no "
+                "failure record (is the grid still running?)"
+            )
+    if cell_failures and on_error == "raise":
+        details = "; ".join(
+            f"({failure.strategy!r}, repeat {failure.repeat}): {failure.error}"
+            for failure in cell_failures.values()
+        )
+        raise ExecutionError(
+            f"{len(cell_failures)} cell(s) failed permanently: {details}"
+        )
+    names = list(spec.strategies)
+    return aggregate_strategy_results(
+        names, spec.config.repeats, cell_results, cell_failures
+    )
+
+
+def coordinate(
+    queue_dir: "str | Path",
+    on_error: str = "raise",
+    timeout: "float | None" = None,
+    poll: float = 0.5,
+) -> "dict[str, StrategyResult]":
+    """Watch a queue until it settles, then aggregate the results.
+
+    The coordinator holds no state the queue does not: it reaps stale
+    leases while waiting (workers do too — reaping is not a coordinator
+    privilege) and aggregates from the checkpoint store once every cell
+    is done or quarantined.  With a ``timeout``, a grid that has not
+    settled in time either raises (``on_error="raise"``) or force-
+    quarantines the unsettled cells and degrades to skip semantics,
+    aggregating whatever completed.
+    """
+    queue = open_queue(queue_dir)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while not queue.settled():
+        queue.reap_stale()
+        if deadline is not None and time.monotonic() > deadline:
+            counts = queue.counts()
+            if on_error == "raise":
+                raise ExecutionError(
+                    f"distributed grid timed out after {timeout}s with "
+                    f"{counts['pending']} pending and {counts['claimed']} "
+                    f"claimed cell(s) in {queue.directory}"
+                )
+            queue.quarantine_unsettled(
+                f"coordinator timeout after {timeout}s"
+            )
+            break
+        time.sleep(poll)
+    return collect_results(queue, on_error=on_error)
+
+
+def _worker_process(queue_dir: str, owner: str, poll: float) -> None:
+    """Entry point of a locally spawned worker process (spawn-safe)."""
+    try:
+        run_worker(queue_dir, owner=owner, poll=poll)
+    except KeyboardInterrupt:
+        pass
+
+
+def run_distributed(
+    spec: ExperimentSpec,
+    queue_dir: "str | Path",
+    workers: int = 1,
+    backend: str = "file",
+    lease: "LeaseConfig | None" = None,
+    retry: "RetryPolicy | None" = None,
+    on_error: str = "raise",
+    timeout: "float | None" = None,
+    poll: float = 0.2,
+    checkpoint_dir: "str | Path | None" = None,
+) -> "dict[str, StrategyResult]":
+    """Materialize a grid, optionally spawn local workers, and coordinate.
+
+    ``workers=0`` materializes and coordinates only — the mode for a
+    grid whose workers run on other hosts (start them there with
+    ``repro worker --queue-dir <shared dir>``); any additional worker
+    may also join an in-flight grid at any time.  Results are
+    byte-identical to :func:`run_comparison` on the same spec, whatever
+    the worker census did mid-run.
+
+    Interrupting the coordinator (Ctrl-C) terminates the local workers,
+    releases the leases they still hold with an ``"interrupted"`` audit
+    annotation — so the cells are instantly reclaimable instead of
+    waiting out the TTL — and re-raises; completed cells stay
+    checkpointed, and rerunning against the same queue directory
+    resumes exactly where the grid stopped.
+    """
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    queue = create_queue(
+        queue_dir,
+        spec,
+        backend=backend,
+        lease=lease,
+        retry=retry,
+        checkpoint_dir=checkpoint_dir,
+    )
+    start_methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in start_methods else "spawn"
+    )
+    owners = [f"local-{default_owner()}-{index}" for index in range(workers)]
+    processes = [
+        context.Process(
+            target=_worker_process,
+            args=(str(queue_dir), owner, poll),
+            daemon=True,
+        )
+        for owner in owners
+    ]
+    for process in processes:
+        process.start()
+    try:
+        results = coordinate(
+            queue_dir, on_error=on_error, timeout=timeout, poll=poll
+        )
+    except BaseException:
+        _stop_local_workers(queue, processes, owners, reason="interrupted")
+        raise
+    for process in processes:
+        process.join(timeout=10.0)
+    _stop_local_workers(queue, processes, owners, reason="coordinator finished")
+    return results
+
+
+def _stop_local_workers(
+    queue: CellQueue,
+    processes: "list[multiprocessing.Process]",
+    owners: "list[str]",
+    reason: str,
+) -> None:
+    """Terminate local workers and release any leases they still hold."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+    try:
+        queue.release_owned(owners, reason=reason)
+    except OSError:
+        pass

@@ -27,7 +27,11 @@ repeats and attaching a per-cell failure log to each
 
 from __future__ import annotations
 
+import hashlib
+import heapq
+import itertools
 import multiprocessing
+import time
 from collections.abc import Callable, Mapping
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -57,7 +61,7 @@ _ON_ERROR_MODES = ("raise", "skip")
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Retry budget for failing (strategy, repeat) cells.
+    """Retry budget and pacing for failing (strategy, repeat) cells.
 
     Attributes
     ----------
@@ -69,15 +73,64 @@ class RetryPolicy:
         still-pending cells are treated as permanently failed (worker
         deaths cannot be attributed to one cell, so they are bounded by
         progress rather than counted per cell).
+    backoff:
+        Base delay in seconds before the second attempt of a cell.
+        ``0.0`` (the default) keeps the historical immediate-retry
+        behaviour.  Subsequent attempts wait exponentially longer
+        (``backoff * backoff_factor ** (failures - 1)``), capped at
+        ``max_delay``.
+    backoff_factor:
+        Multiplier between consecutive delays (must be >= 1).
+    max_delay:
+        Upper bound on any single delay, in seconds.
+    jitter:
+        Fraction of each delay that is randomised *deterministically*
+        from the cell's identity and attempt number, in ``[0, 1]``.  A
+        delay ``d`` becomes a value in ``[d * (1 - jitter), d]``, the
+        same value on every host for the same cell — retries de-herd
+        without introducing nondeterminism into test runs.
     """
 
     max_attempts: int = 1
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
             )
+        if self.backoff < 0:
+            raise ConfigurationError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_delay < 0:
+            raise ConfigurationError(f"max_delay must be >= 0, got {self.max_delay}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay(self, failures: int, key: str = "") -> float:
+        """Seconds to wait before the attempt following ``failures`` failures.
+
+        Deterministic: the jitter fraction is derived from a hash of
+        ``(key, failures)``, so the same cell waits the same time on
+        every host and every rerun, while different cells spread out.
+        """
+        if self.backoff <= 0 or failures < 1:
+            return 0.0
+        raw = self.backoff * self.backoff_factor ** (failures - 1)
+        delay = min(self.max_delay, raw)
+        if self.jitter > 0:
+            digest = hashlib.sha256(f"{key}:{failures}".encode("utf-8")).digest()
+            fraction = int.from_bytes(digest[:8], "big") / 2**64
+            delay *= 1.0 - self.jitter * fraction
+        return delay
 
 
 @dataclass(frozen=True)
@@ -200,6 +253,17 @@ def _resolve_start_method(start_method: "str | None", spec_mode: bool) -> "str |
     return None
 
 
+def grid_repeat_seeds(config: ExperimentConfig) -> np.ndarray:
+    """The grid's per-repeat cell seeds (derived from ``config.seed``).
+
+    Repetition ``r`` of *every* strategy shares seed ``r`` — the
+    matched-seed protocol.  The distributed coordinator materializes the
+    same seeds into its cell tickets, which is what makes a distributed
+    grid byte-identical to :func:`run_comparison`.
+    """
+    return ensure_rng(config.seed).integers(0, 2**63 - 1, size=config.repeats)
+
+
 def _run_cell(
     model_factory: Callable[[], object],
     strategy_factory: StrategyFactory,
@@ -316,6 +380,12 @@ class _CellGrid:
     def describe(self, cell: "tuple[int, int]") -> str:
         return f"({self.names[cell[0]]!r}, repeat {cell[1]})"
 
+    def retry_delay(self, cell: "tuple[int, int]") -> float:
+        """Backoff before this cell's next attempt (0.0 = retry now)."""
+        return self.policy.delay(
+            self.attempts.get(cell, 0), key=f"{self.names[cell[0]]}:{cell[1]}"
+        )
+
     def cell_seed(self, cell: "tuple[int, int]") -> int:
         return int(self.repeat_seeds[cell[1]])
 
@@ -409,7 +479,8 @@ def _run_serial(
     """In-process execution with per-cell retry.
 
     A retry of a cell whose engine snapshotted committed rounds resumes
-    from the last snapshot rather than recomputing them.
+    from the last snapshot rather than recomputing them.  Retries wait
+    out the policy's (jittered, deterministic) backoff first.
     """
     for cell in list(grid.pending):
         while True:
@@ -428,6 +499,9 @@ def _run_serial(
                 )
             except Exception as error:
                 if grid.record_error(cell, error):
+                    delay = grid.retry_delay(cell)
+                    if delay > 0:
+                        time.sleep(delay)
                     continue
                 break
             grid.record_success(cell, result)
@@ -459,6 +533,11 @@ def _run_pool(grid: _CellGrid, n_jobs: int, start_method: str, state: tuple) -> 
             initargs=(state,),
         )
         futures: dict = {}
+        # Retries under a backoff policy are parked here as
+        # (eligible_at, tiebreak, cell) and submitted once due, so one
+        # flapping cell never blocks the dispatcher or the other cells.
+        deferred: list[tuple[float, int, tuple[int, int]]] = []
+        defer_order = itertools.count()
         try:
             for cell in grid.pending:
                 futures[
@@ -468,8 +547,31 @@ def _run_pool(grid: _CellGrid, n_jobs: int, start_method: str, state: tuple) -> 
                 ] = cell
             outstanding = set(futures)
             broke = False
-            while outstanding and not broke:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            while (outstanding or deferred) and not broke:
+                now = time.monotonic()
+                while deferred and deferred[0][0] <= now:
+                    _, _, cell = heapq.heappop(deferred)
+                    try:
+                        retry = pool.submit(
+                            _run_cell_from_state,
+                            cell[0],
+                            cell[1],
+                            grid.cell_seed(cell),
+                        )
+                    except BrokenProcessPool:
+                        broke = True
+                        break
+                    futures[retry] = cell
+                    outstanding.add(retry)
+                if broke:
+                    break
+                timeout = max(0.0, deferred[0][0] - now) if deferred else None
+                if not outstanding:
+                    time.sleep(timeout or 0.0)
+                    continue
+                done, outstanding = wait(
+                    outstanding, timeout=timeout, return_when=FIRST_COMPLETED
+                )
                 for future in done:
                     cell = futures[future]
                     try:
@@ -478,6 +580,17 @@ def _run_pool(grid: _CellGrid, n_jobs: int, start_method: str, state: tuple) -> 
                         broke = True
                     except Exception as error:  # raised inside the worker
                         if grid.record_error(cell, error):
+                            delay = grid.retry_delay(cell)
+                            if delay > 0:
+                                heapq.heappush(
+                                    deferred,
+                                    (
+                                        time.monotonic() + delay,
+                                        next(defer_order),
+                                        cell,
+                                    ),
+                                )
+                                continue
                             try:
                                 retry = pool.submit(
                                     _run_cell_from_state,
@@ -610,7 +723,7 @@ def run_comparison(
     model_factory, factories_by_name, model_spec, strategy_specs = (
         _normalise_components(model_factory, strategy_factories)
     )
-    repeat_seeds = ensure_rng(config.seed).integers(0, 2**63 - 1, size=config.repeats)
+    repeat_seeds = grid_repeat_seeds(config)
     names = list(factories_by_name)
     factories = [factories_by_name[name] for name in names]
     store = (
@@ -648,19 +761,44 @@ def run_comparison(
             grid, model_factory, factories, train_dataset, test_dataset, config, metric
         )
 
+    return aggregate_strategy_results(names, config.repeats, grid.results, grid.failures)
+
+
+def aggregate_strategy_results(
+    names: "list[str]",
+    repeats: int,
+    cell_results: "Mapping[tuple[int, int], ALResult]",
+    cell_failures: "Mapping[tuple[int, int], CellFailure]",
+) -> dict[str, StrategyResult]:
+    """Fold per-cell outcomes into per-strategy aggregates, in input order.
+
+    Shared by :func:`run_comparison` and the distributed coordinator:
+    both settle every ``(strategy_index, repeat_index)`` cell into either
+    an :class:`~repro.core.session.ALResult` or a :class:`CellFailure`,
+    and aggregation is where the two execution paths must converge to
+    the exact same curves.
+
+    Raises
+    ------
+    ExecutionError
+        When every repeat of some strategy failed — there is nothing
+        left to aggregate for it.
+    """
     results: dict[str, StrategyResult] = {}
     for strategy_index, name in enumerate(names):
         runs = [
-            grid.results[(strategy_index, repeat_index)]
-            for repeat_index in range(config.repeats)
-            if (strategy_index, repeat_index) in grid.results
+            cell_results[(strategy_index, repeat_index)]
+            for repeat_index in range(repeats)
+            if (strategy_index, repeat_index) in cell_results
         ]
         strategy_failures = [
-            grid.failures[cell] for cell in sorted(grid.failures) if cell[0] == strategy_index
+            cell_failures[cell]
+            for cell in sorted(cell_failures)
+            if cell[0] == strategy_index
         ]
         if not runs:
             raise ExecutionError(
-                f"all {config.repeats} repeats of strategy {name!r} failed; "
+                f"all {repeats} repeats of strategy {name!r} failed; "
                 "nothing to aggregate"
             )
         curves = [run.curve(label=name) for run in runs]

@@ -8,6 +8,12 @@ target directory* (so the rename cannot cross filesystems), then
 ``os.replace`` it over the destination in one atomic step.  Readers see
 either the old complete file or the new complete file, never a partial
 write.
+
+``durable=True`` additionally fsyncs the temporary file *before* the
+rename and the containing directory *after* it — the ordering that makes
+the write survive a machine crash, not just a process crash.  The
+distributed work queue uses it for commit markers: a ``done`` marker
+must never hit the disk before the checkpoint bytes it vouches for.
 """
 
 from __future__ import annotations
@@ -18,12 +24,37 @@ import tempfile
 from pathlib import Path
 
 
-def atomic_write_text(path: "str | Path", text: str) -> None:
+def fsync_directory(directory: "str | Path") -> None:
+    """Flush a directory's entry table to disk (no-op where unsupported).
+
+    After ``os.replace`` the *file* content is safe, but the rename
+    itself lives in the directory; fsyncing the directory pins the
+    ordering "content durable, then name visible" across a power loss.
+    Platforms that cannot fsync a directory (Windows) simply skip it.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: "str | Path", text: str, durable: bool = False) -> None:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 
     The temporary file is created next to ``path`` and renamed over it
     only after the content has been fully written and the handle closed,
     so a crash mid-write leaves the previous file (if any) untouched.
+
+    With ``durable=True`` the temp file is fsynced before the rename and
+    the parent directory after it, so the fsync/rename ordering holds
+    even across a machine crash: the name never points at content that
+    has not reached the disk.
     """
     path = Path(path)
     handle_fd, temp_name = tempfile.mkstemp(
@@ -32,7 +63,12 @@ def atomic_write_text(path: "str | Path", text: str) -> None:
     try:
         with os.fdopen(handle_fd, "w") as handle:
             handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(temp_name, path)
+        if durable:
+            fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(temp_name)
@@ -41,9 +77,9 @@ def atomic_write_text(path: "str | Path", text: str) -> None:
         raise
 
 
-def atomic_write_json(path: "str | Path", payload: dict) -> None:
+def atomic_write_json(path: "str | Path", payload: dict, durable: bool = False) -> None:
     """Serialise ``payload`` and write it via :func:`atomic_write_text`."""
-    atomic_write_text(path, json.dumps(payload))
+    atomic_write_text(path, json.dumps(payload), durable=durable)
 
 
 def read_json_document(

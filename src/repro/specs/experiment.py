@@ -50,8 +50,16 @@ RUNNER_DEFAULTS = {
     "checkpoint_dir": None,
     "resume": False,
     "max_retries": 0,
+    "backoff": 0.0,
     "on_error": "raise",
     "start_method": None,
+    # Distributed execution (repro.experiments.distributed): a non-null
+    # queue_dir routes the grid through the broker-less work queue.
+    "queue_dir": None,
+    "queue_backend": "file",
+    "local_workers": 1,
+    "lease_ttl": 30.0,
+    "timeout": None,
 }
 
 #: Report options an experiment document may set (with their defaults).

@@ -48,6 +48,74 @@ class TestRetryPolicy:
         with pytest.raises(ConfigurationError, match="on_error"):
             compare(text_dataset, on_error="abort")
 
+    def test_invalid_backoff_parameters_rejected(self):
+        with pytest.raises(ConfigurationError, match="backoff"):
+            RetryPolicy(max_attempts=2, backoff=-1.0)
+        with pytest.raises(ConfigurationError, match="backoff_factor"):
+            RetryPolicy(max_attempts=2, backoff=1.0, backoff_factor=0.5)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(max_attempts=2, backoff=1.0, jitter=1.5)
+
+
+class TestBackoffSchedule:
+    """Jittered exponential backoff: deterministic, growing, capped."""
+
+    def test_default_policy_never_delays(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert [policy.delay(n, key="cell") for n in range(4)] == [0.0] * 4
+
+    def test_delay_is_deterministic_per_key(self):
+        policy = RetryPolicy(max_attempts=5, backoff=1.0)
+        assert policy.delay(2, key="a") == policy.delay(2, key="a")
+        # Different cells land on different points of the jitter window,
+        # so a whole grid's retries do not synchronise.
+        assert policy.delay(2, key="a") != policy.delay(2, key="b")
+
+    def test_delay_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff=1.0, backoff_factor=2.0, jitter=0.0
+        )
+        assert [policy.delay(n) for n in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+    def test_delay_is_capped_by_max_delay(self):
+        policy = RetryPolicy(
+            max_attempts=9, backoff=1.0, max_delay=5.0, jitter=0.0
+        )
+        assert policy.delay(8) == 5.0
+
+    def test_jitter_only_shrinks_the_delay(self):
+        policy = RetryPolicy(max_attempts=5, backoff=2.0, jitter=0.5)
+        for failures in (1, 2, 3):
+            base = 2.0 * 2.0 ** (failures - 1)
+            delay = policy.delay(failures, key="cell")
+            assert base * 0.5 <= delay <= base
+
+    def test_retry_with_backoff_matches_clean_run(self, text_dataset, tmp_path):
+        """A backoff pause changes timing only, never the result bytes."""
+        clean = compare(text_dataset)
+        spec = FaultSpec(token_dir=tmp_path / "tokens", fail_on_call=1, times=1)
+        retried = compare(
+            text_dataset,
+            model_factory=faulty_model_factory(spec),
+            retry=RetryPolicy(max_attempts=2, backoff=0.01),
+        )
+        assert_results_identical(clean, retried)
+
+    @needs_fork
+    def test_pool_retry_with_backoff_matches_clean_run(
+        self, text_dataset, tmp_path
+    ):
+        """The pool defers backed-off cells without blocking its workers."""
+        clean = compare(text_dataset)
+        spec = FaultSpec(token_dir=tmp_path / "tokens", fail_on_call=1, times=1)
+        retried = compare(
+            text_dataset,
+            model_factory=faulty_model_factory(spec),
+            n_jobs=2,
+            retry=RetryPolicy(max_attempts=2, backoff=0.05),
+        )
+        assert_results_identical(clean, retried)
+
 
 class TestRetry:
     def test_without_retry_first_failure_raises(self, text_dataset, tmp_path):

@@ -58,7 +58,8 @@ class FaultSpec:
         fault triggers.
     mode:
         ``"raise"`` raises :class:`InjectedFault`; ``"exit"`` kills the
-        current process (pool runs only).
+        current process (pool runs only); ``"interrupt"`` raises
+        :class:`KeyboardInterrupt`, modelling a Ctrl-C mid-operation.
     times:
         Total fires allowed across all processes; ``None`` means
         unlimited (an always-failing fault site).
@@ -89,9 +90,47 @@ class FaultSpec:
         if call_number == self.fail_on_call and self.claim():
             if self.mode == "exit":
                 os._exit(23)
+            if self.mode == "interrupt":
+                raise KeyboardInterrupt(
+                    f"injected interrupt at call {call_number}"
+                )
             raise InjectedFault(
                 f"injected fault at call {call_number} (mode={self.mode})"
             )
+
+
+class WorkerFault:
+    """An ``on_event`` hook for ``run_worker`` that fires at a lifecycle event.
+
+    The distributed worker loop reports every protocol step through its
+    ``on_event(event, cell_id)`` callback; installing this hook turns one
+    of those steps into a deterministic crash site.  ``event="claimed"``
+    with ``mode="exit"`` models a worker SIGKILLed between claiming a
+    cell and committing it; ``event="saved"`` kills between the
+    checkpoint write and the done marker; ``event="heartbeat"`` kills
+    mid-renewal (the event is emitted from the heartbeat thread, so
+    ``os._exit`` takes the whole worker down mid-cell).  ``cell_id``
+    narrows the fault to one cell — e.g. to poison exactly one repeat —
+    and the :class:`FaultSpec` budget keeps it cross-process one-shot.
+    """
+
+    def __init__(
+        self, event: str, spec: FaultSpec, cell_id: "str | None" = None
+    ) -> None:
+        self.event = event
+        self.spec = spec
+        self.cell_id = cell_id
+        self.calls = 0
+        self.seen: list[tuple[str, str]] = []
+
+    def __call__(self, event: str, cell_id: str) -> None:
+        self.seen.append((event, cell_id))
+        if event != self.event:
+            return
+        if self.cell_id is not None and cell_id != self.cell_id:
+            return
+        self.calls += 1
+        self.spec.maybe_fire(self.calls)
 
 
 class FaultInjectingModel(Classifier):

@@ -214,6 +214,113 @@ class TestKeyboardInterrupt:
         assert str(tmp_path / "ckpt") in captured.err
         assert "--resume" in captured.err
 
+    def test_queue_hint_when_distributed(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli_module
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "run_distributed", interrupted)
+        code = main([
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random",
+            "--queue-dir", str(tmp_path / "q"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "leases were released" in captured.err
+        assert str(tmp_path / "q") in captured.err
+
+    def test_worker_interrupt_mentions_queue(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli_module
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "run_worker", interrupted)
+        code = main(["worker", "--queue-dir", str(tmp_path / "q")])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert str(tmp_path / "q") in captured.err
+
+
+class TestDistributedFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "mr", "--strategies", "random"]
+        )
+        assert args.queue_dir is None
+        assert args.queue_backend == "file"
+        assert args.local_workers == 1
+        assert args.lease_ttl == 30.0
+        assert args.backoff == 0.0
+        assert args.grid_timeout is None
+
+    def test_flags_parse(self, tmp_path):
+        args = build_parser().parse_args([
+            "compare", "--dataset", "mr", "--strategies", "random",
+            "--queue-dir", str(tmp_path), "--queue-backend", "sqlite",
+            "--local-workers", "3", "--lease-ttl", "5", "--backoff", "0.5",
+            "--grid-timeout", "60",
+        ])
+        assert args.queue_dir == str(tmp_path)
+        assert args.queue_backend == "sqlite"
+        assert args.local_workers == 3
+        assert args.lease_ttl == 5.0
+        assert args.backoff == 0.5
+        assert args.grid_timeout == 60.0
+
+    def test_worker_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            ["worker", "--queue-dir", str(tmp_path), "--max-cells", "2"]
+        )
+        assert args.command == "worker"
+        assert args.max_cells == 2
+        assert args.owner is None
+
+    def test_distributed_compare_matches_serial(self, capsys, tmp_path):
+        flags = [
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random", "entropy",
+            "--rounds", "2", "--batch-size", "10", "--repeats", "2",
+            "--epochs", "2", "--seed", "9",
+        ]
+        assert main(flags + ["--checkpoint-dir", str(tmp_path / "serial")]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(flags + [
+            "--queue-dir", str(tmp_path / "q"), "--local-workers", "2",
+        ]) == 0
+        distributed_out = capsys.readouterr().out
+        assert distributed_out == serial_out
+        serial = sorted((tmp_path / "serial").glob("cell_*.json"))
+        queued = sorted((tmp_path / "q" / "checkpoints").glob("cell_*.json"))
+        assert [p.name for p in queued] == [p.name for p in serial]
+        for queued_file, serial_file in zip(queued, serial):
+            assert queued_file.read_bytes() == serial_file.read_bytes()
+
+    def test_worker_command_drains_queue(self, capsys, tmp_path):
+        from repro.experiments.distributed import create_queue
+        from repro.specs import ExperimentSpec, Spec
+        from repro.experiments import ExperimentConfig
+
+        spec = ExperimentSpec(
+            dataset=Spec(kind="mr", params={"scale": 0.05, "seed": 7}),
+            model=Spec(kind="linear",
+                       params={"epochs": 2, "batch_size": 32, "seed": 0}),
+            strategies={"random": Spec(kind="random")},
+            config=ExperimentConfig(batch_size=10, rounds=2, repeats=2, seed=9),
+        )
+        create_queue(tmp_path / "q", spec)
+        code = main([
+            "worker", "--queue-dir", str(tmp_path / "q"),
+            "--owner", "cli-worker", "--verbose",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 cell(s) completed" in captured.out
+        assert "committed" in captured.err  # --verbose lifecycle trace
+        assert len(list((tmp_path / "q" / "checkpoints").glob("cell_*.json"))) == 2
+
 
 class TestTrainRankerCommand:
     def test_train_and_reuse(self, capsys, tmp_path):

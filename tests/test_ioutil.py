@@ -1,10 +1,70 @@
-"""Tests for atomic text writes."""
+"""Tests for atomic text writes, including crash fault injection.
 
+The distributed work queue leans on :func:`atomic_write_text` for its
+crash-equivalence story (commit markers must never vouch for bytes that
+are not on disk), so beyond the happy paths these tests tear the write
+apart on purpose: a writer crashing after flushing half its payload, a
+SIGKILLed writer process, concurrent writers racing one destination, and
+the fsync/rename ordering of ``durable=True``.
+"""
+
+import multiprocessing
 import os
 
 import pytest
 
-from repro.ioutil import atomic_write_text
+from repro.ioutil import atomic_write_text, fsync_directory
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="crash tests fork real writer processes",
+)
+
+
+class _PartialWriteHandle:
+    """A file handle that flushes half the payload, then fails or dies."""
+
+    def __init__(self, inner, crash):
+        self._inner = inner
+        self._crash = crash
+
+    def write(self, text):
+        self._inner.write(text[: len(text) // 2])
+        self._inner.flush()
+        self._crash()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._inner.close()
+        return False
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _install_partial_writes(crash):
+    """Route ``os.fdopen`` through :class:`_PartialWriteHandle`."""
+    real_fdopen = os.fdopen
+
+    def partial_fdopen(fd, *args, **kwargs):
+        return _PartialWriteHandle(real_fdopen(fd, *args, **kwargs), crash)
+
+    os.fdopen = partial_fdopen
+    return real_fdopen
+
+
+def _sigkilled_torn_writer(path):
+    """Child entry point: die (``os._exit``) after a half-flushed write."""
+    _install_partial_writes(lambda: os._exit(23))
+    atomic_write_text(path, "replacement-" * 20_000, durable=True)
+
+
+def _hammering_writer(path, marker, writes):
+    """Child entry point: repeatedly write a full one-character payload."""
+    for _ in range(writes):
+        atomic_write_text(path, marker * 8192)
 
 
 class TestAtomicWriteText:
@@ -39,3 +99,109 @@ class TestAtomicWriteText:
     def test_accepts_str_path(self, tmp_path):
         atomic_write_text(str(tmp_path / "out.txt"), "x")
         assert (tmp_path / "out.txt").read_text() == "x"
+
+
+class TestTornWrites:
+    """A crash mid-write must never leave a torn destination file."""
+
+    def test_partial_write_then_error_preserves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        target.write_text("precious")
+
+        def crash():
+            raise OSError("injected: power loss mid-write")
+
+        real_fdopen = os.fdopen
+        monkeypatch.setattr(
+            os, "fdopen",
+            lambda fd, *args, **kwargs: _PartialWriteHandle(
+                real_fdopen(fd, *args, **kwargs), crash
+            ),
+        )
+        with pytest.raises(OSError, match="power loss"):
+            atomic_write_text(target, "replacement-payload")
+        # The destination is the old complete content — never half new —
+        # and the aborted temp file was cleaned up.
+        assert target.read_text() == "precious"
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == ["out.json"]
+
+    @needs_fork
+    def test_sigkilled_writer_leaves_no_torn_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("precious")
+        process = multiprocessing.get_context("fork").Process(
+            target=_sigkilled_torn_writer, args=(target,), daemon=True
+        )
+        process.start()
+        process.join(timeout=60)
+        assert process.exitcode == 23  # really died mid-write
+        # The half-written bytes live (at most) in a stray temp file; the
+        # destination still reads as the old complete document.
+        assert target.read_text() == "precious"
+        for stray in tmp_path.iterdir():
+            if stray != target:
+                assert stray.name.endswith(".tmp")
+
+    @needs_fork
+    def test_concurrent_writers_never_interleave(self, tmp_path):
+        """Readers racing N writers always see one complete payload."""
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "0" * 8192)
+        context = multiprocessing.get_context("fork")
+        writers = [
+            context.Process(
+                target=_hammering_writer, args=(target, marker, 40), daemon=True
+            )
+            for marker in "abcd"
+        ]
+        for writer in writers:
+            writer.start()
+        observed = set()
+        while any(writer.is_alive() for writer in writers):
+            content = target.read_text()
+            # Complete payload from exactly one writer, never a mix.
+            assert len(content) == 8192
+            assert len(set(content)) == 1
+            observed.add(content[0])
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+        assert observed - set("0abcd") == set()
+
+
+class TestDurableOrdering:
+    """``durable=True`` must fsync content before the rename publishes it."""
+
+    def test_fsync_then_rename_then_directory_fsync(self, tmp_path, monkeypatch):
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (events.append("fsync-file"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            os, "replace",
+            lambda src, dst: (events.append("rename"), real_replace(src, dst))[1],
+        )
+        monkeypatch.setattr(
+            "repro.ioutil.fsync_directory",
+            lambda directory: events.append("fsync-dir"),
+        )
+        atomic_write_text(tmp_path / "out.json", "payload", durable=True)
+        assert events == ["fsync-file", "rename", "fsync-dir"]
+        assert (tmp_path / "out.json").read_text() == "payload"
+
+    def test_non_durable_write_skips_fsync(self, tmp_path, monkeypatch):
+        events = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1],
+        )
+        atomic_write_text(tmp_path / "out.json", "payload")
+        assert events == []
+
+    def test_fsync_directory_tolerates_unsyncable_paths(self, tmp_path):
+        fsync_directory(tmp_path)  # a real directory: no error
+        fsync_directory(tmp_path / "does-not-exist")  # silently a no-op
