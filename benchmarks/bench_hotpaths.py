@@ -10,9 +10,10 @@ worker dispatch), and the broker-less distributed grid (cells/sec at
 1/2/4 workers, stale-lease reclaim latency per backend) — against the
 retained ``_*_reference``/oracle implementations of the per-sample
 code paths, and writes the measurements to ``BENCH_hotpaths.json``,
-``BENCH_seqmodels.json``, ``BENCH_poolscale.json``, and
-``BENCH_distscale.json`` at the repo root so later PRs can track the
-perf trajectory.
+``BENCH_seqmodels.json``, ``BENCH_poolscale.json``,
+``BENCH_distscale.json``, and ``BENCH_warmstart.json`` (cold-vs-warm
+end-to-end training per model family) at the repo root so later PRs can
+track the perf trajectory.
 
 Usage::
 
@@ -49,9 +50,10 @@ from repro.core.features import (
     _backfill_reference,
 )
 from repro.core.history import HistoryStore
+from repro.core.loop import ActiveLearningLoop
 from repro.core.prediction_cache import PredictionCache
 from repro.core.selection import top_k_indices, top_k_reference
-from repro.core.strategies import Entropy, WSHS
+from repro.core.strategies import Entropy, Random, WSHS
 from repro.core.strategies.base import SelectionContext
 from repro.data.ner import NERCorpusSpec, make_ner_corpus
 from repro.data.text import TextCorpusSpec, make_text_corpus
@@ -73,6 +75,7 @@ from repro.models.bilstm_crf import BiLSTMCRF
 from repro.models.crf import LinearChainCRF
 from repro.models.linear import LinearSoftmax
 from repro.models.lstm import LSTMRegressor
+from repro.models.mlp import MLPClassifier
 from repro.models.textcnn import TextCNN
 from repro.timeseries.mann_kendall import mann_kendall_test
 
@@ -80,6 +83,7 @@ OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 SEQ_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_seqmodels.json"
 POOL_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_poolscale.json"
 DIST_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_distscale.json"
+WARM_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_warmstart.json"
 
 
 class _LegacyHistoryStore:
@@ -894,6 +898,157 @@ def run_dist_scale(quick: bool, output: Path) -> dict:
     return results
 
 
+# -- warm-start suite -------------------------------------------------------
+
+#: Quality-parity tolerance on final accuracy between cold and warm runs
+#: of the same seeded experiment (documented in DESIGN.md §12).
+WARM_ACCURACY_TOLERANCE = 0.10
+
+#: Quality-parity tolerance on held-out MSE for the LSTM regressor:
+#: warm MSE may exceed cold MSE by at most this relative margin.
+WARM_MSE_RELATIVE_TOLERANCE = 0.50
+
+
+def _bench_warm_loop_family(
+    family: str, model_factory, train, test, rounds: int, batch_size: int
+) -> dict:
+    """Cold-vs-warm end-to-end multi-round AL runs for one classifier family."""
+    entry: dict = {"family": family, "rounds": rounds, "batch_size": batch_size}
+    for mode in ("cold", "warm"):
+        loop = ActiveLearningLoop(
+            model_factory(),
+            Random(),
+            train,
+            test,
+            batch_size=batch_size,
+            rounds=rounds,
+            seed_or_rng=7,
+            training_mode=mode,
+        )
+        start = time.perf_counter()
+        result = loop.run()
+        entry[f"{mode}_seconds"] = time.perf_counter() - start
+        entry[f"{mode}_final_metric"] = float(result.records[-1].metric)
+    entry["speedup"] = entry["cold_seconds"] / max(entry["warm_seconds"], 1e-9)
+    entry["metric_delta"] = entry["warm_final_metric"] - entry["cold_final_metric"]
+    entry["tolerance"] = WARM_ACCURACY_TOLERANCE
+    entry["within_tolerance"] = (
+        abs(entry["metric_delta"]) <= WARM_ACCURACY_TOLERANCE
+    )
+    return entry
+
+
+def _bench_warm_lstm_family(quick: bool) -> dict:
+    """Cold-vs-warm growing-dataset refit loop for the LSTM regressor.
+
+    Mirrors how the LHS predictor is refreshed as history grows: each
+    round trains on a prefix of (sequence, next value) pairs one batch
+    larger than the last.  Cold refits from scratch every round; warm
+    resumes from the previous round's parameters.
+    """
+    rounds = 4 if quick else 10
+    total = 32 if quick else 100
+    epochs = 24 if quick else 80
+    length = 10
+    rng = np.random.default_rng(7)
+    walks = np.cumsum(rng.normal(scale=0.1, size=(total + 40, length + 1)), axis=1)
+    sequences = [walk[:-1] for walk in walks]
+    targets = [float(walk[-1]) for walk in walks]
+    holdout_seq, holdout_tgt = sequences[total:], np.asarray(targets[total:])
+    entry: dict = {
+        "family": "lstm",
+        "rounds": rounds,
+        "sequences": total,
+        "epochs": epochs,
+    }
+    for mode in ("cold", "warm"):
+        start = time.perf_counter()
+        model = None
+        for round_index in range(1, rounds + 1):
+            count = max(2, total * round_index // rounds)
+            fresh = LSTMRegressor(hidden_dim=8, epochs=epochs, seed=0)
+            if mode == "warm" and model is not None:
+                fresh.fit(sequences[:count], targets[:count], init_from=model)
+            else:
+                fresh.fit(sequences[:count], targets[:count])
+            model = fresh
+        entry[f"{mode}_seconds"] = time.perf_counter() - start
+        predictions = model.predict(holdout_seq)
+        entry[f"{mode}_mse"] = float(np.mean((predictions - holdout_tgt) ** 2))
+    entry["speedup"] = entry["cold_seconds"] / max(entry["warm_seconds"], 1e-9)
+    entry["mse_delta"] = entry["warm_mse"] - entry["cold_mse"]
+    entry["tolerance"] = WARM_MSE_RELATIVE_TOLERANCE
+    entry["within_tolerance"] = entry["warm_mse"] <= entry["cold_mse"] * (
+        1.0 + WARM_MSE_RELATIVE_TOLERANCE
+    ) + 1e-12
+    return entry
+
+
+def run_warm_start(quick: bool, output: Path) -> dict:
+    """Cold-vs-warm end-to-end timings per model family -> BENCH_warmstart.json."""
+    print(f"[bench_warmstart] mode={'quick' if quick else 'full'}")
+    spec = TextCorpusSpec(
+        name="warm(bench)",
+        num_classes=2,
+        size=700 if quick else 1_100,
+        background_vocab=300,
+        facets_per_class=12,
+        facet_vocab=8,
+        min_length=6,
+        max_length=24,
+    )
+    dataset = make_text_corpus(spec, seed_or_rng=7)
+    # Small test split: evaluation is mode-independent overhead, and the
+    # suite measures the training fast path.
+    test_size = 100
+    train = dataset.subset(range(len(dataset) - test_size))
+    test = dataset.subset(range(len(dataset) - test_size, len(dataset)))
+
+    rounds = 5 if quick else 14
+    families = [
+        _bench_warm_loop_family(
+            "textcnn",
+            lambda: TextCNN(embedding_dim=16, filters=8, epochs=8 if quick else 24, seed=0),
+            train,
+            test,
+            rounds=rounds,
+            batch_size=25,
+        ),
+        _bench_warm_loop_family(
+            "mlp",
+            lambda: MLPClassifier(epochs=12 if quick else 48, hidden_dim=24, seed=0),
+            train,
+            test,
+            rounds=rounds,
+            batch_size=25,
+        ),
+        _bench_warm_lstm_family(quick),
+    ]
+    for entry in families:
+        quality = (
+            f"metric {entry['cold_final_metric']:.4f} -> {entry['warm_final_metric']:.4f}"
+            if "cold_final_metric" in entry
+            else f"mse {entry['cold_mse']:.4f} -> {entry['warm_mse']:.4f}"
+        )
+        print(
+            f"  {entry['family']:>8}: {entry['speedup']:5.2f}x warm vs cold "
+            f"({entry['cold_seconds']:.2f}s -> {entry['warm_seconds']:.2f}s; "
+            f"{quality}; within tolerance: {entry['within_tolerance']})"
+        )
+
+    payload = {
+        "benchmark": "warm_start",
+        "mode": "quick" if quick else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "results": {"families": families},
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_warmstart] wrote {output}")
+    return {"families": families}
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -923,8 +1078,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="distributed-grid JSON output path",
     )
     parser.add_argument(
+        "--warm-output",
+        type=Path,
+        default=WARM_OUTPUT_DEFAULT,
+        help="warm-start JSON output path",
+    )
+    parser.add_argument(
         "--suite",
-        choices=("all", "hotpaths", "seqmodels", "pool_scale", "dist_scale"),
+        choices=("all", "hotpaths", "seqmodels", "pool_scale", "dist_scale", "warm_start"),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -943,6 +1104,9 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     if arguments.suite == "dist_scale":
         run_dist_scale(quick, arguments.dist_output)
+        return 0
+    if arguments.suite == "warm_start":
+        run_warm_start(quick, arguments.warm_output)
         return 0
 
     results: dict[str, dict] = {}
@@ -1018,6 +1182,7 @@ def main(argv: "list[str] | None" = None) -> int:
         run_seqmodels(quick, repeats, arguments.seq_output)
         run_pool_scale(quick, repeats, arguments.pool_output)
         run_dist_scale(quick, arguments.dist_output)
+        run_warm_start(quick, arguments.warm_output)
     return 0
 
 

@@ -60,7 +60,12 @@ from .experiments.distributed import (
     run_distributed,
     run_worker,
 )
-from .experiments.reporting import format_curve_table, format_target_table
+from .experiments.reporting import (
+    accumulate_phase_times,
+    format_curve_table,
+    format_phase_times,
+    format_target_table,
+)
 from .ioutil import atomic_write_json, read_json_document
 from .models import LinearSoftmax
 from .persistence import save_lhs_ranker
@@ -126,6 +131,7 @@ def _experiment_from_flags(args: argparse.Namespace) -> ExperimentSpec:
             repeats=args.repeats,
             seed=args.seed,
             history_backend=args.history_backend,
+            training_mode=args.training_mode,
         ),
         runner={
             "n_jobs": args.n_jobs,
@@ -189,6 +195,29 @@ def _run_experiment(spec: ExperimentSpec) -> int:
                 f"{failure.error}",
                 file=sys.stderr,
             )
+    # Phase wall-times go to stderr: stdout stays byte-comparable across
+    # runs (the CI smokes diff it), and timings never are.
+    phase_totals = {}
+    for name, result in results.items():
+        run_totals = [
+            totals
+            for run in result.runs
+            if (totals := accumulate_phase_times(run.records)) is not None
+        ]
+        if run_totals:
+            phase_totals[name] = {
+                phase: sum(t.get(phase, 0.0) for t in run_totals)
+                for phase in ("train", "evaluate", "propose", "ingest")
+            }
+    if phase_totals:
+        print(
+            format_phase_times(
+                phase_totals,
+                title=f"phase wall-times over {spec.config.repeats} repeat(s), "
+                      f"training_mode={spec.config.training_mode}",
+            ),
+            file=sys.stderr,
+        )
     curves = {name: result.curve for name, result in results.items()}
     metric = "accuracy" if task == "text" else "span F1"
     print(format_curve_table(
@@ -419,6 +448,7 @@ def _cmd_session_init(args: argparse.Namespace) -> int:
         "initial_size": args.initial_size,
         "seed": args.seed,
         "ranker": args.ranker,
+        "training_mode": args.training_mode,
     }
     train, test, model, strategy = _session_components(recipe)
     engine = SessionEngine(
@@ -430,6 +460,7 @@ def _cmd_session_init(args: argparse.Namespace) -> int:
         rounds=recipe["rounds"],
         initial_size=recipe["initial_size"],
         seed_or_rng=recipe["seed"],
+        training_mode=recipe["training_mode"],
     )
     print(
         f"initialised session in {directory}: {recipe['strategy']} on "
@@ -589,6 +620,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "the score matrix an OS-level name other processes "
                               "attach to zero-copy (results are identical across "
                               "backends)")
+    compare.add_argument("--training-mode", choices=["cold", "warm"],
+                         default="cold",
+                         help="'cold' (default) refits each round's model from "
+                              "scratch, byte-identical to historical runs; "
+                              "'warm' resumes each round from the previous "
+                              "round's parameters for models that support it "
+                              "(much faster, same seeds, slightly different "
+                              "optimisation trajectory)")
     compare.set_defaults(handler=_cmd_compare)
 
     run = subparsers.add_parser(
@@ -676,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="random initial batch size (default: --batch-size)")
     init.add_argument("--ranker", default=None,
                       help="ranker file for an lhs:<base> strategy")
+    init.add_argument("--training-mode", choices=["cold", "warm"],
+                      default="cold",
+                      help="'warm' resumes each round's retrain from the "
+                           "previous round's parameters (faster ingest "
+                           "turnaround); 'cold' (default) refits from scratch")
     init.set_defaults(handler=_cmd_session_init)
 
     propose = session_sub.add_parser(

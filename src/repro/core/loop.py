@@ -88,6 +88,12 @@ class ActiveLearningLoop:
         paper's O(l*N) space bound; see Table 2).  Must be at least the
         strategy's window or windowed statistics would be truncated;
         ``None`` (default) keeps the full history for post-hoc analysis.
+    training_mode:
+        ``"cold"`` (default) refits each round's model from scratch —
+        byte-identical to historical behaviour.  ``"warm"`` resumes each
+        round's fit from the previous round's parameters (fewer epochs)
+        for model families that support it; deterministic given the run
+        seed, but a different (faster) optimisation trajectory.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class ActiveLearningLoop:
         reseed_model: bool = True,
         history_limit: "int | None" = None,
         history_backend: str = "local",
+        training_mode: str = "cold",
     ) -> None:
         self._rng = ensure_rng(seed_or_rng)
         # Validate eagerly with a throwaway engine so misconfiguration
@@ -122,6 +129,7 @@ class ActiveLearningLoop:
             reseed_model=reseed_model,
             history_limit=history_limit,
             history_backend=history_backend,
+            training_mode=training_mode,
         )
         self.model_prototype = model_prototype
         self.strategy = strategy
@@ -134,6 +142,7 @@ class ActiveLearningLoop:
         self.reseed_model = reseed_model
         self.history_limit = history_limit
         self.history_backend = history_backend
+        self.training_mode = training_mode
         self._keep_models = probe._keep_models
 
     def build_engine(self, observers: Sequence = ()) -> SessionEngine:
@@ -156,6 +165,7 @@ class ActiveLearningLoop:
             reseed_model=self.reseed_model,
             history_limit=self.history_limit,
             history_backend=self.history_backend,
+            training_mode=self.training_mode,
             observers=observers,
         )
 

@@ -5,10 +5,15 @@ datasets several times: ``evaluate_model`` decodes the test split,
 strategy scoring reads probabilities or marginals on the candidate pool,
 and multi-pass strategies (BALD, QBC, combined scores) revisit the same
 predictions.  :class:`PredictionCache` keys each forward pass by
-``(kind, model identity, dataset identity)`` so every pass happens once.
+``(kind, model identity, model fit generation, dataset identity)`` so
+every pass happens once.
 
 Identity is ``id()`` with the model/dataset objects pinned inside the
-cache entry, so an id cannot be recycled while its entry is alive.  That
+cache entry, so an id cannot be recycled while its entry is alive.  The
+fit generation (see :func:`repro.models.base.fit_generation`) guards
+against in-place refits: warm-started or ``set_params``-restored models
+mutate their parameters without changing identity, and the bumped
+counter makes any entry from the previous fit unreachable.  That
 pinning is also why entries must not live forever: each entry is tagged
 with the round it was inserted in, and
 :class:`~repro.core.session.SessionEngine` calls :meth:`advance_round`
@@ -36,7 +41,7 @@ from collections.abc import Callable
 import numpy as np
 
 from ..data.datasets import SequenceDataset, TextDataset
-from ..models.base import Classifier, SequenceLabeler
+from ..models.base import Classifier, SequenceLabeler, fit_generation
 
 
 class PredictionCache:
@@ -86,7 +91,7 @@ class PredictionCache:
         return len(stale)
 
     def _memo(self, kind: str, model, dataset, compute: Callable):
-        key = (kind, id(model), id(dataset))
+        key = (kind, id(model), fit_generation(model), id(dataset))
         if key in self._store:
             self.hits += 1
             return self._store[key][2]

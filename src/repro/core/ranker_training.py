@@ -29,6 +29,7 @@ import numpy as np
 from ..data.datasets import SequenceDataset, TextDataset
 from ..exceptions import ConfigurationError
 from ..ltr.lambdamart import LambdaMART, RankingDataset
+from ..models.base import supports_warm_start
 from ..rng import ensure_rng, spawn
 from ..timeseries.predictor import (
     ARNextScorePredictor,
@@ -100,6 +101,12 @@ class RankerTrainingConfig:
         Test-set subsample used for Eval(M') (None = full test set).
     feature_flags:
         Ablation switches forwarded to the extractor.
+    training_mode:
+        ``"cold"`` (default) clones and refits every model from scratch —
+        byte-identical to historical behaviour.  ``"warm"`` resumes each
+        per-round model from the previous round's parameters, and each
+        per-candidate model from the current round's model, for model
+        families that support warm starts (fewer epochs, same seeds).
     """
 
     rounds: int = 6
@@ -114,6 +121,7 @@ class RankerTrainingConfig:
     eval_size: "int | None" = None
     lambdamart: LambdaMART | None = None
     feature_flags: dict = field(default_factory=dict)
+    training_mode: str = "cold"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -127,6 +135,10 @@ class RankerTrainingConfig:
         if self.predictor not in (None, "lstm", "ar"):
             raise ConfigurationError(
                 f"predictor must be 'lstm', 'ar', or None, got {self.predictor!r}"
+            )
+        if self.training_mode not in ("cold", "warm"):
+            raise ConfigurationError(
+                f"training_mode must be 'cold' or 'warm', got {self.training_mode!r}"
             )
 
 
@@ -145,6 +157,18 @@ def _make_predictor(kind: "str | None", seed: int) -> NextScorePredictor | None:
     return None
 
 
+def _fit_round_model(model_prototype, dataset, warm_source, training_mode: str):
+    """One round's model: cold clone-and-fit, or warm resume when possible."""
+    model = model_prototype.clone()
+    if (
+        training_mode == "warm"
+        and warm_source is not None
+        and supports_warm_start(model)
+    ):
+        return model.fit(dataset, init_from=warm_source)
+    return model.fit(dataset)
+
+
 def _collect_history(
     model_prototype,
     dataset: "TextDataset | SequenceDataset",
@@ -153,16 +177,24 @@ def _collect_history(
     initial_size: int,
     batch_size: int,
     rng: np.random.Generator,
+    training_mode: str = "cold",
 ) -> HistoryStore:
     """Phase 1: run ``base`` for a few rounds just to grow sequences."""
     history = HistoryStore(len(dataset), strategy_name=base.name)
     pool = Pool(len(dataset), initial_labeled=rng.choice(
         len(dataset), size=min(initial_size, len(dataset) - 1), replace=False
     ))
+    previous = None
     for round_index in range(1, rounds + 1):
         if pool.num_unlabeled <= batch_size:
             break
-        model = model_prototype.clone().fit(dataset.subset(pool.labeled_indices))
+        model = _fit_round_model(
+            model_prototype,
+            dataset.subset(pool.labeled_indices),
+            previous,
+            training_mode,
+        )
+        previous = model
         context = SelectionContext(
             dataset=dataset,
             unlabeled=pool.unlabeled_indices,
@@ -170,6 +202,7 @@ def _collect_history(
             history=history,
             round_index=round_index,
             rng=rng,
+            training_mode=training_mode,
         )
         scores = np.asarray(base.scores(model, context), dtype=np.float64)
         history.append(round_index, context.unlabeled, scores)
@@ -229,6 +262,7 @@ def train_lhs_ranker(
             initial_size=config.initial_size,
             batch_size=max(2, config.initial_size // 2),
             rng=predictor_rng,
+            training_mode=config.training_mode,
         )
         sequences = [
             warmup.sequence(i)
@@ -279,10 +313,17 @@ def train_lhs_ranker(
     relevance: list[np.ndarray] = []
     query_ids: list[np.ndarray] = []
 
+    previous = None
     for round_index in range(1, config.rounds + 1):
         if pool.num_unlabeled < config.candidates_per_round:
             break
-        model = model_prototype.clone().fit(train_dataset.subset(pool.labeled_indices))
+        model = _fit_round_model(
+            model_prototype,
+            train_dataset.subset(pool.labeled_indices),
+            previous,
+            config.training_mode,
+        )
+        previous = model
         baseline = _evaluate(model, test_dataset, eval_indices)
         context = SelectionContext(
             dataset=train_dataset,
@@ -291,6 +332,7 @@ def train_lhs_ranker(
             history=history,
             round_index=round_index,
             rng=collect_rng,
+            training_mode=config.training_mode,
         )
         base_current = np.asarray(base.scores(model, context), dtype=np.float64)
         history.append(round_index, context.unlabeled, base_current)
@@ -313,8 +355,14 @@ def train_lhs_ranker(
         for row, position in enumerate(positions):
             candidate_index = int(context.unlabeled[position])
             augmented = np.append(pool.labeled_indices, candidate_index)
-            candidate_model = model_prototype.clone().fit(
-                train_dataset.subset(augmented)
+            # Warm mode resumes each Eval(M') fit from this round's model
+            # M — the labeled set differs by a single sample, so a short
+            # warm fit suffices to measure the candidate's delta.
+            candidate_model = _fit_round_model(
+                model_prototype,
+                train_dataset.subset(augmented),
+                model,
+                config.training_mode,
             )
             deltas[row] = _evaluate(candidate_model, test_dataset, eval_indices) - baseline
 
@@ -344,3 +392,29 @@ def train_lhs_ranker(
         base_name=base.name,
         training_rows=len(data.features),
     )
+
+
+def refresh_lhs_ranker(
+    ranker: LHSRanker,
+    data: RankingDataset,
+    n_estimators: "int | None" = None,
+) -> LHSRanker:
+    """Incrementally refresh a trained LHS ranker on newly collected history.
+
+    The warm-start counterpart of :func:`train_lhs_ranker`: instead of
+    rebuilding the LambdaMART ensemble from scratch on every new batch of
+    (candidate, delta) pairs, the existing trees are kept and
+    :meth:`~repro.ltr.lambdamart.LambdaMART.refresh` appends
+    ``n_estimators`` boosting stages (default a quarter of the ensemble
+    size) fitted against the new data.  The extractor — including its
+    fitted next-score predictor — is reused as-is, so a refresh costs a
+    handful of tree fits rather than a full Algorithm 1 pass.
+
+    Returns the same :class:`LHSRanker` with updated ``model`` and
+    ``training_rows``; ``source`` is cleared because the in-memory model
+    no longer matches the file it was loaded from.
+    """
+    ranker.model.refresh(data, n_estimators=n_estimators)
+    ranker.training_rows += len(data.features)
+    ranker.source = None
+    return ranker

@@ -23,16 +23,26 @@ externally supplied labels into the training dataset), and
 (:class:`~repro.core.events.SessionObserver`) hear about every phase.
 
 :meth:`snapshot` serialises the *complete* mid-run state — pool, history
-store, RNG bit-generator state, refit specs for the current model and
-the model-history window, records, selection order, pending proposal,
-and externally ingested labels — as a JSON-compatible dict, and
-:meth:`restore` resumes from it **between any two phases**, including
-between ``propose`` and ``ingest``.  A resumed session is byte-identical
-to an uninterrupted one: the RNG stream continues exactly where it
-stopped, and fitted models are reproduced by refitting the recorded
-(seed, labeled-set) pairs — model training in this package is
-deterministic given those, so refitting beats shipping opaque weight
-blobs and keeps snapshots plain JSON like every other artifact.
+store, RNG bit-generator state, model specs (with serialized parameter
+state) for the current model and the model-history window, records,
+selection order, pending proposal, and externally ingested labels — as a
+JSON-compatible dict, and :meth:`restore` resumes from it **between any
+two phases**, including between ``propose`` and ``ingest``.  A resumed
+session is byte-identical to an uninterrupted one: the RNG stream
+continues exactly where it stopped, and fitted models are rebuilt from
+their serialized ``get_params`` state (JSON float round trips are exact,
+so this is O(params) and bit-for-bit), falling back to refitting the
+recorded (seed, labeled-set) pair for models without parameter state —
+model training in this package is deterministic given those.
+
+``training_mode="warm"`` turns on the opt-in fast path: each round's
+model is fitted with ``init_from=<previous round's model>`` (fewer
+epochs, parameters carried forward) instead of from scratch.  The
+per-round seed draw order is unchanged, so cold mode stays byte-identical
+to historical behaviour and a warm run is deterministic given the run
+seed.  Warm provenance is recorded in every model spec, and snapshots in
+warm mode always carry serialized parameters (a cold refit could not
+reproduce a warm-started model).
 
 The per-round :class:`~repro.core.prediction_cache.PredictionCache` is
 *not* serialised: it only memoises deterministic forward passes, so a
@@ -44,6 +54,7 @@ from __future__ import annotations
 
 import enum
 import inspect
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -53,6 +64,7 @@ from ..data.datasets import SequenceDataset, TextDataset
 from ..eval.curves import LearningCurve
 from ..eval.metrics import evaluate_model
 from ..exceptions import ConfigurationError, IngestError, SessionError
+from ..models.base import supports_param_state, supports_warm_start
 from ..rng import ensure_rng, rng_from_state, rng_state
 from .events import emit
 from .history import HistoryStore
@@ -66,11 +78,18 @@ from .strategies.base import (
 
 #: Format marker of :meth:`SessionEngine.snapshot` payloads.
 SNAPSHOT_FORMAT = "repro.al_session"
-#: Version 2 embeds the resolved component specs: the snapshot config
+#: Version 2 embedded the resolved component specs: the snapshot config
 #: carries the model-prototype and strategy specs, and each per-round
 #: refit record carries the fitted model's full spec — so a snapshot
 #: alone states exactly which components produced it.
-SNAPSHOT_VERSION = 2
+#: Version 3 adds the ``training_mode`` (cold|warm) to the config and
+#: serialized parameter state (``get_params``) plus warm provenance to
+#: every model spec, so restore is O(params) and warm runs resume
+#: deterministically.
+SNAPSHOT_VERSION = 3
+
+#: Legal values of the ``training_mode`` knob.
+TRAINING_MODES = ("cold", "warm")
 
 
 def _try_model_spec(model) -> "dict | None":
@@ -130,6 +149,14 @@ class RoundRecord:
         Base-strategy evaluation scores of the selected samples, read
         back from the history store (NaN for strategies that record no
         history).
+    timings:
+        Per-phase wall-times (seconds) of the work that produced this
+        record: ``train`` / ``evaluate`` / ``propose`` plus ``ingest``
+        (label ingestion and commit of the *previous* batch; the
+        bootstrap batch lands on round 0).  ``None`` for records rebuilt
+        from a snapshot — timings are diagnostics and are deliberately
+        not serialised, so checkpoints stay byte-comparable across
+        machines.
     """
 
     round_index: int
@@ -137,6 +164,7 @@ class RoundRecord:
     metric: float
     selected: np.ndarray
     selected_scores: np.ndarray
+    timings: "dict[str, float] | None" = None
 
 
 @dataclass
@@ -158,7 +186,12 @@ class ALResult:
 
 
 def record_to_dict(record: RoundRecord) -> dict:
-    """Serialise one :class:`RoundRecord` as JSON-compatible data."""
+    """Serialise one :class:`RoundRecord` as JSON-compatible data.
+
+    ``timings`` is deliberately excluded: wall-times vary run to run,
+    and checkpoints/snapshots must stay byte-identical for the resume
+    and distributed-equivalence checks.
+    """
     return {
         "round_index": record.round_index,
         "labeled_count": record.labeled_count,
@@ -252,12 +285,17 @@ class SessionEngine:
         reseed_model: bool = True,
         history_limit: "int | None" = None,
         history_backend: str = "local",
+        training_mode: str = "cold",
         observers: Sequence = (),
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        if training_mode not in TRAINING_MODES:
+            raise ConfigurationError(
+                f"training_mode must be one of {TRAINING_MODES}, got {training_mode!r}"
+            )
         initial = batch_size if initial_size is None else initial_size
         if initial < 1:
             raise ConfigurationError(f"initial_size must be >= 1, got {initial}")
@@ -283,6 +321,7 @@ class SessionEngine:
         self.reseed_model = reseed_model
         self.history_limit = history_limit
         self.history_backend = history_backend
+        self.training_mode = training_mode
         self.observers = list(observers)
         self._metric_wants_cache = metric_accepts_cache(self.metric)
         self._keep_models = validated_model_history(strategy)
@@ -311,6 +350,9 @@ class SessionEngine:
         #: keyed by dataset index; replayed on restore so a rebuilt
         #: dataset carries the annotator's answers.
         self._ingested: dict[int, object] = {}
+        #: Wall-times accumulated since the last record was appended;
+        #: attached to the next record and reset.
+        self._pending_timings: dict[str, float] = {}
 
     # -- introspection -----------------------------------------------------
 
@@ -416,6 +458,7 @@ class SessionEngine:
             raise SessionError(
                 f"no proposal is awaiting labels (state={self._state.value!r})"
             )
+        started = time.perf_counter()
         index_array = np.asarray(list(np.atleast_1d(indices)), dtype=np.int64)
         pending = self._pending
         if index_array.ndim != 1 or len(index_array) != len(pending):
@@ -452,6 +495,7 @@ class SessionEngine:
             # All-or-nothing: write only after every label validated.
             for index, label in zip(index_array, validated):
                 self._write_label(int(index), label)
+        self._note_phase("ingest", started)
         self._state = SessionState.COMMIT
 
     def result(self) -> ALResult:
@@ -476,7 +520,19 @@ class SessionEngine:
 
     # -- phases ------------------------------------------------------------
 
+    def _note_phase(self, phase: str, started: float) -> None:
+        """Accumulate wall-time of ``phase`` since ``started`` (perf_counter)."""
+        elapsed = time.perf_counter() - started
+        self._pending_timings[phase] = self._pending_timings.get(phase, 0.0) + elapsed
+
+    def _take_timings(self) -> dict[str, float]:
+        """The accumulated phase timings, resetting the accumulator."""
+        timings = self._pending_timings
+        self._pending_timings = {}
+        return timings
+
     def _step_train(self) -> None:
+        started = time.perf_counter()
         emit(
             self.observers,
             "round_started",
@@ -495,19 +551,40 @@ class SessionEngine:
             seed = int(self._rng.integers(2**31))
             model.seed = seed
         labeled = self._pool.labeled_indices
-        model.fit(self.train_dataset.subset(labeled))
+        # Warm mode resumes from the previous round's model when the
+        # model family supports it.  Parameter state is also required so
+        # snapshots stay deterministic: a warm-started model cannot be
+        # reproduced by a cold refit, only by its serialized parameters.
+        warm_source = (
+            self._model
+            if self.training_mode == "warm"
+            and self._model is not None
+            and supports_warm_start(model)
+            and supports_param_state(model)
+            else None
+        )
+        if warm_source is not None:
+            model.fit(self.train_dataset.subset(labeled), init_from=warm_source)
+        else:
+            model.fit(self.train_dataset.subset(labeled))
         self._model = model
         # A *real* model spec (kind + hyperparams, with the per-round
-        # seed baked in) plus the labeled set: everything needed to
-        # reproduce this fitted model from data alone.
+        # seed baked in) plus the labeled set and warm provenance:
+        # everything needed to reproduce this fitted model.  The
+        # serialized parameter state is injected lazily at snapshot()
+        # time so runs that never snapshot pay nothing.
         self._model_spec = {
             "seed": seed,
             "labeled": labeled.tolist(),
             "model": _try_model_spec(model),
+            "training_mode": self.training_mode,
+            "warm": warm_source is not None,
         }
+        self._note_phase("train", started)
         self._state = SessionState.EVALUATE
 
     def _step_evaluate(self) -> None:
+        started = time.perf_counter()
         if self._metric_wants_cache:
             metric_value = self.metric(
                 self._model, self.test_dataset, cache=self._cache
@@ -520,6 +597,7 @@ class SessionEngine:
             del self._model_history[: -self._keep_models]
             self._model_history_specs.append(self._model_spec)
             del self._model_history_specs[: -self._keep_models]
+        self._note_phase("evaluate", started)
         emit(
             self.observers,
             "model_trained",
@@ -538,6 +616,7 @@ class SessionEngine:
                     metric=metric_value,
                     selected=np.empty(0, dtype=np.int64),
                     selected_scores=np.empty(0),
+                    timings=self._take_timings(),
                 )
             )
             self._state = SessionState.FINISHED
@@ -546,11 +625,13 @@ class SessionEngine:
             self._state = SessionState.PROPOSE
 
     def _step_propose(self) -> None:
+        started = time.perf_counter()
         if not self._bootstrap_done:
             initial = self._rng.choice(
                 len(self.train_dataset), size=self.initial_size, replace=False
             )
             self._pending = np.asarray(initial, dtype=np.int64)
+            self._note_phase("propose", started)
             emit(self.observers, "batch_selected", self._round_index, self._pending)
             self._state = SessionState.AWAIT_LABELS
             return
@@ -563,9 +644,11 @@ class SessionEngine:
             rng=self._rng,
             model_history=list(self._model_history),
             cache=self._cache,
+            training_mode=self.training_mode,
         )
         selected = self.strategy.select(self._model, context, self.batch_size)
         score_vector = self._history.current_scores(selected)
+        self._note_phase("propose", started)
         self._records.append(
             RoundRecord(
                 round_index=self._round_index,
@@ -573,6 +656,7 @@ class SessionEngine:
                 metric=self._metric_value,
                 selected=selected,
                 selected_scores=score_vector,
+                timings=self._take_timings(),
             )
         )
         self._selection_order.append(selected)
@@ -582,7 +666,9 @@ class SessionEngine:
         self._state = SessionState.AWAIT_LABELS
 
     def _step_commit(self) -> None:
+        started = time.perf_counter()
         self._pool.label(self._pending)
+        self._note_phase("ingest", started)
         if not self._bootstrap_done:
             self._bootstrap_done = True
             emit(self.observers, "round_committed", self._round_index, None)
@@ -648,6 +734,23 @@ class SessionEngine:
 
     # -- snapshots ---------------------------------------------------------
 
+    def _spec_with_state(self, spec: "dict | None", model) -> "dict | None":
+        """A snapshot payload of ``spec`` carrying serialized parameters.
+
+        Parameter state is serialized lazily — here, not at train time —
+        so runs that never snapshot pay nothing.  Specs restored from an
+        older snapshot already carry ``params`` and pass through; models
+        without parameter state keep the refit-based spec.
+        """
+        if spec is None:
+            return None
+        if "params" in spec:
+            return spec
+        payload = dict(spec)
+        if model is not None and supports_param_state(model):
+            payload["params"] = model.get_params()
+        return payload
+
     def snapshot(self) -> dict:
         """The complete mid-run state as a JSON-compatible dict.
 
@@ -655,6 +758,19 @@ class SessionEngine:
         byte-identical continuation.  Components (model prototype,
         strategy, datasets, metric) are fingerprinted, not serialised.
         """
+        history_payloads = [
+            self._spec_with_state(spec, model)
+            for spec, model in zip(self._model_history_specs, self._model_history)
+        ]
+        if (
+            self._model_history_specs
+            and self._model_spec is self._model_history_specs[-1]
+        ):
+            # The current model is the last history entry; reuse its
+            # payload instead of serializing the parameters twice.
+            model_payload = history_payloads[-1]
+        else:
+            model_payload = self._spec_with_state(self._model_spec, self._model)
         return {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
@@ -672,6 +788,7 @@ class SessionEngine:
                 # Informational: backends are result-neutral, so restore
                 # accepts a snapshot regardless of which one wrote it.
                 "history_backend": self.history_backend,
+                "training_mode": self.training_mode,
                 "capabilities": strategy_capabilities(self.strategy),
                 "default_metric": self.metric is evaluate_model,
             },
@@ -687,8 +804,8 @@ class SessionEngine:
             ],
             "pending": None if self._pending is None else self._pending.tolist(),
             "metric_value": self._metric_value,
-            "model": self._model_spec,
-            "model_history": list(self._model_history_specs),
+            "model": model_payload,
+            "model_history": history_payloads,
             "ingested": [[index, label] for index, label in self._ingested.items()],
             # Informational: the cache itself is rebuilt, not serialised.
             "cache": {"round": self._round_index, "entries": len(self._cache)},
@@ -714,9 +831,12 @@ class SessionEngine:
 
         The components must be configured identically to the originals
         (the snapshot fingerprints strategy name, dataset sizes, and
-        loop shape and rejects mismatches); fitted models are reproduced
-        by refitting their recorded (seed, labeled-set) specs, and
-        externally ingested labels are replayed into ``train_dataset``.
+        loop shape and rejects mismatches); fitted models are rebuilt
+        from their serialized parameter state (O(params), bit-for-bit),
+        falling back to refitting the recorded (seed, labeled-set) spec
+        for models without ``set_params``, and externally ingested
+        labels are replayed into ``train_dataset``.  The recorded
+        ``training_mode`` is resumed as-is.
 
         Raises
         ------
@@ -789,6 +909,7 @@ class SessionEngine:
                 if history_backend is None
                 else history_backend
             ),
+            training_mode=str(config.get("training_mode", "cold")),
             observers=observers,
         )
         engine._state = SessionState(snapshot["state"])
@@ -813,7 +934,7 @@ class SessionEngine:
         engine._model_spec = snapshot["model"]
         engine._model_history_specs = [dict(s) for s in snapshot["model_history"]]
         engine._model_history = [
-            engine._refit(spec) for spec in engine._model_history_specs
+            engine._rebuild_model(spec) for spec in engine._model_history_specs
         ]
         if engine._state in (
             SessionState.EVALUATE,
@@ -821,21 +942,41 @@ class SessionEngine:
             SessionState.FINISHED,
         ):
             # Only these phases still read the current model; elsewhere the
-            # next TRAIN replaces it anyway, so skip the refit cost.
+            # next TRAIN replaces it anyway, so skip the rebuild cost.
             if (
                 engine._model_history_specs
                 and engine._model_spec == engine._model_history_specs[-1]
             ):
                 engine._model = engine._model_history[-1]
             elif engine._model_spec is not None:
-                engine._model = engine._refit(engine._model_spec)
+                engine._model = engine._rebuild_model(engine._model_spec)
+        elif engine.training_mode == "warm" and engine._model_spec is not None:
+            # States headed back into TRAIN (train/await/commit) skip the
+            # rebuild in cold mode because the next fit replaces the
+            # model anyway — but a warm TRAIN needs the previous round's
+            # model as init_from, and leaving it None would silently
+            # degrade to a cold fit and break byte-identical resume.
+            engine._model = engine._rebuild_model(engine._model_spec)
         return engine
 
-    def _refit(self, spec: dict):
-        """Reproduce a fitted model from its (seed, labeled-set) spec."""
+    def _rebuild_model(self, spec: dict):
+        """Reproduce a fitted model from its snapshot spec.
+
+        Prefers the serialized parameter state (``set_params`` — exact
+        float round trip, O(params)); falls back to refitting the
+        recorded (seed, labeled-set) pair for models without it.
+        """
         model = self.model_prototype.clone()
         if spec["seed"] is not None:
             model.seed = int(spec["seed"])
+        state = spec.get("params")
+        if state is not None and supports_param_state(model):
+            return model.set_params(state)
+        if spec.get("warm"):
+            raise SessionError(
+                "snapshot records a warm-started model but carries no "
+                "serialized parameters the supplied prototype can restore"
+            )
         return model.fit(self.train_dataset.subset(np.asarray(spec["labeled"], dtype=np.int64)))
 
     def __repr__(self) -> str:

@@ -52,6 +52,11 @@ class SelectionContext:
     model_history:
         Recently fitted models, oldest first, most recent last (only
         populated when the strategy requests it).
+    training_mode:
+        The engine's training mode (``"cold"`` or ``"warm"``).  Strategies
+        that train auxiliary models (QBC committees) may mirror the warm
+        fast path when it is ``"warm"``; ``"cold"`` keeps historical
+        behaviour bit for bit.
     """
 
     dataset: "TextDataset | SequenceDataset"
@@ -61,6 +66,7 @@ class SelectionContext:
     round_index: int
     rng: np.random.Generator
     model_history: list = field(default_factory=list)
+    training_mode: str = "cold"
     #: Shared per-round forward-pass cache; the loop passes its own so
     #: strategy scoring and metric evaluation reuse predictions.  A
     #: stand-alone context (tests, diagnostics) gets a private one.

@@ -163,6 +163,10 @@ class CheckpointStore:
             "initial_size": config.initial_size,
             "repeats": config.repeats,
             "seed": config.seed,
+            # Part of the fingerprint (unlike history_backend below):
+            # warm runs follow a different optimisation trajectory, so a
+            # cold checkpoint must not satisfy a warm run or vice versa.
+            "training_mode": config.training_mode,
         }
         # Recorded in every payload for provenance, but deliberately NOT
         # part of the fingerprint: history backends are result-neutral

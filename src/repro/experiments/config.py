@@ -30,6 +30,13 @@ class ExperimentConfig:
         are result-neutral — runs are byte-identical across them — so
         this is a deployment knob, not part of the experiment's
         identity.
+    training_mode:
+        ``"cold"`` (default) refits every round's model from scratch —
+        byte-identical to historical behaviour.  ``"warm"`` resumes each
+        round's fit from the previous round's parameters for model
+        families that support it.  Unlike ``history_backend`` this *is*
+        part of the experiment's identity: warm runs follow a different
+        (faster) optimisation trajectory.
     """
 
     batch_size: int = 25
@@ -38,10 +45,17 @@ class ExperimentConfig:
     repeats: int = 3
     seed: int = 7
     history_backend: str = "local"
+    training_mode: str = "cold"
 
     def __post_init__(self) -> None:
         from ..core.history import HISTORY_BACKENDS
+        from ..core.session import TRAINING_MODES
 
+        if self.training_mode not in TRAINING_MODES:
+            raise ConfigurationError(
+                f"training_mode must be one of {TRAINING_MODES}, "
+                f"got {self.training_mode!r}"
+            )
         if self.batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.rounds < 1:

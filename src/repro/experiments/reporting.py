@@ -67,6 +67,43 @@ def format_curve_table(
     return format_table(headers, rows, title=title)
 
 
+def format_phase_times(
+    phase_totals: "Mapping[str, Mapping[str, float]]",
+    title: str = "",
+) -> str:
+    """Per-strategy wall-time totals of the engine's phases.
+
+    ``phase_totals`` maps strategy name to accumulated seconds per phase
+    (``train`` / ``evaluate`` / ``propose`` / ``ingest``), as summed from
+    the per-round :attr:`~repro.core.session.RoundRecord.timings`.
+    Strategies without timing data (snapshot-restored rounds) are the
+    caller's responsibility to drop.
+    """
+    if not phase_totals:
+        raise ConfigurationError("no phase timings to format")
+    phases = ["train", "evaluate", "propose", "ingest"]
+    headers = ["strategy"] + [f"{p} (s)" for p in phases] + ["total (s)"]
+    rows = []
+    for name, totals in phase_totals.items():
+        per_phase = [float(totals.get(p, 0.0)) for p in phases]
+        rows.append([name] + per_phase + [sum(per_phase)])
+    return format_table(headers, rows, title=title)
+
+
+def accumulate_phase_times(records: Sequence) -> "dict[str, float] | None":
+    """Sum one run's per-round phase timings; ``None`` if none recorded."""
+    totals: dict[str, float] = {}
+    seen = False
+    for record in records:
+        timings = getattr(record, "timings", None)
+        if not timings:
+            continue
+        seen = True
+        for phase, seconds in timings.items():
+            totals[phase] = totals.get(phase, 0.0) + float(seconds)
+    return totals if seen else None
+
+
 def format_target_table(
     curves: "Mapping[str, LearningCurve]",
     targets: Sequence[float],

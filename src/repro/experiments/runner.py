@@ -310,6 +310,7 @@ def _run_cell(
             metric=metric,
             seed_or_rng=int(seed),
             history_backend=config.history_backend,
+            training_mode=config.training_mode,
         )
     on_round_committed = None
     if store is not None:

@@ -185,25 +185,57 @@ class LambdaMART:
         self.ndcg_k = ndcg_k
         self._trees: list[RegressionTree] = []
 
+    def _boost_round(
+        self, data: RankingDataset, groups: list[np.ndarray], scores: np.ndarray
+    ) -> None:
+        """Fit one tree against LambdaRank gradients and advance ``scores``."""
+        lambdas = np.zeros_like(scores)
+        hessians = np.zeros_like(scores)
+        for rows in groups:
+            g, h = _lambda_gradients(
+                scores[rows], data.relevance[rows], self.sigma, self.ndcg_k
+            )
+            lambdas[rows] = g
+            hessians[rows] = h
+        tree = RegressionTree(
+            max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+        ).fit(data.features, lambdas, hessians=hessians)
+        scores += self.learning_rate * tree.predict(data.features)
+        self._trees.append(tree)
+
     def fit(self, data: RankingDataset) -> "LambdaMART":
         """Boost trees against LambdaRank gradients on ``data``."""
         groups = data.groups()
         scores = np.zeros(len(data.features))
         self._trees = []
         for _ in range(self.n_estimators):
-            lambdas = np.zeros_like(scores)
-            hessians = np.zeros_like(scores)
-            for rows in groups:
-                g, h = _lambda_gradients(
-                    scores[rows], data.relevance[rows], self.sigma, self.ndcg_k
-                )
-                lambdas[rows] = g
-                hessians[rows] = h
-            tree = RegressionTree(
-                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
-            ).fit(data.features, lambdas, hessians=hessians)
-            scores += self.learning_rate * tree.predict(data.features)
-            self._trees.append(tree)
+            self._boost_round(data, groups, scores)
+        return self
+
+    def refresh(
+        self, data: RankingDataset, n_estimators: int | None = None
+    ) -> "LambdaMART":
+        """Append boosting stages on ``data`` without rebuilding the ensemble.
+
+        The incremental path of the warm-start layer: the existing trees
+        are kept, current ensemble scores on ``data`` seed the gradients,
+        and ``n_estimators`` new trees (default ``self.n_estimators // 4``,
+        at least 1) are boosted on top.  Falls back to a full :meth:`fit`
+        when the ranker has never been fitted.
+        """
+        if not self._trees:
+            return self.fit(data)
+        if n_estimators is not None and n_estimators < 1:
+            raise ConfigurationError(
+                f"n_estimators must be >= 1, got {n_estimators}"
+            )
+        rounds = (
+            n_estimators if n_estimators is not None else max(1, self.n_estimators // 4)
+        )
+        groups = data.groups()
+        scores = self.predict(data.features)
+        for _ in range(rounds):
+            self._boost_round(data, groups, scores)
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:

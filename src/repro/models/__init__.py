@@ -19,9 +19,12 @@ equivalents from scratch in numpy:
 from .base import (
     Classifier,
     SequenceLabeler,
+    fit_generation,
     supports_embedding_gradients,
     supports_gradient_lengths,
+    supports_param_state,
     supports_stochastic_predictions,
+    supports_warm_start,
 )
 from .bilstm_crf import BiLSTMCRF
 from .crf import LinearChainCRF
@@ -40,9 +43,12 @@ __all__ = [
     "MLPClassifier",
     "SequenceLabeler",
     "TextCNN",
+    "fit_generation",
     "pretrained_for_dataset",
     "structured_embeddings",
     "supports_embedding_gradients",
     "supports_gradient_lengths",
+    "supports_param_state",
     "supports_stochastic_predictions",
+    "supports_warm_start",
 ]

@@ -10,10 +10,27 @@ Optional capabilities (expected gradient lengths for EGL, embedding
 gradients for EGL-word, stochastic predictions for BALD) are discovered
 with the ``supports_*`` helpers so strategies can fail fast with a clear
 error when paired with an incapable model.
+
+Two further capabilities power the warm-start training layer:
+
+* ``fit(dataset, init_from=prev_model)`` — models that accept an
+  ``init_from`` keyword resume from the previous round's parameters and
+  train :func:`resolve_warm_epochs` epochs instead of a full cold fit.
+  Probe with :func:`supports_warm_start`.  ``init_from=None`` must remain
+  byte-identical to the historical cold fit (same RNG draw order).
+* ``get_params()`` / ``set_params(state)`` — a pure-JSON round trip of
+  the fitted parameter state, so snapshot restore is O(params) instead
+  of O(retrain).  Probe with :func:`supports_param_state`.
+
+Every fit (cold or warm) and every ``set_params`` bumps a monotonically
+increasing ``_fit_generation`` counter (see :func:`fit_generation`); the
+prediction cache keys on it so a model refitted in place can never serve
+stale forward passes.
 """
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -66,6 +83,14 @@ class Classifier(ABC):
         """Return ``(n_samples, n, num_classes)`` MC-dropout probability draws."""
         raise NotImplementedError(f"{type(self).__name__} does not support MC sampling")
 
+    def get_params(self) -> dict:
+        """Return the fitted parameter state as a pure-JSON document."""
+        raise NotImplementedError(f"{type(self).__name__} does not support get_params")
+
+    def set_params(self, state: dict) -> "Classifier":
+        """Restore the state produced by :meth:`get_params` and return ``self``."""
+        raise NotImplementedError(f"{type(self).__name__} does not support set_params")
+
 
 class SequenceLabeler(ABC):
     """A trainable sequence tagger with probabilistic outputs."""
@@ -96,6 +121,14 @@ class SequenceLabeler(ABC):
         """Return per-sentence ``(n_samples, length, num_tags)`` stochastic marginals."""
         raise NotImplementedError(f"{type(self).__name__} does not support MC sampling")
 
+    def get_params(self) -> dict:
+        """Return the fitted parameter state as a pure-JSON document."""
+        raise NotImplementedError(f"{type(self).__name__} does not support get_params")
+
+    def set_params(self, state: dict) -> "SequenceLabeler":
+        """Restore the state produced by :meth:`get_params` and return ``self``."""
+        raise NotImplementedError(f"{type(self).__name__} does not support set_params")
+
 
 def supports_gradient_lengths(model: object) -> bool:
     """Whether ``model`` overrides :meth:`Classifier.expected_gradient_lengths`."""
@@ -119,3 +152,61 @@ def supports_stochastic_predictions(model: object) -> bool:
             type(model).token_marginal_samples is not SequenceLabeler.token_marginal_samples
         )
     return False
+
+
+def supports_warm_start(model: object) -> bool:
+    """Whether ``model.fit`` accepts an ``init_from`` previous model."""
+    fit = getattr(type(model), "fit", None)
+    if fit is None:
+        return False
+    try:
+        signature = inspect.signature(fit)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    return "init_from" in signature.parameters
+
+
+def supports_param_state(model: object) -> bool:
+    """Whether ``model`` implements the ``get_params``/``set_params`` round trip."""
+    if isinstance(model, Classifier):
+        return (
+            type(model).get_params is not Classifier.get_params
+            and type(model).set_params is not Classifier.set_params
+        )
+    if isinstance(model, SequenceLabeler):
+        return (
+            type(model).get_params is not SequenceLabeler.get_params
+            and type(model).set_params is not SequenceLabeler.set_params
+        )
+    return callable(getattr(model, "get_params", None)) and callable(
+        getattr(model, "set_params", None)
+    )
+
+
+def fit_generation(model: object) -> int:
+    """Monotonic fit counter; 0 for a model that has never been fitted."""
+    return int(getattr(model, "_fit_generation", 0))
+
+
+def bump_fit_generation(model: object) -> None:
+    """Advance ``model``'s fit generation (call at the end of fit/set_params)."""
+    model._fit_generation = fit_generation(model) + 1
+
+
+def resolve_warm_epochs(epochs: int, warm_epochs: "int | None") -> int:
+    """Epoch budget for a warm fit: explicit override or ``epochs // 4``."""
+    if warm_epochs is not None:
+        return int(warm_epochs)
+    return max(1, int(epochs) // 4)
+
+
+def params_to_jsonable(arrays: "dict[str, np.ndarray]") -> dict:
+    """Serialize named float arrays to nested lists (exact ``repr`` round trip)."""
+    return {name: np.asarray(value).tolist() for name, value in arrays.items()}
+
+
+def params_from_jsonable(payload: dict) -> "dict[str, np.ndarray]":
+    """Rebuild float64 arrays from :func:`params_to_jsonable` output."""
+    return {
+        name: np.asarray(value, dtype=np.float64) for name, value in payload.items()
+    }

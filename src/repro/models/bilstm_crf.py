@@ -20,7 +20,13 @@ import numpy as np
 from ..data.datasets import SequenceDataset
 from ..exceptions import ConfigurationError, NotFittedError
 from ..rng import ensure_rng
-from .base import SequenceLabeler
+from .base import (
+    SequenceLabeler,
+    bump_fit_generation,
+    params_from_jsonable,
+    params_to_jsonable,
+    resolve_warm_epochs,
+)
 from .batching import length_buckets
 from .crf_core import (
     crf_decode_buckets,
@@ -152,6 +158,7 @@ class BiLSTMCRF(SequenceLabeler):
         l2: float = 1e-4,
         seed: int = 0,
         embedding_matrix: np.ndarray | None = None,
+        warm_epochs: "int | None" = None,
     ) -> None:
         if hidden_dim < 1 or embedding_dim < 1:
             raise ConfigurationError("embedding_dim and hidden_dim must be >= 1")
@@ -159,6 +166,8 @@ class BiLSTMCRF(SequenceLabeler):
             raise ConfigurationError(f"dropout must be in [0, 1), got {dropout}")
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if warm_epochs is not None and warm_epochs <= 0:
+            raise ConfigurationError(f"warm_epochs must be positive, got {warm_epochs}")
         self.embedding_dim = embedding_dim
         self.hidden_dim = hidden_dim
         self.dropout = dropout
@@ -167,6 +176,7 @@ class BiLSTMCRF(SequenceLabeler):
         self.batch_size = batch_size
         self.l2 = l2
         self.seed = seed
+        self.warm_epochs = warm_epochs
         self._initial_embedding = embedding_matrix
         self._params: dict[str, np.ndarray] | None = None
         self._num_tags: int | None = None
@@ -235,15 +245,38 @@ class BiLSTMCRF(SequenceLabeler):
 
     # -- training --------------------------------------------------------------
 
-    def fit(self, dataset: SequenceDataset) -> "BiLSTMCRF":
+    def fit(
+        self, dataset: SequenceDataset, init_from: "BiLSTMCRF | None" = None
+    ) -> "BiLSTMCRF":
         if not len(dataset):
             raise ConfigurationError("cannot fit on an empty dataset")
         rng = ensure_rng(self.seed)
-        self._init_params(dataset, rng)
+        if init_from is None:
+            epochs = self.epochs
+            self._init_params(dataset, rng)
+        else:
+            epochs = resolve_warm_epochs(self.epochs, self.warm_epochs)
+            if not isinstance(init_from, BiLSTMCRF):
+                raise ConfigurationError(
+                    f"cannot warm-start BiLSTMCRF from {type(init_from).__name__}"
+                )
+            previous = init_from._require_fitted()
+            if previous["E"].shape[0] != len(dataset.vocab) or previous[
+                "Wo"
+            ].shape[1] != dataset.num_tags:
+                raise ConfigurationError(
+                    "warm-start shape mismatch: previous BiLSTMCRF does not "
+                    f"match (vocab={len(dataset.vocab)}, "
+                    f"tags={dataset.num_tags})"
+                )
+            self._params = {name: value.copy() for name, value in previous.items()}
+            self._num_tags = dataset.num_tags
+            if self._initial_embedding is None:
+                self._initial_embedding = init_from._initial_embedding
         params = self._params
         optimizer = Adam(learning_rate=self.learning_rate)
         hidden = self.hidden_dim
-        for _ in range(self.epochs):
+        for _ in range(epochs):
             for batch in minibatches(len(dataset), self.batch_size, rng):
                 grads = {name: np.zeros_like(v) for name, v in params.items()}
                 for index in batch:
@@ -264,6 +297,7 @@ class BiLSTMCRF(SequenceLabeler):
                 for name in ("Wxf", "Whf", "Wxb", "Whb", "Wo"):
                     grads[name] += self.l2 * params[name]
                 optimizer.update(params, grads)
+        bump_fit_generation(self)
         return self
 
     def _backprop(
@@ -302,7 +336,25 @@ class BiLSTMCRF(SequenceLabeler):
             l2=self.l2,
             seed=self.seed,
             embedding_matrix=self._initial_embedding,
+            warm_epochs=self.warm_epochs,
         )
+
+    # -- parameter state -----------------------------------------------------------
+
+    def get_params(self) -> dict:
+        params = self._require_fitted()
+        return {
+            "arrays": params_to_jsonable(params),
+            "meta": {"num_tags": int(self._num_tags)},
+        }
+
+    def set_params(self, state: dict) -> "BiLSTMCRF":
+        self._params = params_from_jsonable(state["arrays"])
+        self._num_tags = int(state["meta"]["num_tags"])
+        if self._initial_embedding is None:
+            self._initial_embedding = self._params["E"].copy()
+        bump_fit_generation(self)
+        return self
 
     # -- inference ------------------------------------------------------------------
 

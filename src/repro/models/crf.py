@@ -22,7 +22,13 @@ import numpy as np
 from ..data.datasets import SequenceDataset
 from ..exceptions import ConfigurationError, NotFittedError
 from ..rng import ensure_rng
-from .base import SequenceLabeler
+from .base import (
+    SequenceLabeler,
+    bump_fit_generation,
+    params_from_jsonable,
+    params_to_jsonable,
+    resolve_warm_epochs,
+)
 from .batching import length_buckets
 from .crf_core import (
     crf_decode_buckets,
@@ -69,6 +75,7 @@ class LinearChainCRF(SequenceLabeler):
         batch_size: int = 16,
         feature_dropout: float = 0.25,
         seed: int = 0,
+        warm_epochs: "int | None" = None,
     ) -> None:
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
@@ -76,12 +83,15 @@ class LinearChainCRF(SequenceLabeler):
             raise ConfigurationError(
                 f"feature_dropout must be in [0, 1), got {feature_dropout}"
             )
+        if warm_epochs is not None and warm_epochs <= 0:
+            raise ConfigurationError(f"warm_epochs must be positive, got {warm_epochs}")
         self.epochs = epochs
         self.learning_rate = learning_rate
         self.l2 = l2
         self.batch_size = batch_size
         self.feature_dropout = feature_dropout
         self.seed = seed
+        self.warm_epochs = warm_epochs
         self._params: dict[str, np.ndarray] | None = None
         self._num_tags: int | None = None
 
@@ -163,24 +173,42 @@ class LinearChainCRF(SequenceLabeler):
 
     # -- training --------------------------------------------------------------
 
-    def fit(self, dataset: SequenceDataset) -> "LinearChainCRF":
+    def fit(
+        self, dataset: SequenceDataset, init_from: "LinearChainCRF | None" = None
+    ) -> "LinearChainCRF":
         if not len(dataset):
             raise ConfigurationError("cannot fit on an empty dataset")
         rng = ensure_rng(self.seed)
         vocab_size = len(dataset.vocab)
         num_tags = dataset.num_tags
         self._num_tags = num_tags
-        self._params = {
-            "U_curr": np.zeros((vocab_size, num_tags)),
-            "U_prev": np.zeros((vocab_size, num_tags)),
-            "U_next": np.zeros((vocab_size, num_tags)),
-            "b": np.zeros(num_tags),
-            "A": np.zeros((num_tags, num_tags)),
-            "start": np.zeros(num_tags),
-            "end": np.zeros(num_tags),
-        }
+        if init_from is None:
+            epochs = self.epochs
+            self._params = {
+                "U_curr": np.zeros((vocab_size, num_tags)),
+                "U_prev": np.zeros((vocab_size, num_tags)),
+                "U_next": np.zeros((vocab_size, num_tags)),
+                "b": np.zeros(num_tags),
+                "A": np.zeros((num_tags, num_tags)),
+                "start": np.zeros(num_tags),
+                "end": np.zeros(num_tags),
+            }
+        else:
+            epochs = resolve_warm_epochs(self.epochs, self.warm_epochs)
+            if not isinstance(init_from, LinearChainCRF):
+                raise ConfigurationError(
+                    f"cannot warm-start LinearChainCRF from {type(init_from).__name__}"
+                )
+            previous = init_from._require_fitted()
+            if previous["U_curr"].shape != (vocab_size, num_tags):
+                raise ConfigurationError(
+                    "warm-start shape mismatch: previous CRF is "
+                    f"{previous['U_curr'].shape}, dataset needs "
+                    f"{(vocab_size, num_tags)}"
+                )
+            self._params = {name: value.copy() for name, value in previous.items()}
         optimizer = Adam(learning_rate=self.learning_rate)
-        for _ in range(self.epochs):
+        for _ in range(epochs):
             for batch in minibatches(len(dataset), self.batch_size, rng):
                 grads = {name: np.zeros_like(v) for name, v in self._params.items()}
                 for index in batch:
@@ -193,6 +221,7 @@ class LinearChainCRF(SequenceLabeler):
                 for name, value in self._params.items():
                     grads[name] += self.l2 * value
                 optimizer.update(self._params, grads)
+        bump_fit_generation(self)
         return self
 
     def _accumulate_sentence_grads(
@@ -227,7 +256,23 @@ class LinearChainCRF(SequenceLabeler):
             batch_size=self.batch_size,
             feature_dropout=self.feature_dropout,
             seed=self.seed,
+            warm_epochs=self.warm_epochs,
         )
+
+    # -- parameter state ----------------------------------------------------------
+
+    def get_params(self) -> dict:
+        params = self._require_fitted()
+        return {
+            "arrays": params_to_jsonable(params),
+            "meta": {"num_tags": int(self._num_tags)},
+        }
+
+    def set_params(self, state: dict) -> "LinearChainCRF":
+        self._params = params_from_jsonable(state["arrays"])
+        self._num_tags = int(state["meta"]["num_tags"])
+        bump_fit_generation(self)
+        return self
 
     # -- inference ----------------------------------------------------------------
 

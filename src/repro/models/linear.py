@@ -14,7 +14,13 @@ import numpy as np
 from ..data.datasets import TextDataset
 from ..exceptions import ConfigurationError, NotFittedError
 from ..rng import ensure_rng
-from .base import Classifier
+from .base import (
+    Classifier,
+    bump_fit_generation,
+    params_from_jsonable,
+    params_to_jsonable,
+    resolve_warm_epochs,
+)
 from .layers import Adam, minibatches, one_hot, softmax
 
 
@@ -34,6 +40,9 @@ class LinearSoftmax(Classifier):
     seed:
         Seed for parameter init and batch shuffling; :meth:`fit` always
         restarts from the same init, so refits are deterministic.
+    warm_epochs:
+        Epoch budget when :meth:`fit` is given ``init_from``; defaults to
+        ``epochs // 4`` (at least 1).
     """
 
     def __init__(
@@ -43,23 +52,29 @@ class LinearSoftmax(Classifier):
         l2: float = 1e-4,
         batch_size: int = 64,
         seed: int = 0,
+        warm_epochs: "int | None" = None,
     ) -> None:
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive, got {epochs}")
         if l2 < 0:
             raise ConfigurationError(f"l2 must be non-negative, got {l2}")
+        if warm_epochs is not None and warm_epochs <= 0:
+            raise ConfigurationError(f"warm_epochs must be positive, got {warm_epochs}")
         self.epochs = epochs
         self.learning_rate = learning_rate
         self.l2 = l2
         self.batch_size = batch_size
         self.seed = seed
+        self.warm_epochs = warm_epochs
         self._weights: np.ndarray | None = None  # (V, C)
         self._bias: np.ndarray | None = None  # (C,)
         self._num_classes: int | None = None
 
     # -- training ---------------------------------------------------------
 
-    def fit(self, dataset: TextDataset) -> "LinearSoftmax":
+    def fit(
+        self, dataset: TextDataset, init_from: "LinearSoftmax | None" = None
+    ) -> "LinearSoftmax":
         if not len(dataset):
             raise ConfigurationError("cannot fit on an empty dataset")
         rng = ensure_rng(self.seed)
@@ -67,11 +82,27 @@ class LinearSoftmax(Classifier):
         targets = one_hot(dataset.labels, dataset.num_classes)
         vocab_size = features.shape[1]
         self._num_classes = dataset.num_classes
-        self._weights = np.zeros((vocab_size, dataset.num_classes))
-        self._bias = np.zeros(dataset.num_classes)
+        if init_from is None:
+            epochs = self.epochs
+            self._weights = np.zeros((vocab_size, dataset.num_classes))
+            self._bias = np.zeros(dataset.num_classes)
+        else:
+            epochs = resolve_warm_epochs(self.epochs, self.warm_epochs)
+            if not isinstance(init_from, LinearSoftmax):
+                raise ConfigurationError(
+                    f"cannot warm-start LinearSoftmax from {type(init_from).__name__}"
+                )
+            weights, bias = init_from._require_fitted()
+            if weights.shape != (vocab_size, dataset.num_classes):
+                raise ConfigurationError(
+                    f"warm-start shape mismatch: previous model is {weights.shape}, "
+                    f"dataset needs {(vocab_size, dataset.num_classes)}"
+                )
+            self._weights = weights.copy()
+            self._bias = bias.copy()
         optimizer = Adam(learning_rate=self.learning_rate)
         params = {"W": self._weights, "b": self._bias}
-        for _ in range(self.epochs):
+        for _ in range(epochs):
             for batch in minibatches(len(dataset), self.batch_size, rng):
                 x = features[batch]
                 probabilities = softmax(x @ self._weights + self._bias)
@@ -81,6 +112,7 @@ class LinearSoftmax(Classifier):
                     "b": delta.sum(axis=0),
                 }
                 optimizer.update(params, grads)
+        bump_fit_generation(self)
         return self
 
     def clone(self) -> "LinearSoftmax":
@@ -90,7 +122,25 @@ class LinearSoftmax(Classifier):
             l2=self.l2,
             batch_size=self.batch_size,
             seed=self.seed,
+            warm_epochs=self.warm_epochs,
         )
+
+    # -- parameter state --------------------------------------------------
+
+    def get_params(self) -> dict:
+        weights, bias = self._require_fitted()
+        return {
+            "arrays": params_to_jsonable({"W": weights, "b": bias}),
+            "meta": {"num_classes": int(self._num_classes)},
+        }
+
+    def set_params(self, state: dict) -> "LinearSoftmax":
+        arrays = params_from_jsonable(state["arrays"])
+        self._weights = arrays["W"]
+        self._bias = arrays["b"]
+        self._num_classes = int(state["meta"]["num_classes"])
+        bump_fit_generation(self)
+        return self
 
     # -- inference --------------------------------------------------------
 

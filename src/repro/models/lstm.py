@@ -27,6 +27,12 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError
 from ..rng import ensure_rng
+from .base import (
+    bump_fit_generation,
+    params_from_jsonable,
+    params_to_jsonable,
+    resolve_warm_epochs,
+)
 from .batching import pad_sequences
 from .layers import Adam, glorot_init, sigmoid
 
@@ -54,15 +60,19 @@ class LSTMRegressor:
         epochs: int = 60,
         learning_rate: float = 0.02,
         seed: int = 0,
+        warm_epochs: "int | None" = None,
     ) -> None:
         if hidden_dim < 1:
             raise ConfigurationError(f"hidden_dim must be >= 1, got {hidden_dim}")
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if warm_epochs is not None and warm_epochs <= 0:
+            raise ConfigurationError(f"warm_epochs must be positive, got {warm_epochs}")
         self.hidden_dim = hidden_dim
         self.epochs = epochs
         self.learning_rate = learning_rate
         self.seed = seed
+        self.warm_epochs = warm_epochs
         self._params: dict[str, np.ndarray] | None = None
 
     # -- parameter layout: gates stacked [i, f, g, o] -----------------------
@@ -243,9 +253,17 @@ class LSTMRegressor:
     # -- public API ----------------------------------------------------------
 
     def fit(
-        self, sequences: Sequence[np.ndarray], targets: Sequence[float]
+        self,
+        sequences: Sequence[np.ndarray],
+        targets: Sequence[float],
+        init_from: "LSTMRegressor | None" = None,
     ) -> "LSTMRegressor":
         """Train on (sequence, next value) pairs with batched BPTT.
+
+        When ``init_from`` is a fitted regressor with the same
+        ``hidden_dim``, training resumes from its parameters for
+        ``warm_epochs`` (default ``epochs // 4``) instead of a full cold
+        fit.
 
         Raises
         ------
@@ -256,10 +274,28 @@ class LSTMRegressor:
         arrays, target_array = self._validate_fit_inputs(sequences, targets)
         values, lengths = pad_sequences(arrays)
         rng = ensure_rng(self.seed)
-        params = self._init_params(rng)
+        if init_from is None:
+            epochs = self.epochs
+            params = self._init_params(rng)
+        else:
+            epochs = resolve_warm_epochs(self.epochs, self.warm_epochs)
+            if not isinstance(init_from, LSTMRegressor):
+                raise ConfigurationError(
+                    f"cannot warm-start LSTMRegressor from {type(init_from).__name__}"
+                )
+            if init_from._params is None:
+                raise NotFittedError("init_from LSTMRegressor is unfitted")
+            if init_from.hidden_dim != self.hidden_dim:
+                raise ConfigurationError(
+                    f"warm-start hidden_dim mismatch: {init_from.hidden_dim} "
+                    f"vs {self.hidden_dim}"
+                )
+            params = {
+                name: value.copy() for name, value in init_from._params.items()
+            }
         optimizer = Adam(learning_rate=self.learning_rate)
         n = len(arrays)
-        for _ in range(self.epochs):
+        for _ in range(epochs):
             grads = {name: np.zeros_like(value) for name, value in params.items()}
             h_last, caches = self._forward_batch(
                 params, values, lengths, want_caches=True
@@ -272,6 +308,29 @@ class LSTMRegressor:
             self._bptt_batch(params, caches, dh_last, lengths, grads)
             optimizer.update(params, grads)
         self._params = params
+        bump_fit_generation(self)
+        return self
+
+    def clone(self) -> "LSTMRegressor":
+        """Return an unfitted copy with the same hyper-parameters."""
+        return LSTMRegressor(
+            hidden_dim=self.hidden_dim,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            seed=self.seed,
+            warm_epochs=self.warm_epochs,
+        )
+
+    def get_params(self) -> dict:
+        """The fitted parameter state as a pure-JSON document."""
+        if self._params is None:
+            raise NotFittedError("LSTMRegressor used before fit()")
+        return {"arrays": params_to_jsonable(self._params), "meta": {}}
+
+    def set_params(self, state: dict) -> "LSTMRegressor":
+        """Restore the state produced by :meth:`get_params`."""
+        self._params = params_from_jsonable(state["arrays"])
+        bump_fit_generation(self)
         return self
 
     def _fit_reference(
@@ -294,6 +353,7 @@ class LSTMRegressor:
                 self._bptt(params, caches, derr * params["Wy"][:, 0], grads)
             optimizer.update(params, grads)
         self._params = params
+        bump_fit_generation(self)
         return self
 
     def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:

@@ -15,7 +15,13 @@ import numpy as np
 from ..data.datasets import TextDataset
 from ..exceptions import ConfigurationError, NotFittedError
 from ..rng import ensure_rng
-from .base import Classifier
+from .base import (
+    Classifier,
+    bump_fit_generation,
+    params_from_jsonable,
+    params_to_jsonable,
+    resolve_warm_epochs,
+)
 from .embeddings import pretrained_for_dataset
 from .layers import Adam, dropout_mask, glorot_init, minibatches, one_hot, softmax
 
@@ -48,11 +54,14 @@ class MLPClassifier(Classifier):
         l2: float = 1e-4,
         seed: int = 0,
         embedding_matrix: np.ndarray | None = None,
+        warm_epochs: "int | None" = None,
     ) -> None:
         if hidden_dim < 1:
             raise ConfigurationError(f"hidden_dim must be >= 1, got {hidden_dim}")
         if not 0 <= dropout < 1:
             raise ConfigurationError(f"dropout must be in [0, 1), got {dropout}")
+        if warm_epochs is not None and warm_epochs <= 0:
+            raise ConfigurationError(f"warm_epochs must be positive, got {warm_epochs}")
         self.hidden_dim = hidden_dim
         self.embedding_dim = embedding_dim
         self.dropout = dropout
@@ -61,6 +70,7 @@ class MLPClassifier(Classifier):
         self.batch_size = batch_size
         self.l2 = l2
         self.seed = seed
+        self.warm_epochs = warm_epochs
         self._embedding = embedding_matrix
         self._params: dict[str, np.ndarray] | None = None
         self._num_classes: int | None = None
@@ -85,22 +95,46 @@ class MLPClassifier(Classifier):
 
     # -- training ---------------------------------------------------------
 
-    def fit(self, dataset: TextDataset) -> "MLPClassifier":
+    def fit(
+        self, dataset: TextDataset, init_from: "MLPClassifier | None" = None
+    ) -> "MLPClassifier":
         if not len(dataset):
             raise ConfigurationError("cannot fit on an empty dataset")
         rng = ensure_rng(self.seed)
+        if init_from is not None:
+            if not isinstance(init_from, MLPClassifier):
+                raise ConfigurationError(
+                    f"cannot warm-start MLPClassifier from {type(init_from).__name__}"
+                )
+            # Inherit the frozen embedding so features stay in the same space.
+            if self._embedding is None:
+                self._embedding = init_from._embedding
         features = self._features(dataset)
         targets = one_hot(dataset.labels, dataset.num_classes)
         dim = features.shape[1]
         self._num_classes = dataset.num_classes
-        self._params = {
-            "W1": glorot_init(rng, dim, self.hidden_dim),
-            "b1": np.zeros(self.hidden_dim),
-            "W2": glorot_init(rng, self.hidden_dim, dataset.num_classes),
-            "b2": np.zeros(dataset.num_classes),
-        }
+        if init_from is None:
+            epochs = self.epochs
+            self._params = {
+                "W1": glorot_init(rng, dim, self.hidden_dim),
+                "b1": np.zeros(self.hidden_dim),
+                "W2": glorot_init(rng, self.hidden_dim, dataset.num_classes),
+                "b2": np.zeros(dataset.num_classes),
+            }
+        else:
+            epochs = resolve_warm_epochs(self.epochs, self.warm_epochs)
+            previous = init_from._require_fitted()
+            if previous["W1"].shape != (dim, self.hidden_dim) or previous[
+                "W2"
+            ].shape != (self.hidden_dim, dataset.num_classes):
+                raise ConfigurationError(
+                    "warm-start shape mismatch: previous MLP does not match "
+                    f"(dim={dim}, hidden={self.hidden_dim}, "
+                    f"classes={dataset.num_classes})"
+                )
+            self._params = {name: value.copy() for name, value in previous.items()}
         optimizer = Adam(learning_rate=self.learning_rate)
-        for _ in range(self.epochs):
+        for _ in range(epochs):
             for batch in minibatches(len(dataset), self.batch_size, rng):
                 x = features[batch]
                 hidden_pre = x @ self._params["W1"] + self._params["b1"]
@@ -118,6 +152,7 @@ class MLPClassifier(Classifier):
                     "b1": delta_hidden.sum(axis=0),
                 }
                 optimizer.update(self._params, grads)
+        bump_fit_generation(self)
         return self
 
     def clone(self) -> "MLPClassifier":
@@ -131,7 +166,27 @@ class MLPClassifier(Classifier):
             l2=self.l2,
             seed=self.seed,
             embedding_matrix=self._embedding,
+            warm_epochs=self.warm_epochs,
         )
+
+    # -- parameter state --------------------------------------------------
+
+    def get_params(self) -> dict:
+        params = self._require_fitted()
+        if self._embedding is None:  # pragma: no cover - embedding set by fit
+            raise NotFittedError("MLPClassifier has no embedding table")
+        return {
+            "arrays": params_to_jsonable(params),
+            "embedding": np.asarray(self._embedding).tolist(),
+            "meta": {"num_classes": int(self._num_classes)},
+        }
+
+    def set_params(self, state: dict) -> "MLPClassifier":
+        self._params = params_from_jsonable(state["arrays"])
+        self._embedding = np.asarray(state["embedding"], dtype=np.float64)
+        self._num_classes = int(state["meta"]["num_classes"])
+        bump_fit_generation(self)
+        return self
 
     # -- inference --------------------------------------------------------
 

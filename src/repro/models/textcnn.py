@@ -24,7 +24,13 @@ import numpy as np
 from ..data.datasets import TextDataset
 from ..exceptions import ConfigurationError, NotFittedError
 from ..rng import ensure_rng
-from .base import Classifier
+from .base import (
+    Classifier,
+    bump_fit_generation,
+    params_from_jsonable,
+    params_to_jsonable,
+    resolve_warm_epochs,
+)
 from .embeddings import pretrained_for_dataset
 from .layers import Adam, dropout_mask, glorot_init, minibatches, one_hot, softmax
 
@@ -77,6 +83,7 @@ class TextCNN(Classifier):
         seed: int = 0,
         max_length: int | None = None,
         embedding_matrix: np.ndarray | None = None,
+        warm_epochs: "int | None" = None,
     ) -> None:
         if not widths or min(widths) < 1:
             raise ConfigurationError(f"widths must be positive, got {widths}")
@@ -84,6 +91,8 @@ class TextCNN(Classifier):
             raise ConfigurationError(f"filters must be >= 1, got {filters}")
         if not 0 <= dropout < 1:
             raise ConfigurationError(f"dropout must be in [0, 1), got {dropout}")
+        if warm_epochs is not None and warm_epochs <= 0:
+            raise ConfigurationError(f"warm_epochs must be positive, got {warm_epochs}")
         self.embedding_dim = embedding_dim
         self.filters = filters
         self.widths = tuple(widths)
@@ -94,6 +103,7 @@ class TextCNN(Classifier):
         self.l2 = l2
         self.seed = seed
         self.max_length = max_length
+        self.warm_epochs = warm_epochs
         self._initial_embedding = embedding_matrix
         self._params: dict[str, np.ndarray] | None = None
         self._num_classes: int | None = None
@@ -247,22 +257,45 @@ class TextCNN(Classifier):
 
     # -- training ------------------------------------------------------------
 
-    def fit(self, dataset: TextDataset) -> "TextCNN":
+    def fit(
+        self, dataset: TextDataset, init_from: "TextCNN | None" = None
+    ) -> "TextCNN":
         if not len(dataset):
             raise ConfigurationError("cannot fit on an empty dataset")
         rng = ensure_rng(self.seed)
         self._fit_length = self.max_length or max(dataset.max_length(), max(self.widths))
-        self._init_params(dataset, rng)
+        if init_from is None:
+            epochs = self.epochs
+            self._init_params(dataset, rng)
+        else:
+            epochs = resolve_warm_epochs(self.epochs, self.warm_epochs)
+            if not isinstance(init_from, TextCNN):
+                raise ConfigurationError(
+                    f"cannot warm-start TextCNN from {type(init_from).__name__}"
+                )
+            previous = init_from._require_fitted()
+            if previous["E"].shape[0] != len(dataset.vocab) or previous[
+                "Wo"
+            ].shape[1] != dataset.num_classes:
+                raise ConfigurationError(
+                    "warm-start shape mismatch: previous TextCNN does not match "
+                    f"(vocab={len(dataset.vocab)}, classes={dataset.num_classes})"
+                )
+            self._params = {name: value.copy() for name, value in previous.items()}
+            self._num_classes = dataset.num_classes
+            if self._initial_embedding is None:
+                self._initial_embedding = init_from._initial_embedding
         ids = self._padded_ids(dataset)
         targets = one_hot(dataset.labels, dataset.num_classes)
         optimizer = Adam(learning_rate=self.learning_rate)
-        for _ in range(self.epochs):
+        for _ in range(epochs):
             for batch in minibatches(len(dataset), self.batch_size, rng):
                 mask = dropout_mask(rng, (len(batch), self._hidden_dim), self.dropout)
                 cache = self._forward(ids[batch], mask)
                 delta_out = (cache.probabilities - targets[batch]) / len(batch)
                 grads = self._backward(cache, delta_out)
                 optimizer.update(self._params, grads)
+        bump_fit_generation(self)
         return self
 
     def clone(self) -> "TextCNN":
@@ -278,7 +311,32 @@ class TextCNN(Classifier):
             seed=self.seed,
             max_length=self.max_length,
             embedding_matrix=self._initial_embedding,
+            warm_epochs=self.warm_epochs,
         )
+
+    # -- parameter state -----------------------------------------------------
+
+    def get_params(self) -> dict:
+        params = self._require_fitted()
+        return {
+            "arrays": params_to_jsonable(params),
+            "meta": {
+                "num_classes": int(self._num_classes),
+                "fit_length": int(self._fit_length),
+            },
+        }
+
+    def set_params(self, state: dict) -> "TextCNN":
+        self._params = params_from_jsonable(state["arrays"])
+        self._num_classes = int(state["meta"]["num_classes"])
+        self._fit_length = int(state["meta"]["fit_length"])
+        if self._initial_embedding is None:
+            # Keep warm restarts possible after a restore without the
+            # prototype's embedding table: reuse the restored (trained)
+            # embedding as the initial table for future cold fits.
+            self._initial_embedding = self._params["E"].copy()
+        bump_fit_generation(self)
+        return self
 
     # -- inference -------------------------------------------------------------
 

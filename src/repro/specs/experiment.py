@@ -130,6 +130,7 @@ class ExperimentSpec:
                 "repeats": self.config.repeats,
                 "seed": self.config.seed,
                 "history_backend": self.config.history_backend,
+                "training_mode": self.config.training_mode,
             },
             "runner": dict(self.runner),
             "report": dict(self.report),
@@ -164,7 +165,7 @@ class ExperimentSpec:
             raise SpecError("experiment 'experiment' section must be a dict")
         unknown_shape = set(shape) - {
             "batch_size", "rounds", "initial_size", "repeats", "seed",
-            "history_backend",
+            "history_backend", "training_mode",
         }
         if unknown_shape:
             raise SpecError(f"unknown experiment option(s): {sorted(unknown_shape)}")

@@ -124,6 +124,34 @@ class TestCache:
         assert cache.misses == 2
         assert not np.array_equal(proba_first, proba_second)
 
+    def test_inplace_refit_invalidates_entries(self, text_dataset):
+        """A refit (same object identity) must not serve stale predictions.
+
+        Warm-started and ``set_params``-restored models mutate their
+        parameters without changing ``id(model)``; the fit-generation
+        counter in the cache key makes the old entry unreachable.
+        """
+        model = LinearSoftmax(epochs=3, seed=0).fit(text_dataset.subset(range(80)))
+        cache = PredictionCache()
+        stale = cache.predict_proba(model, text_dataset).copy()
+        model.fit(text_dataset.subset(range(160)), init_from=model)
+        fresh = cache.predict_proba(model, text_dataset)
+        assert cache.misses == 2  # the refit forced a recompute
+        assert not np.array_equal(stale, fresh)
+        np.testing.assert_array_equal(fresh, model.predict_proba(text_dataset))
+
+    def test_set_params_restore_invalidates_entries(self, text_dataset):
+        model = LinearSoftmax(epochs=3, seed=0).fit(text_dataset.subset(range(80)))
+        other = LinearSoftmax(epochs=3, seed=1).fit(text_dataset.subset(range(80)))
+        cache = PredictionCache()
+        cache.predict_proba(model, text_dataset)
+        model.set_params(other.get_params())
+        restored = cache.predict_proba(model, text_dataset)
+        assert cache.misses == 2
+        np.testing.assert_array_equal(
+            restored, other.predict_proba(text_dataset)
+        )
+
 
 class TestMetricCaching:
     def test_evaluate_model_cached_equals_uncached(self, fitted_classifier, text_dataset):

@@ -8,6 +8,7 @@ from repro.core.ranker_training import (
     LHSRanker,
     RankerTrainingConfig,
     _delta_levels,
+    refresh_lhs_ranker,
     train_lhs_ranker,
 )
 from repro.core.strategies import Entropy, LHS, LeastConfidence
@@ -86,6 +87,10 @@ class TestConfigValidation:
         with pytest.raises(ConfigurationError):
             RankerTrainingConfig(predictor="transformer")
 
+    def test_bad_training_mode(self):
+        with pytest.raises(ConfigurationError, match="training_mode"):
+            RankerTrainingConfig(training_mode="hot")
+
 
 class TestTraining:
     def test_returns_bundle(self, trained_ranker):
@@ -144,6 +149,63 @@ class TestTraining:
             seed_or_rng=1,
         )
         assert not bundle.extractor.use_trend
+
+
+class TestWarmTraining:
+    WARM_CONFIG = RankerTrainingConfig(
+        rounds=2, candidates_per_round=6, initial_size=15,
+        predictor=None, eval_size=80, training_mode="warm",
+    )
+
+    def _train(self, text_dataset, config, seed=3):
+        return train_lhs_ranker(
+            LinearSoftmax(epochs=4, seed=0),
+            text_dataset.subset(range(200)),
+            text_dataset.subset(range(200, 300)),
+            config=config,
+            seed_or_rng=seed,
+        )
+
+    def test_warm_training_deterministic(self, text_dataset):
+        a = self._train(text_dataset, self.WARM_CONFIG)
+        b = self._train(text_dataset, self.WARM_CONFIG)
+        features = np.random.default_rng(0).random((4, a.extractor.dim))
+        np.testing.assert_array_equal(
+            a.model.predict(features), b.model.predict(features)
+        )
+
+    def test_warm_differs_from_cold(self, text_dataset):
+        cold_config = RankerTrainingConfig(
+            rounds=2, candidates_per_round=6, initial_size=15,
+            predictor=None, eval_size=80,
+        )
+        warm = self._train(text_dataset, self.WARM_CONFIG)
+        cold = self._train(text_dataset, cold_config)
+        features = np.random.default_rng(0).random((4, warm.extractor.dim))
+        assert not np.array_equal(
+            warm.model.predict(features), cold.model.predict(features)
+        )
+
+    def test_refresh_lhs_ranker_updates_in_place(self, trained_ranker, text_dataset):
+        import copy
+
+        from repro.ltr.lambdamart import RankingDataset
+
+        ranker = copy.deepcopy(trained_ranker)
+        ranker.source = "ranker.json"
+        rows_before = ranker.training_rows
+        trees_before = len(ranker.model._trees)
+        rng = np.random.default_rng(5)
+        data = RankingDataset(
+            rng.random((12, ranker.extractor.dim)),
+            rng.integers(0, 3, 12).astype(float),
+            np.repeat(np.arange(3), 4),
+        )
+        refreshed = refresh_lhs_ranker(ranker, data, n_estimators=2)
+        assert refreshed is ranker
+        assert len(ranker.model._trees) == trees_before + 2
+        assert ranker.training_rows == rows_before + 12
+        assert ranker.source is None
 
 
 class TestLHSStrategy:

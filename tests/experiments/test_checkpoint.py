@@ -127,6 +127,18 @@ class TestCheckpointStore:
         with pytest.raises(CheckpointError, match="stale"):
             other.load("Random", 0, 42)
 
+    def test_training_mode_mismatch_is_stale(self, small_result, tmp_path):
+        # A cold run's checkpoints must not seed a warm run (and vice
+        # versa): the modes follow different optimisation trajectories.
+        CheckpointStore(tmp_path, ExperimentConfig(**CONFIG_KWARGS)).save(
+            "Random", 0, 42, small_result
+        )
+        warm = CheckpointStore(
+            tmp_path, ExperimentConfig(**CONFIG_KWARGS, training_mode="warm")
+        )
+        with pytest.raises(CheckpointError, match="stale"):
+            warm.load("Random", 0, 42)
+
     def test_distinct_names_get_distinct_paths(self, tmp_path):
         store = CheckpointStore(tmp_path, ExperimentConfig(**CONFIG_KWARGS))
         paths = {
@@ -192,6 +204,28 @@ class TestCheckpointedRun:
         checkpointed = compare(text_dataset, checkpoint_dir=str(tmp_path))
         resumed = compare(text_dataset, checkpoint_dir=str(tmp_path), resume=True)
         assert_results_identical(baseline, checkpointed)
+        assert_results_identical(baseline, resumed)
+
+    def test_warm_resume_equals_unresumed(self, text_dataset, tmp_path):
+        def compare_warm(**kwargs):
+            return run_comparison(
+                plain_model,
+                {"Random": Random, "wshs:entropy": lambda: WSHS(Entropy(), window=2)},
+                text_dataset.subset(range(200)),
+                text_dataset.subset(range(200, 300)),
+                config=ExperimentConfig(**CONFIG_KWARGS, training_mode="warm"),
+                **kwargs,
+            )
+
+        baseline = compare_warm()
+        interrupted = compare_warm(checkpoint_dir=str(tmp_path))
+        # Drop one cell so the resume really recomputes a warm run.
+        store = CheckpointStore(
+            tmp_path, ExperimentConfig(**CONFIG_KWARGS, training_mode="warm")
+        )
+        store.cell_path("Random", 1).unlink()
+        resumed = compare_warm(checkpoint_dir=str(tmp_path), resume=True)
+        assert_results_identical(baseline, interrupted)
         assert_results_identical(baseline, resumed)
 
 

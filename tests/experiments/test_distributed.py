@@ -377,6 +377,38 @@ class TestWorkerByteIdentity:
         assert len(audit_events(queue, "committed")) == 4
 
 
+class TestWarmModeGrid:
+    def test_warm_worker_matches_warm_serial(self, tmp_path):
+        """Workers inherit ``training_mode`` from the spec: a warm grid
+        converges byte-identical to a warm serial run."""
+        warm_spec = ExperimentSpec(
+            dataset=Spec(kind="mr", params={"scale": 0.05, "seed": 7}),
+            split=Spec(kind="fraction", params={"test_fraction": 0.3}),
+            model=Spec(
+                kind="linear", params={"epochs": 2, "batch_size": 32, "seed": 0}
+            ),
+            strategies={"random": Spec(kind="random"), "entropy": Spec(kind="entropy")},
+            config=ExperimentConfig(**GRID_KWARGS, training_mode="warm"),
+        )
+        serial_dir = tmp_path / "serial"
+        train, test, _ = warm_spec.build_datasets()
+        serial_results = run_comparison(
+            warm_spec.resolved_model(),
+            warm_spec.strategies,
+            train,
+            test,
+            config=warm_spec.config,
+            checkpoint_dir=serial_dir,
+        )
+        queue_dir = tmp_path / "q"
+        queue = create_queue(queue_dir, warm_spec)
+        summary = run_worker(queue_dir, owner="solo", poll=0.05)
+        assert summary["completed"] == 4
+        results = coordinate(queue_dir, poll=0.05)
+        assert_results_match(results, serial_results)
+        assert_checkpoints_byte_identical(queue.checkpoint_directory, serial_dir)
+
+
 @needs_fork
 class TestCrashEquivalence:
     """SIGKILL a worker at chosen protocol steps; the grid must converge

@@ -6,7 +6,9 @@ import pytest
 from repro.eval.curves import LearningCurve
 from repro.exceptions import ConfigurationError
 from repro.experiments.reporting import (
+    accumulate_phase_times,
     format_curve_table,
+    format_phase_times,
     format_table,
     format_target_table,
 )
@@ -45,6 +47,40 @@ class TestFormatTable:
 
     def test_no_rows_ok(self):
         assert "a" in format_table(["a"], [])
+
+
+class TestPhaseTimes:
+    class _Record:
+        def __init__(self, timings):
+            self.timings = timings
+
+    def test_accumulate_sums_across_rounds(self):
+        records = [
+            self._Record({"train": 1.0, "propose": 0.5}),
+            self._Record(None),  # restored round: no timings
+            self._Record({"train": 2.0, "evaluate": 0.25}),
+        ]
+        assert accumulate_phase_times(records) == {
+            "train": 3.0, "propose": 0.5, "evaluate": 0.25,
+        }
+
+    def test_accumulate_returns_none_without_timings(self):
+        assert accumulate_phase_times([self._Record(None)]) is None
+        assert accumulate_phase_times([]) is None
+
+    def test_format_lists_all_phases_and_total(self):
+        text = format_phase_times(
+            {"Entropy": {"train": 2.0, "evaluate": 1.0}}, title="Phases"
+        )
+        assert text.splitlines()[0] == "Phases"
+        for header in ("train (s)", "evaluate (s)", "propose (s)",
+                       "ingest (s)", "total (s)"):
+            assert header in text
+        assert "3" in text  # the total column
+
+    def test_format_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_phase_times({})
 
 
 class TestCurveTable:

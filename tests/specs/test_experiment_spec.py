@@ -67,6 +67,24 @@ class TestExperimentSpec:
         assert spec.task == "text"
         assert spec.resolved_model().kind == "linear"
 
+    def test_training_mode_round_trips(self):
+        spec = _small_spec(
+            config=ExperimentConfig(
+                batch_size=5, rounds=2, repeats=1, seed=7, training_mode="warm"
+            )
+        )
+        payload = spec.to_dict()
+        assert payload["experiment"]["training_mode"] == "warm"
+        restored = ExperimentSpec.from_dict(json.loads(json.dumps(payload)))
+        assert restored.config.training_mode == "warm"
+        assert restored.to_dict() == payload
+
+    def test_invalid_training_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="training_mode"):
+            ExperimentConfig(
+                batch_size=5, rounds=2, repeats=1, seed=7, training_mode="hot"
+            )
+
     def test_validate_rejects_oversized_grid(self):
         spec = _small_spec(
             config=ExperimentConfig(batch_size=500, rounds=10, repeats=1, seed=7)

@@ -31,7 +31,7 @@ class TestSnapshotSpecs:
         engine = _engine(text_dataset)
         run_to_completion(engine)
         config = engine.snapshot()["config"]
-        assert engine.snapshot()["version"] == SNAPSHOT_VERSION == 2
+        assert engine.snapshot()["version"] == SNAPSHOT_VERSION == 3
         assert config["model"]["kind"] == "linear"
         assert config["model"]["params"]["epochs"] == 2
         assert config["strategy_spec"]["kind"] == "wshs"
@@ -43,9 +43,14 @@ class TestSnapshotSpecs:
         engine.ingest_labels(engine.pending)
         engine.propose()  # commit + first real training round
         refit = engine.snapshot()["model"]
-        assert sorted(refit) == ["labeled", "model", "seed"]
+        assert sorted(refit) == [
+            "labeled", "model", "params", "seed", "training_mode", "warm",
+        ]
         assert refit["model"]["kind"] == "linear"
         assert refit["model"]["params"]["epochs"] == 2
+        assert refit["training_mode"] == "cold"
+        assert refit["warm"] is False
+        assert "W" in refit["params"]["arrays"]
 
     def test_restore_rejects_different_model_spec(self, text_dataset):
         engine = _engine(text_dataset)

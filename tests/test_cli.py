@@ -79,6 +79,23 @@ class TestParser:
         assert args.max_retries == 2
         assert args.on_error == "skip"
 
+    def test_training_mode_parses_and_defaults_cold(self):
+        parser = build_parser()
+        default = parser.parse_args(
+            ["compare", "--dataset", "mr", "--strategies", "random"]
+        )
+        assert default.training_mode == "cold"
+        warm = parser.parse_args([
+            "compare", "--dataset", "mr", "--strategies", "random",
+            "--training-mode", "warm",
+        ])
+        assert warm.training_mode == "warm"
+        with pytest.raises(SystemExit):
+            parser.parse_args([
+                "compare", "--dataset", "mr", "--strategies", "random",
+                "--training-mode", "hot",
+            ])
+
     def test_train_ranker_parses(self):
         args = build_parser().parse_args(
             ["train-ranker", "--dataset", "subj", "--output", "r.json"]
@@ -114,6 +131,20 @@ class TestCompareCommand:
         captured = capsys.readouterr()
         assert code == 0
         assert "acc>=0.5" in captured.out
+
+    def test_warm_mode_runs_and_reports_phase_times(self, capsys):
+        code = main([
+            "compare", "--dataset", "mr", "--scale", "0.05",
+            "--strategies", "random", "entropy",
+            "--rounds", "2", "--batch-size", "10", "--repeats", "1",
+            "--epochs", "3", "--training-mode", "warm",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "accuracy" in captured.out
+        # Phase wall-times go to stderr, keeping stdout byte-comparable.
+        assert "train (s)" in captured.err
+        assert "propose (s)" in captured.err
 
     def test_ner_comparison(self, capsys):
         code = main([
