@@ -36,6 +36,21 @@ Each ``ingest`` commits the batch, retrains, and proposes the next one
 (``--oracle`` answers from the dataset's own labels instead, for smoke
 tests).  All state lives in the session directory as plain JSON, so the
 machine can be rebooted between any two commands.
+
+The same commands drive sessions hosted on a running session server
+(``python -m repro serve``) by swapping ``--dir`` for ``--server`` +
+``--session``::
+
+    python -m repro serve --port 8700 --sqlite sessions.db
+    python -m repro session init --server http://127.0.0.1:8700 \
+        --session s1 --dataset mr --strategy wshs:entropy
+    python -m repro session ingest --server http://127.0.0.1:8700 \
+        --session s1 --oracle
+    python -m repro session result --server http://127.0.0.1:8700 \
+        --session s1 --output result.json
+
+Both modes are thin clients of the same service API, so a session driven
+over HTTP produces results byte-identical to the file-based workflow.
 """
 
 from __future__ import annotations
@@ -50,11 +65,16 @@ from pathlib import Path
 from functools import partial
 
 from .core.ranker_training import RankerTrainingConfig, train_lhs_ranker
-from .core.session import SessionEngine, SessionState
 from .core.strategies import create_strategy
-from .exceptions import ConfigurationError, IngestError, ReproError, SessionError
+from .eval.curves import LearningCurve
+from .exceptions import (
+    ConfigurationError,
+    IngestError,
+    ReproError,
+    ServiceError,
+    SessionError,
+)
 from .experiments import ExperimentConfig, RetryPolicy, plot_curves, run_comparison
-from .experiments.checkpoint import result_to_dict
 from .experiments.distributed import (
     LeaseConfig,
     run_distributed,
@@ -66,9 +86,23 @@ from .experiments.reporting import (
     format_phase_times,
     format_target_table,
 )
-from .ioutil import atomic_write_json, read_json_document
+from .formats import (
+    SESSION_DIR_FORMAT,
+    SESSION_DIR_VERSION,
+    SESSION_RESULT_FORMAT,
+    SESSION_RESULT_VERSION,
+)
+from .ioutil import atomic_write_json, validate_envelope
 from .models import LinearSoftmax
 from .persistence import save_lhs_ranker
+from .service import (
+    JsonSessionStore,
+    MemorySessionStore,
+    SessionClient,
+    SessionService,
+    SqliteSessionStore,
+    make_server,
+)
 from .specs import (
     ExperimentSpec,
     Spec,
@@ -315,127 +349,137 @@ def _cmd_train_ranker(args: argparse.Namespace) -> int:
 
 # -- interactive annotation sessions -----------------------------------------
 
-#: Envelope of the ``session.json`` file in a session directory.
-SESSION_DIR_FORMAT = "repro.session_dir"
-SESSION_DIR_VERSION = 1
+#: Session id of the single session a ``--dir`` directory holds; its
+#: document is ``<dir>/session.json``, the exact file the pre-service
+#: CLI wrote.
+_DIR_SESSION_ID = "session"
 
 
 def _session_file(directory: "str | Path") -> Path:
+    """The session document inside a ``--dir`` session directory."""
     return Path(directory) / "session.json"
 
 
 def _proposal_file(directory: "str | Path") -> Path:
+    """The annotator-facing proposal file of a session directory."""
     return Path(directory) / "proposal.json"
 
 
 def _result_file(directory: "str | Path") -> Path:
+    """The finished audit-trail file of a session directory."""
     return Path(directory) / "result.json"
 
 
-def _session_components(recipe: dict):
-    """Rebuild the engine's components (datasets, model, strategy) from a recipe.
+def _session_client(args: argparse.Namespace) -> "tuple[SessionClient, str, Path | None]":
+    """Resolve a session subcommand to ``(client, session_id, directory)``.
 
-    Loading is deterministic given the recipe, so every ``repro session``
-    invocation reconstructs identical components and the restored engine
-    continues byte-identically.
+    The session CLI is a thin client of the AL service in both modes:
+    ``--dir`` builds an in-process service over a
+    :class:`~repro.service.JsonSessionStore` rooted at the directory
+    (session id ``"session"`` — the stored ``session.json`` is
+    byte-identical to the pre-service layout), while ``--server`` speaks
+    HTTP to a running ``repro serve`` (``directory`` is ``None`` there).
     """
-    dataset, kind = _load_dataset(recipe["dataset"], recipe["scale"], recipe["seed"])
-    train, test = _split(dataset, recipe["test_fraction"])
-    model = _model_factory(kind, recipe["epochs"])()
-    strategy = build_strategy_factory(
-        recipe["strategy"], recipe["window"], recipe["ranker"]
-    )()
-    return train, test, model, strategy
+    directory = getattr(args, "dir", None)
+    server = getattr(args, "server", None)
+    if (directory is None) == (server is None):
+        raise ConfigurationError("pass exactly one of --dir <directory> or --server <url>")
+    if server is not None:
+        session_id = getattr(args, "session", None)
+        if not session_id:
+            raise ConfigurationError("--server mode needs --session <id>")
+        return SessionClient.http(server), session_id, None
+    service = SessionService({"json": JsonSessionStore(directory)})
+    return SessionClient.in_process(service), _DIR_SESSION_ID, Path(directory)
 
 
-def _load_session(directory: "str | Path") -> tuple[dict, SessionEngine]:
-    """Restore the engine of a session directory from its files."""
-    payload = read_json_document(
-        _session_file(directory), SESSION_DIR_FORMAT, SESSION_DIR_VERSION, SessionError
-    )
-    recipe = payload["recipe"]
-    train, test, model, strategy = _session_components(recipe)
-    engine = SessionEngine.restore(payload["session"], model, strategy, train, test)
-    return recipe, engine
-
-
-def _save_session(directory: "str | Path", recipe: dict, engine: SessionEngine) -> None:
-    atomic_write_json(
-        _session_file(directory),
-        {
-            "format": SESSION_DIR_FORMAT,
-            "version": SESSION_DIR_VERSION,
-            "recipe": recipe,
-            "session": engine.snapshot(),
-        },
-    )
-
-
-def _write_proposal(directory: "str | Path", engine: SessionEngine) -> None:
-    """Render the pending batch (with decoded text) for the annotator."""
-    pending = engine.pending
-    train = engine.train_dataset
-    samples = [
-        {
-            "index": index,
-            "text": " ".join(train.vocab.decode(train.sentences[index])),
-        }
-        for index in pending.tolist()
-    ]
-    atomic_write_json(
-        _proposal_file(directory),
-        {
-            "round": engine.round_index,
-            "indices": pending.tolist(),
-            "samples": samples,
-            # Copy into a labels file, replace the nulls, pass to ingest.
-            "labels_template": {str(index): None for index in pending.tolist()},
-        },
-    )
-
-
-def _advance_session(directory: Path, recipe: dict, engine: SessionEngine) -> int:
-    """Drive the engine to the next proposal (or the end) and persist it."""
-    pending = engine.propose()
-    _save_session(directory, recipe, engine)
-    if pending is None:
-        result = engine.result()
-        atomic_write_json(
-            _result_file(directory),
-            {
-                "format": "repro.session_result",
-                "version": 1,
-                "result": result_to_dict(result),
-            },
+def _missing_session_error(directory: "Path | None", error: ServiceError) -> ReproError:
+    """Translate the service's 404 into a directory-mode hint."""
+    if directory is not None and getattr(error, "status", None) == 404:
+        return SessionError(
+            f"no session in {directory} (missing {_session_file(directory)}); "
+            f"run 'repro session init --dir {directory}' first"
         )
+    return error
+
+
+def _result_envelope(payload: dict) -> dict:
+    """Wrap a service result payload in the on-disk audit-trail envelope."""
+    return {
+        "format": SESSION_RESULT_FORMAT,
+        "version": SESSION_RESULT_VERSION,
+        "result": payload["result"],
+    }
+
+
+def _render_finished(response: dict, directory: "Path | None") -> int:
+    """Report a finished session (write ``result.json`` in ``--dir`` mode)."""
+    recipe = response.get("recipe", {})
+    print(f"session finished after {response['round']} rounds")
+    counts = [point[0] for point in response["curve"]]
+    values = [point[1] for point in response["curve"]]
+    print(format_curve_table(
+        {recipe.get("strategy", "session"): LearningCurve(counts, values)},
+        title=f"{recipe.get('dataset', 'session')}: metric vs labeled samples",
+    ))
+    if directory is not None:
+        atomic_write_json(_result_file(directory), _result_envelope(response))
         _proposal_file(directory).unlink(missing_ok=True)
-        print(f"session finished after {engine.round_index} rounds")
-        print(format_curve_table(
-            {recipe["strategy"]: result.curve()},
-            title=f"{recipe['dataset']}: metric vs labeled samples",
-        ))
         print(f"full audit trail written to {_result_file(directory)}")
-        return 0
-    _write_proposal(directory, engine)
-    print(
-        f"round {engine.round_index}: {len(pending)} samples await labels "
-        f"(see {_proposal_file(directory)})"
-    )
-    print(
-        "label them with: repro session ingest --dir "
-        f"{directory} --labels <file>  (or --oracle)"
-    )
+    else:
+        print(
+            "fetch the audit trail with: repro session result "
+            f"--server <url> --session {response['id']} --output <file>"
+        )
     return 0
 
 
-def _cmd_session_init(args: argparse.Namespace) -> int:
-    directory = Path(args.dir)
-    if _session_file(directory).exists():
-        raise ConfigurationError(
-            f"{_session_file(directory)} already exists; use "
-            "'repro session propose/ingest/status' to continue it"
+def _render_proposal(
+    response: dict, directory: "Path | None", output: "str | None" = None
+) -> int:
+    """Persist/print the pending batch the way annotators consume it."""
+    proposal = {
+        "round": response["round"],
+        "indices": response["indices"],
+        "samples": response["samples"],
+        # Copy into a labels file, replace the nulls, pass to ingest.
+        "labels_template": response["labels_template"],
+    }
+    if directory is not None:
+        atomic_write_json(_proposal_file(directory), proposal)
+        print(
+            f"round {response['round']}: {len(response['indices'])} samples "
+            f"await labels (see {_proposal_file(directory)})"
         )
-    directory.mkdir(parents=True, exist_ok=True)
+        print(
+            "label them with: repro session ingest --dir "
+            f"{directory} --labels <file>  (or --oracle)"
+        )
+    elif output:
+        atomic_write_json(Path(output), proposal)
+        print(
+            f"round {response['round']}: {len(response['indices'])} samples "
+            f"await labels (written to {output})"
+        )
+    else:
+        print(json.dumps(proposal, indent=2))
+    return 0
+
+
+def _advance_session(
+    client: SessionClient,
+    session_id: str,
+    directory: "Path | None",
+    output: "str | None" = None,
+) -> int:
+    """Drive the session to its next proposal (or the end) and render it."""
+    response = client.propose(session_id)
+    if response.get("finished"):
+        return _render_finished(response, directory)
+    return _render_proposal(response, directory, output)
+
+
+def _cmd_session_init(args: argparse.Namespace) -> int:
     recipe = {
         "dataset": args.dataset,
         "scale": args.scale,
@@ -450,43 +494,52 @@ def _cmd_session_init(args: argparse.Namespace) -> int:
         "ranker": args.ranker,
         "training_mode": args.training_mode,
     }
-    train, test, model, strategy = _session_components(recipe)
-    engine = SessionEngine(
-        model,
-        strategy,
-        train,
-        test,
-        batch_size=recipe["batch_size"],
-        rounds=recipe["rounds"],
-        initial_size=recipe["initial_size"],
-        seed_or_rng=recipe["seed"],
-        training_mode=recipe["training_mode"],
-    )
+    directory = getattr(args, "dir", None)
+    server = getattr(args, "server", None)
+    if (directory is None) == (server is None):
+        raise ConfigurationError("pass exactly one of --dir <directory> or --server <url>")
+    if directory is not None:
+        directory = Path(directory)
+        if _session_file(directory).exists():
+            raise ConfigurationError(
+                f"{_session_file(directory)} already exists; use "
+                "'repro session propose/ingest/status' to continue it"
+            )
+        service = SessionService({"json": JsonSessionStore(directory)})
+        client = SessionClient.in_process(service)
+        response = client.create(recipe, session_id=_DIR_SESSION_ID)
+        where = str(directory)
+    else:
+        client = SessionClient.http(server)
+        # --session is optional on init: the server generates an id.
+        response = client.create(
+            recipe,
+            session_id=getattr(args, "session", None),
+            store=getattr(args, "store", None),
+        )
+        where = f"{response['id']} on {server}"
     print(
-        f"initialised session in {directory}: {recipe['strategy']} on "
-        f"{recipe['dataset']} ({len(train)} pool / {len(test)} test samples)"
+        f"initialised session in {where}: {recipe['strategy']} on "
+        f"{recipe['dataset']} ({response['n_train']} pool / "
+        f"{response['n_test']} test samples)"
     )
-    return _advance_session(directory, recipe, engine)
+    return _advance_session(client, response["id"], directory, getattr(args, "output", None))
 
 
 def _cmd_session_propose(args: argparse.Namespace) -> int:
-    directory = Path(args.dir)
-    recipe, engine = _load_session(directory)
-    return _advance_session(directory, recipe, engine)
+    client, session_id, directory = _session_client(args)
+    try:
+        return _advance_session(client, session_id, directory, getattr(args, "output", None))
+    except ServiceError as error:
+        raise _missing_session_error(directory, error)
 
 
 def _cmd_session_ingest(args: argparse.Namespace) -> int:
     if (args.labels is None) == (not args.oracle):
         raise ConfigurationError("pass exactly one of --labels <file> or --oracle")
-    directory = Path(args.dir)
-    recipe, engine = _load_session(directory)
-    if engine.state is not SessionState.AWAIT_LABELS:
-        raise SessionError(
-            f"session is not awaiting labels (state={engine.state.value!r}); "
-            "run 'repro session propose' first"
-        )
+    client, session_id, directory = _session_client(args)
     if args.oracle:
-        engine.ingest_labels(engine.pending)
+        indices, labels = None, None
     else:
         try:
             payload = json.loads(Path(args.labels).read_text())
@@ -505,19 +558,19 @@ def _cmd_session_ingest(args: argparse.Namespace) -> int:
                 f"indices {unfilled[:5]}"
             )
         indices = [int(key) for key in mapping]
-        engine.ingest_labels(indices, [mapping[key] for key in mapping])
-    engine.step()  # commit the batch before the (long) retrain
-    _save_session(directory, recipe, engine)
-    print(f"ingested labels; committed round {engine.round_index}, retraining...")
-    return _advance_session(directory, recipe, engine)
+        labels = [mapping[key] for key in mapping]
+    try:
+        response = client.ingest(
+            session_id, indices=indices, labels=labels, oracle=args.oracle
+        )
+    except ServiceError as error:
+        raise _missing_session_error(directory, error)
+    print(f"ingested labels; committed round {response['round']}, retraining...")
+    return _advance_session(client, session_id, directory, getattr(args, "output", None))
 
 
-def _cmd_session_status(args: argparse.Namespace) -> int:
-    # Status only reads the snapshot; it never rebuilds datasets/models.
-    payload = read_json_document(
-        _session_file(args.dir), SESSION_DIR_FORMAT, SESSION_DIR_VERSION, SessionError
-    )
-    recipe, snapshot = payload["recipe"], payload["session"]
+def _print_status(recipe: dict, snapshot: dict) -> int:
+    """Print one session's state from its recipe + snapshot document."""
     pending = snapshot["pending"]
     print(f"dataset:  {recipe['dataset']} (scale {recipe['scale']})")
     print(f"strategy: {snapshot['config']['strategy']}")
@@ -533,6 +586,74 @@ def _cmd_session_status(args: argparse.Namespace) -> int:
             f"  round {record['round_index']:>3}: metric "
             f"{record['metric']:.4f} at {record['labeled_count']} labels"
         )
+    return 0
+
+
+def _cmd_session_status(args: argparse.Namespace) -> int:
+    directory = getattr(args, "dir", None)
+    if directory is not None:
+        # Status only reads the stored document; it never rebuilds
+        # datasets/models, so it answers instantly even for huge pools.
+        row = JsonSessionStore(directory).load(_DIR_SESSION_ID)
+        if row is None:
+            raise SessionError(
+                f"no session in {directory} (missing {_session_file(directory)}); "
+                f"run 'repro session init --dir {directory}' first"
+            )
+        payload = validate_envelope(
+            row.document,
+            SESSION_DIR_FORMAT,
+            SESSION_DIR_VERSION,
+            SessionError,
+            source=str(_session_file(directory)),
+        )
+        return _print_status(payload["recipe"], payload["session"])
+    client, session_id, _directory = _session_client(args)
+    try:
+        response = client.status(session_id)
+    except ServiceError as error:
+        raise _missing_session_error(None, error)
+    return _print_status(response["recipe"], response["session"])
+
+
+def _cmd_session_result(args: argparse.Namespace) -> int:
+    client, session_id, directory = _session_client(args)
+    try:
+        response = client.result(session_id)
+    except ServiceError as error:
+        raise _missing_session_error(directory, error)
+    envelope = _result_envelope(response)
+    if args.output:
+        atomic_write_json(Path(args.output), envelope)
+        print(f"full audit trail written to {args.output}")
+    else:
+        print(json.dumps(envelope, indent=2))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the AL session server until interrupted."""
+    stores = {}
+    if args.json_dir:
+        stores["json"] = JsonSessionStore(args.json_dir)
+    if args.sqlite:
+        stores["sqlite"] = SqliteSessionStore(args.sqlite)
+    if not stores:
+        # No durable store requested: host sessions in memory (they die
+        # with the process — fine for demos and tests).
+        stores["memory"] = MemorySessionStore()
+    service = SessionService(stores, default_store=args.default_store)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving AL sessions on http://{host}:{port} "
+        f"(stores: {', '.join(sorted(stores))}; default {service.default_store})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
     return 0
 
 
@@ -699,16 +820,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     session = subparsers.add_parser(
         "session",
-        help="drive one annotation session through files on disk "
-             "(external-annotator workflow)",
+        help="drive one annotation session through files on disk or a "
+             "session server (external-annotator workflow)",
     )
     session_sub = session.add_subparsers(dest="session_command", required=True)
 
+    def add_target(sub, with_output=True):
+        """``--dir`` (local files) / ``--server`` + ``--session`` (remote)."""
+        sub.add_argument("--dir", default=None,
+                         help="session directory (local file-based mode)")
+        sub.add_argument("--server", default=None,
+                         help="base URL of a running 'repro serve' "
+                              "(e.g. http://127.0.0.1:8700)")
+        sub.add_argument("--session", default=None,
+                         help="session id on the server (with --server)")
+        if with_output:
+            sub.add_argument("--output", default=None,
+                             help="with --server: write the proposal JSON "
+                                  "here instead of printing it")
+
     init = session_sub.add_parser(
-        "init", help="create a session directory and propose the first batch"
+        "init", help="create a session and propose the first batch"
     )
     add_common(init)
-    init.add_argument("--dir", required=True, help="session directory to create")
+    add_target(init)
     init.add_argument("--strategy", required=True,
                       help="one spec like: entropy, wshs:entropy, lhs:lc")
     init.add_argument("--initial-size", type=int, default=None,
@@ -720,18 +855,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="'warm' resumes each round's retrain from the "
                            "previous round's parameters (faster ingest "
                            "turnaround); 'cold' (default) refits from scratch")
+    init.add_argument("--store", default=None,
+                      help="with --server: store backend to persist the "
+                           "session in (a name the server was started with)")
     init.set_defaults(handler=_cmd_session_init)
 
     propose = session_sub.add_parser(
         "propose", help="advance to (or re-print) the batch awaiting labels"
     )
-    propose.add_argument("--dir", required=True, help="session directory")
+    add_target(propose)
     propose.set_defaults(handler=_cmd_session_propose)
 
     ingest = session_sub.add_parser(
         "ingest", help="label the pending batch, retrain, propose the next one"
     )
-    ingest.add_argument("--dir", required=True, help="session directory")
+    add_target(ingest)
     ingest.add_argument("--labels", default=None,
                         help="JSON file mapping sample index to label (the "
                              "proposal's labels_template, filled in)")
@@ -743,8 +881,41 @@ def build_parser() -> argparse.ArgumentParser:
     status = session_sub.add_parser(
         "status", help="print the session's state without loading any data"
     )
-    status.add_argument("--dir", required=True, help="session directory")
+    add_target(status, with_output=False)
     status.set_defaults(handler=_cmd_session_status)
+
+    result = session_sub.add_parser(
+        "result", help="print or save the finished session's audit trail"
+    )
+    add_target(result, with_output=False)
+    result.add_argument("--output", default=None,
+                        help="write the audit-trail document here instead of "
+                             "printing it")
+    result.set_defaults(handler=_cmd_session_result)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host annotation sessions over HTTP (AL-as-a-service)",
+        description="Run a multi-tenant session server.  Clients create "
+                    "and drive sessions through the JSON API (or through "
+                    "'repro session ... --server URL'); state persists in "
+                    "the configured store backends, so the server can be "
+                    "restarted without losing sessions.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8700,
+                       help="TCP port (default 8700; 0 picks a free one)")
+    serve.add_argument("--json-dir", default=None,
+                       help="expose a 'json' store: one <id>.json document "
+                            "per session in this directory")
+    serve.add_argument("--sqlite", default=None,
+                       help="expose a 'sqlite' store: sessions in this "
+                            "database file with transactional writes")
+    serve.add_argument("--default-store", default=None,
+                       help="store used when a create request names none "
+                            "(default: the first configured store)")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

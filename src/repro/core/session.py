@@ -64,6 +64,8 @@ from ..data.datasets import SequenceDataset, TextDataset
 from ..eval.curves import LearningCurve
 from ..eval.metrics import evaluate_model
 from ..exceptions import ConfigurationError, IngestError, SessionError
+from ..formats import SNAPSHOT_FORMAT, SNAPSHOT_VERSION
+from ..ioutil import validate_envelope
 from ..models.base import supports_param_state, supports_warm_start
 from ..rng import ensure_rng, rng_from_state, rng_state
 from .events import emit
@@ -76,17 +78,17 @@ from .strategies.base import (
     strategy_capabilities,
 )
 
-#: Format marker of :meth:`SessionEngine.snapshot` payloads.
-SNAPSHOT_FORMAT = "repro.al_session"
-#: Version 2 embedded the resolved component specs: the snapshot config
-#: carries the model-prototype and strategy specs, and each per-round
-#: refit record carries the fitted model's full spec — so a snapshot
-#: alone states exactly which components produced it.
-#: Version 3 adds the ``training_mode`` (cold|warm) to the config and
-#: serialized parameter state (``get_params``) plus warm provenance to
-#: every model spec, so restore is O(params) and warm runs resume
-#: deterministically.
-SNAPSHOT_VERSION = 3
+# SNAPSHOT_FORMAT / SNAPSHOT_VERSION are defined in :mod:`repro.formats`
+# (the single source of truth for schema versions) and re-exported here
+# for the module that owns the reader.  Version history:
+# version 2 embedded the resolved component specs: the snapshot config
+# carries the model-prototype and strategy specs, and each per-round
+# refit record carries the fitted model's full spec — so a snapshot
+# alone states exactly which components produced it;
+# version 3 adds the ``training_mode`` (cold|warm) to the config and
+# serialized parameter state (``get_params``) plus warm provenance to
+# every model spec, so restore is O(params) and warm runs resume
+# deterministically.
 
 #: Legal values of the ``training_mode`` knob.
 TRAINING_MODES = ("cold", "warm")
@@ -844,12 +846,13 @@ class SessionEngine:
             If the payload is not a session snapshot, is from an
             unsupported version, or does not match the components.
         """
-        if not isinstance(snapshot, dict) or snapshot.get("format") != SNAPSHOT_FORMAT:
-            raise SessionError("not a session snapshot payload")
-        if snapshot.get("version") != SNAPSHOT_VERSION:
-            raise SessionError(
-                f"unsupported session snapshot version {snapshot.get('version')!r}"
-            )
+        validate_envelope(
+            snapshot,
+            SNAPSHOT_FORMAT,
+            SNAPSHOT_VERSION,
+            SessionError,
+            source="session snapshot",
+        )
         config = snapshot["config"]
         mismatches = []
         if strategy.name != config["strategy"]:

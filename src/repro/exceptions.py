@@ -79,6 +79,39 @@ class CheckpointError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """A session store could not read or write a stored document.
+
+    Raised by :mod:`repro.service.store` backends for corrupt documents,
+    illegal session ids, and backend I/O failures.
+    """
+
+
+class StoreConflictError(StoreError):
+    """An optimistic-concurrency session write lost the race.
+
+    Raised by a version-checked compare-and-swap
+    :meth:`~repro.service.store.SessionStore.save` whose expected
+    version no longer matches the stored one (another writer got there
+    first), and by :meth:`~repro.service.store.SessionStore.create` when
+    the session id already exists.  The AL service maps it to HTTP 409.
+    """
+
+
+class ServiceError(ReproError):
+    """An AL-service request failed; carries the HTTP status code.
+
+    The service layer (:mod:`repro.service.app`) raises it for
+    request-level problems — unknown session id (404), malformed create
+    body (400), unknown store backend (400) — and the client re-raises
+    it for server-side errors that map to no more specific class.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
 class SessionError(ReproError):
     """An active-learning session was driven or restored illegally.
 

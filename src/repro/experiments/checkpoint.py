@@ -34,7 +34,12 @@ snapshots* (``session_*.json``): the
 flight, written after every committed round.  A resumed or retried run
 restores the engine mid-cell instead of recomputing the finished rounds,
 and the snapshot is discarded the moment its cell completes — only
-in-flight cells ever have one on disk.
+in-flight cells ever have one on disk.  These snapshot documents persist
+through a :class:`repro.service.store.JsonSessionStore` — the same
+store contract the AL session service uses — so their on-disk handling
+(atomic writes, corrupt-document detection) is defined once; the
+envelope and fingerprint checks share the :mod:`repro.ioutil` helpers
+with the session CLI and the service.
 """
 
 from __future__ import annotations
@@ -48,19 +53,16 @@ import numpy as np
 
 from ..core.history import HistoryStore
 from ..core.session import ALResult, record_from_dict, record_to_dict
-from ..exceptions import CheckpointError, HistoryError
-from ..ioutil import atomic_write_json, atomic_write_text
+from ..exceptions import CheckpointError, HistoryError, StoreError
+from ..formats import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    SESSION_CHECKPOINT_FORMAT,
+    SESSION_CHECKPOINT_VERSION,
+)
+from ..ioutil import atomic_write_text, check_fingerprint, validate_envelope
+from ..service.store import JsonSessionStore
 from .config import ExperimentConfig
-
-#: Format marker at the top of every cell checkpoint document.
-CHECKPOINT_FORMAT = "repro.al_cell"
-#: Version 2 added the embedded ``specs`` fingerprint.
-CHECKPOINT_VERSION = 2
-
-#: Format marker of the envelope around an in-flight session snapshot.
-SESSION_CHECKPOINT_FORMAT = "repro.al_cell_session"
-#: Version 2 added the embedded ``specs`` fingerprint.
-SESSION_CHECKPOINT_VERSION = 2
 
 
 def cell_stem(strategy: str, repeat: int) -> str:
@@ -155,6 +157,11 @@ class CheckpointStore:
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: In-flight session snapshots persist through the generic
+        #: session-store contract (atomic writes, corruption detection);
+        #: ids are the ``session_<stem>`` file stems, so the layout on
+        #: disk is unchanged.
+        self._sessions = JsonSessionStore(self.directory)
         self._model_spec = model_spec
         self._strategy_specs = strategy_specs or {}
         self._config_fingerprint = {
@@ -179,6 +186,16 @@ class CheckpointStore:
         return {
             "model": self._model_spec,
             "strategy": self._strategy_specs.get(strategy),
+        }
+
+    def _fingerprint(self, strategy: str, repeat: int, seed: int) -> dict:
+        """The identity every document of one cell must carry to be fresh."""
+        return {
+            "strategy": strategy,
+            "repeat": int(repeat),
+            "seed": int(seed),
+            "config": self._config_fingerprint,
+            "specs": self._cell_specs(strategy),
         }
 
     def cell_path(self, strategy: str, repeat: int) -> Path:
@@ -225,20 +242,13 @@ class CheckpointStore:
             raise CheckpointError(
                 f"unsupported checkpoint version {payload.get('version')!r} in {path}"
             )
-        expected = {
-            "strategy": strategy,
-            "repeat": int(repeat),
-            "seed": int(seed),
-            "config": self._config_fingerprint,
-            "specs": self._cell_specs(strategy),
-        }
-        actual = {key: payload.get(key) for key in expected}
-        if actual != expected:
-            raise CheckpointError(
-                f"stale checkpoint {path}: it was written by a different run "
-                f"(expected {expected}, found {actual}); clear the checkpoint "
-                "directory or rerun without resume"
-            )
+        check_fingerprint(
+            payload,
+            self._fingerprint(strategy, repeat, seed),
+            CheckpointError,
+            source=f"checkpoint {path}",
+            hint="clear the checkpoint directory or rerun without resume",
+        )
         try:
             return result_from_dict(payload["result"])
         except (KeyError, TypeError, ValueError, HistoryError) as error:
@@ -246,14 +256,18 @@ class CheckpointStore:
 
     # -- in-flight session snapshots -----------------------------------------
 
-    def session_path(self, strategy: str, repeat: int) -> Path:
-        """The round-level snapshot file of one in-flight cell.
+    def _session_id(self, strategy: str, repeat: int) -> str:
+        """The cell's id in the session store.
 
-        Named ``session_*`` so completed-cell bookkeeping (and anything
-        globbing ``cell_*.json``) never mistakes an in-flight snapshot
-        for a finished result.
+        Prefixed ``session_`` so completed-cell bookkeeping (and
+        anything globbing ``cell_*.json``) never mistakes an in-flight
+        snapshot for a finished result.
         """
-        return self.directory / f"session_{cell_stem(strategy, repeat)}.json"
+        return f"session_{cell_stem(strategy, repeat)}"
+
+    def session_path(self, strategy: str, repeat: int) -> Path:
+        """The round-level snapshot file of one in-flight cell."""
+        return self._sessions.path(self._session_id(strategy, repeat))
 
     def save_session(
         self, strategy: str, repeat: int, seed: int, snapshot: dict
@@ -270,9 +284,8 @@ class CheckpointStore:
             "specs": self._cell_specs(strategy),
             "session": snapshot,
         }
-        path = self.session_path(strategy, repeat)
-        atomic_write_json(path, payload)
-        return path
+        self._sessions.save(self._session_id(strategy, repeat), payload)
+        return self.session_path(strategy, repeat)
 
     def load_session(self, strategy: str, repeat: int, seed: int) -> "dict | None":
         """The cell's mid-run session snapshot, or ``None`` if absent.
@@ -285,36 +298,28 @@ class CheckpointStore:
             differently fingerprinted run.
         """
         path = self.session_path(strategy, repeat)
-        if not path.exists():
-            return None
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            raise CheckpointError(f"corrupt session snapshot {path}: {error}") from error
-        if (
-            not isinstance(payload, dict)
-            or payload.get("format") != SESSION_CHECKPOINT_FORMAT
-        ):
-            raise CheckpointError(f"{path} is not a cell session snapshot")
-        if payload.get("version") != SESSION_CHECKPOINT_VERSION:
+            row = self._sessions.load(self._session_id(strategy, repeat))
+        except StoreError as error:
             raise CheckpointError(
-                f"unsupported session snapshot version "
-                f"{payload.get('version')!r} in {path}"
-            )
-        expected = {
-            "strategy": strategy,
-            "repeat": int(repeat),
-            "seed": int(seed),
-            "config": self._config_fingerprint,
-            "specs": self._cell_specs(strategy),
-        }
-        actual = {key: payload.get(key) for key in expected}
-        if actual != expected:
-            raise CheckpointError(
-                f"stale session snapshot {path}: it was written by a different "
-                f"run (expected {expected}, found {actual}); clear the "
-                "checkpoint directory or rerun without resume"
-            )
+                f"corrupt session snapshot {path}: {error}"
+            ) from error
+        if row is None:
+            return None
+        payload = validate_envelope(
+            row.document,
+            SESSION_CHECKPOINT_FORMAT,
+            SESSION_CHECKPOINT_VERSION,
+            CheckpointError,
+            source=f"session snapshot {path}",
+        )
+        check_fingerprint(
+            payload,
+            self._fingerprint(strategy, repeat, seed),
+            CheckpointError,
+            source=f"session snapshot {path}",
+            hint="clear the checkpoint directory or rerun without resume",
+        )
         session = payload.get("session")
         if not isinstance(session, dict):
             raise CheckpointError(f"corrupt session snapshot {path}: no session")
@@ -322,7 +327,4 @@ class CheckpointStore:
 
     def discard_session(self, strategy: str, repeat: int) -> None:
         """Remove the cell's in-flight snapshot once the cell completes."""
-        try:
-            self.session_path(strategy, repeat).unlink()
-        except FileNotFoundError:
-            pass
+        self._sessions.delete(self._session_id(strategy, repeat))

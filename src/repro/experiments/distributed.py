@@ -97,11 +97,9 @@ from .runner import (
     grid_repeat_seeds,
 )
 
-QUEUE_FORMAT = "repro.cell_queue"
-QUEUE_VERSION = 1
-
-CELL_FORMAT = "repro.cell_ticket"
-CELL_VERSION = 1
+# Queue and ticket schema constants live in :mod:`repro.formats` and are
+# re-exported here by the module that owns their readers.
+from ..formats import CELL_FORMAT, CELL_VERSION, QUEUE_FORMAT, QUEUE_VERSION
 
 #: Queue backends :func:`create_queue` accepts.
 QUEUE_BACKENDS = ("file", "sqlite")

@@ -82,6 +82,58 @@ def atomic_write_json(path: "str | Path", payload: dict, durable: bool = False) 
     atomic_write_text(path, json.dumps(payload), durable=durable)
 
 
+def validate_envelope(
+    payload,
+    expected_format: str,
+    expected_version: int,
+    error_cls: type[Exception],
+    source: str,
+) -> dict:
+    """Check a decoded document's ``format``/``version`` envelope.
+
+    All persistent artifacts of this package (rankers, checkpoints,
+    session snapshots, stored service sessions) share the same envelope:
+    a JSON object with ``format`` and ``version`` keys (see
+    :mod:`repro.formats`).  This helper centralises the two payload-side
+    failure modes — wrong document kind, unsupported version — raising
+    ``error_cls`` (the caller's domain error) with ``source`` naming
+    where the document came from (a path, an endpoint, "session
+    snapshot", ...).  Returns the payload unchanged on success.
+    """
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise error_cls(f"{source} is not a {expected_format!r} document")
+    if payload.get("version") != expected_version:
+        raise error_cls(
+            f"unsupported {expected_format!r} version {payload.get('version')!r} "
+            f"in {source} (expected {expected_version})"
+        )
+    return payload
+
+
+def check_fingerprint(
+    payload: dict,
+    expected: dict,
+    error_cls: type[Exception],
+    source: str,
+    hint: str,
+) -> None:
+    """Refuse a document whose run fingerprint does not match ``expected``.
+
+    Checkpoints and session snapshots embed a fingerprint of the run
+    that wrote them (strategy, repeat, seed, config, resolved specs);
+    resuming must never silently mix artifacts from different runs, so a
+    mismatch raises ``error_cls`` describing both sides.  ``source``
+    names the stale document ("checkpoint <path>", "session snapshot
+    <path>"); ``hint`` tells the operator how to recover.
+    """
+    actual = {key: payload.get(key) for key in expected}
+    if actual != expected:
+        raise error_cls(
+            f"stale {source}: it was written by a different run "
+            f"(expected {expected}, found {actual}); {hint}"
+        )
+
+
 def read_json_document(
     path: "str | Path",
     expected_format: str,
@@ -90,22 +142,15 @@ def read_json_document(
 ) -> dict:
     """Read a versioned JSON document, validating its format marker.
 
-    All on-disk artifacts of this package (rankers, checkpoints, session
-    snapshots) share the same envelope: a JSON object with ``format`` and
-    ``version`` keys.  This helper centralises the three failure modes —
-    unreadable file, wrong document kind, unsupported version — raising
-    ``error_cls`` (the caller's domain error) for each.
+    The file-based front end of :func:`validate_envelope`: reads and
+    decodes ``path`` (unreadable file → ``error_cls``), then validates
+    the envelope with the path itself as the error source.
     """
     path = Path(path)
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
         raise error_cls(f"cannot read {path}: {error}") from error
-    if not isinstance(payload, dict) or payload.get("format") != expected_format:
-        raise error_cls(f"{path} is not a {expected_format!r} document")
-    if payload.get("version") != expected_version:
-        raise error_cls(
-            f"unsupported {expected_format!r} version {payload.get('version')!r} "
-            f"in {path} (expected {expected_version})"
-        )
-    return payload
+    return validate_envelope(
+        payload, expected_format, expected_version, error_cls, source=str(path)
+    )

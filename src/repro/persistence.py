@@ -20,6 +20,7 @@ import numpy as np
 from .core.features import RankingFeatureExtractor
 from .core.ranker_training import LHSRanker
 from .exceptions import DataError
+from .formats import RANKER_FORMAT, RANKER_VERSION
 from .ioutil import atomic_write_text
 from .ltr.lambdamart import LambdaMART
 from .ltr.trees import RegressionTree, _Node
@@ -27,7 +28,9 @@ from .models.lstm import LSTMRegressor
 from .timeseries.autoregressive import ARPredictor
 from .timeseries.predictor import ARNextScorePredictor, LSTMNextScorePredictor
 
-FORMAT_VERSION = 1
+# The ranker document's schema constants live in :mod:`repro.formats`;
+# FORMAT_VERSION is kept as the historical alias of RANKER_VERSION.
+FORMAT_VERSION = RANKER_VERSION
 
 
 # -- trees -------------------------------------------------------------------
@@ -211,7 +214,7 @@ def save_lhs_ranker(ranker: LHSRanker, path: "str | Path") -> None:
     leaves any existing file at ``path`` intact rather than truncated.
     """
     payload = {
-        "format": "repro.lhs_ranker",
+        "format": RANKER_FORMAT,
         "version": FORMAT_VERSION,
         "base_name": ranker.base_name,
         "training_rows": ranker.training_rows,
@@ -233,7 +236,7 @@ def load_lhs_ranker(path: "str | Path") -> LHSRanker:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as error:
         raise DataError(f"cannot read ranker file {path}: {error}") from error
-    if not isinstance(payload, dict) or payload.get("format") != "repro.lhs_ranker":
+    if not isinstance(payload, dict) or payload.get("format") != RANKER_FORMAT:
         raise DataError(f"{path} is not an LHS ranker document")
     if payload.get("version") != FORMAT_VERSION:
         raise DataError(

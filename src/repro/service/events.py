@@ -1,0 +1,133 @@
+"""Incremental per-session event feeds for service clients.
+
+The engine announces its lifecycle through
+:class:`~repro.core.events.SessionObserver` hooks, which pass *live*
+objects (the fitted model, numpy score vectors).  Remote clients cannot
+receive those, so :class:`SessionEventFeed` is the adapter: it observes
+one hosted session and appends a JSON-safe record per event, each tagged
+with a monotonically increasing ``seq``.  Clients poll
+``GET /sessions/{id}/events?after=N`` and receive exactly the events
+with ``seq > N`` — an at-least-once, in-order, resumable stream without
+any server-side push machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..core.events import SessionObserver
+
+__all__ = ["SessionEventFeed"]
+
+
+def _float_or_none(value) -> "float | None":
+    """``value`` as a plain float, with NaN mapped to ``None`` (JSON-safe)."""
+    number = float(value)
+    return None if np.isnan(number) else number
+
+
+class SessionEventFeed(SessionObserver):
+    """Observer that buffers a session's lifecycle as JSON-safe events.
+
+    Every event is a dict with at least ``seq`` (1-based, strictly
+    increasing) and ``event`` (the observer hook name); the remaining
+    keys are the hook's payload reduced to JSON scalars and lists —
+    indices become plain ints, score vectors become summary statistics,
+    the final result becomes its round count and metric curve.  The feed
+    is thread-safe: the engine thread appends while client threads read.
+
+    ``max_events`` bounds memory per session; when the buffer is full
+    the oldest events are dropped (their ``seq`` numbers are never
+    reused, so a poller that fell behind sees the gap rather than
+    silently wrong data).
+    """
+
+    def __init__(self, max_events: int = 1000) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._seq = 0
+        self.max_events = int(max_events)
+
+    def _append(self, event: str, payload: dict) -> None:
+        """Tag ``payload`` with the next ``seq`` and buffer it."""
+        with self._lock:
+            self._seq += 1
+            record = {"seq": self._seq, "event": event}
+            record.update(payload)
+            self._events.append(record)
+            if len(self._events) > self.max_events:
+                del self._events[: len(self._events) - self.max_events]
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent event (0 if none yet)."""
+        with self._lock:
+            return self._seq
+
+    def since(self, after: int = 0) -> list[dict]:
+        """All buffered events with ``seq`` greater than ``after``.
+
+        Returns copies, oldest first, so callers can serialize them
+        without racing the engine thread.
+        """
+        with self._lock:
+            return [dict(event) for event in self._events if event["seq"] > int(after)]
+
+    def round_started(self, round_index: int, labeled_count: int) -> None:
+        """Buffer a round-start marker with the current labeled count."""
+        self._append(
+            "round_started",
+            {"round": int(round_index), "labeled_count": int(labeled_count)},
+        )
+
+    def model_trained(self, round_index: int, model, metric: float) -> None:
+        """Buffer the round's held-out metric (the model itself is not
+        serializable and stays server-side)."""
+        self._append(
+            "model_trained",
+            {"round": int(round_index), "metric": _float_or_none(metric)},
+        )
+
+    def scores_computed(self, round_index: int, scores: np.ndarray) -> None:
+        """Buffer summary statistics of the proposed batch's scores."""
+        scores = np.asarray(scores, dtype=float)
+        finite = scores[np.isfinite(scores)]
+        self._append(
+            "scores_computed",
+            {
+                "round": int(round_index),
+                "count": int(scores.size),
+                "mean": float(finite.mean()) if finite.size else None,
+                "min": float(finite.min()) if finite.size else None,
+                "max": float(finite.max()) if finite.size else None,
+            },
+        )
+
+    def batch_selected(self, round_index: int, indices: np.ndarray) -> None:
+        """Buffer the proposed batch as a plain list of pool indices."""
+        self._append(
+            "batch_selected",
+            {
+                "round": int(round_index),
+                "indices": [int(index) for index in np.asarray(indices)],
+            },
+        )
+
+    def round_committed(self, round_index: int, record) -> None:
+        """Buffer a commit marker (with the round's metric when known)."""
+        payload = {"round": int(round_index)}
+        if record is not None:
+            payload["metric"] = _float_or_none(record.metric)
+        self._append("round_committed", payload)
+
+    def session_finished(self, result) -> None:
+        """Buffer the terminal event with the full metric curve."""
+        self._append(
+            "session_finished",
+            {
+                "rounds": len(result.records),
+                "curve": [_float_or_none(record.metric) for record in result.records],
+            },
+        )

@@ -29,8 +29,9 @@ from dataclasses import dataclass, field
 
 from ..exceptions import SpecError
 
-#: Version stamped into (and required of) every serialised spec.
-SPEC_VERSION = 1
+# Stamped into (and required of) every serialised spec; defined in
+# :mod:`repro.formats` and re-exported by the module that owns the reader.
+from ..formats import SPEC_VERSION
 
 
 def _json_clean(value):

@@ -35,14 +35,15 @@ from pathlib import Path
 from ..core.strategies.base import strategy_capabilities
 from ..exceptions import SpecError
 from ..experiments.config import ExperimentConfig
+from ..formats import EXPERIMENT_FORMAT, EXPERIMENT_VERSION
 from ..ioutil import atomic_write_json
 from .core import Spec, as_spec
 from .data import DATASET_TASKS, build_dataset, build_split
 from .models import build_model
 from .strategies import build_strategy
 
-EXPERIMENT_FORMAT = "repro.experiment"
-EXPERIMENT_VERSION = 1
+# EXPERIMENT_FORMAT / EXPERIMENT_VERSION come from :mod:`repro.formats`
+# (the single source of truth for schema versions).
 
 #: Runner options an experiment document may set (with their defaults).
 RUNNER_DEFAULTS = {

@@ -1,0 +1,1 @@
+"""Tests for the AL-as-a-service layer (:mod:`repro.service`)."""
