@@ -14,8 +14,10 @@ code paths, and writes the measurements to ``BENCH_hotpaths.json``,
 ``BENCH_distscale.json``, ``BENCH_warmstart.json`` (cold-vs-warm
 end-to-end training per model family), and ``BENCH_service.json``
 (the AL session server: concurrent HTTP sessions/sec, request latency
-percentiles per store backend, byte-identity against serial runs) at
-the repo root so later PRs can track the perf trajectory.
+percentiles per store backend, byte-identity against serial runs), and
+``BENCH_sweep.json`` (scenario-grid sweeps: cells/sec cold vs resumed,
+per-cell transform and metric-pipeline overhead) at the repo root so
+later PRs can track the perf trajectory.
 
 Usage::
 
@@ -62,7 +64,12 @@ from repro.core.strategies import Entropy, Random, WSHS
 from repro.core.strategies.base import SelectionContext
 from repro.data.ner import NERCorpusSpec, make_ner_corpus
 from repro.data.text import TextCorpusSpec, make_text_corpus
-from repro.experiments import ExperimentConfig, run_comparison
+from repro.experiments import (
+    ExperimentConfig,
+    metric_matrices,
+    run_comparison,
+    run_sweep,
+)
 from repro.experiments.distributed import (
     LeaseConfig,
     create_queue,
@@ -78,7 +85,7 @@ from repro.service import (
     build_session_components,
     make_server,
 )
-from repro.specs import ExperimentSpec, Spec
+from repro.specs import ExperimentSpec, Spec, SweepSpec
 from repro.ltr.lambdamart import (
     LambdaMART,
     RankingDataset,
@@ -100,6 +107,7 @@ POOL_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_poolscale.
 DIST_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_distscale.json"
 WARM_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_warmstart.json"
 SERVICE_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+SWEEP_OUTPUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
 
 class _LegacyHistoryStore:
@@ -1087,6 +1095,179 @@ def run_service_scale(quick: bool, output: Path) -> dict:
     return results
 
 
+# -- scenario-sweep suite (BENCH_sweep.json) ---------------------------------
+
+
+def _sweep_document(axes_cells: int, repeats: int) -> dict:
+    """A noise x cost sweep document over a small seeded experiment."""
+    base = ExperimentSpec(
+        dataset=Spec(kind="mr", params={"scale": 0.05, "seed": 7}),
+        split=Spec(kind="fraction", params={"test_fraction": 0.3}),
+        model=Spec(kind="linear", params={"epochs": 2, "batch_size": 32, "seed": 0}),
+        strategies={"random": Spec(kind="random"), "entropy": Spec(kind="entropy")},
+        config=ExperimentConfig(
+            batch_size=10, rounds=2, repeats=repeats, seed=9, track_flips=True
+        ),
+    ).to_dict()
+    noise_cells = [{"name": "clean"}] + [
+        {
+            "name": f"p{10 * level}",
+            "transforms": [
+                {"kind": "label_noise", "params": {"rate": 0.1 * level}}
+            ],
+        }
+        for level in range(1, axes_cells)
+    ]
+    return {
+        "format": "repro.sweep",
+        "version": 1,
+        "name": "bench",
+        "base": base,
+        "scenario_seed": 1,
+        "axes": [
+            {"name": "noise", "cells": noise_cells},
+            {
+                "name": "cost",
+                "cells": [
+                    {"name": "unit"},
+                    {
+                        "name": "length",
+                        "transforms": [
+                            {
+                                "kind": "annotation_cost",
+                                "params": {
+                                    "model": "length",
+                                    "base": 1.0,
+                                    "per_token": 0.05,
+                                },
+                            }
+                        ],
+                    },
+                ],
+            },
+        ],
+        "metrics": [
+            {"kind": "final"},
+            {"kind": "auc"},
+            {"kind": "speedup", "params": {"fraction": 0.9}},
+            {"kind": "contradiction"},
+            {"kind": "cost_auc"},
+        ],
+    }
+
+
+def bench_sweep_scale(axes_cells: int, repeats: int) -> dict:
+    """Cold vs resumed wall time of one scenario grid, plus identity checks.
+
+    Measures cells/sec through the checkpointed runner, the resume
+    speedup when every cell is already checkpointed, and — the sweep
+    system's anchor contract — that the degenerate axis-free sweep
+    reproduces a plain ``run_comparison`` of the base document exactly.
+    """
+    sweep = SweepSpec.from_dict(_sweep_document(axes_cells, repeats))
+    workdir = Path(tempfile.mkdtemp(prefix="bench_sweep_"))
+    try:
+        start = time.perf_counter()
+        cold = run_sweep(sweep, sweep_dir=workdir / "state")
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        resumed = run_sweep(sweep, sweep_dir=workdir / "state", resume=True)
+        resumed_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    resumed_identical = all(
+        a.results[name].curve.values.tobytes()
+        == b.results[name].curve.values.tobytes()
+        for a, b in zip(cold.cells, resumed.cells)
+        for name in a.results
+    )
+
+    # Degenerate contract: the axis-free sweep IS run_comparison.
+    degenerate_document = dict(_sweep_document(axes_cells, repeats), axes=[])
+    degenerate = SweepSpec.from_dict(degenerate_document)
+    base = ExperimentSpec.from_dict(degenerate.base)
+    train, test, _task = base.build_datasets()
+    start = time.perf_counter()
+    reference = run_comparison(
+        base.resolved_model(), base.strategies, train, test, config=base.config
+    )
+    reference_seconds = time.perf_counter() - start
+    (degenerate_cell,) = run_sweep(degenerate).cells
+    degenerate_identical = all(
+        degenerate_cell.results[name].curve.values.tobytes()
+        == reference[name].curve.values.tobytes()
+        for name in reference
+    )
+
+    start = time.perf_counter()
+    matrices = metric_matrices(cold)
+    matrices_seconds = time.perf_counter() - start
+
+    n_cells = len(cold.cells)
+    return {
+        "grid": f"{axes_cells}x2",
+        "cells": n_cells,
+        "repeats": repeats,
+        "cold_seconds": cold_seconds,
+        "cold_cells_per_second": n_cells / cold_seconds,
+        "resumed_seconds": resumed_seconds,
+        "resume_speedup": cold_seconds / resumed_seconds,
+        "reference_experiment_seconds": reference_seconds,
+        "metric_matrices": len(matrices),
+        "metric_matrices_seconds": matrices_seconds,
+        "identity": {
+            "resumed_identical": resumed_identical,
+            "degenerate_identical": degenerate_identical,
+        },
+    }
+
+
+def run_sweep_scale(quick: bool, output: Path) -> dict:
+    """Run the scenario-sweep suite and write ``BENCH_sweep.json``."""
+    print(f"[bench_sweep] mode={'quick' if quick else 'full'}")
+    axes_cells = 2 if quick else 3
+    repeats = 1 if quick else 2
+    results = {"scale": bench_sweep_scale(axes_cells, repeats)}
+    scale = results["scale"]
+    print(
+        f"  {scale['grid']} grid ({scale['cells']} cells, "
+        f"{scale['repeats']} repeat{'s' if scale['repeats'] != 1 else ''}): "
+        f"cold {scale['cold_seconds']:6.2f} s "
+        f"({scale['cold_cells_per_second']:.2f} cells/s)"
+    )
+    print(
+        f"  resume from complete checkpoints: {scale['resumed_seconds']:6.2f} s "
+        f"({scale['resume_speedup']:.1f}x)"
+    )
+    print(
+        f"  metric matrices: {scale['metric_matrices']} rendered in "
+        f"{scale['metric_matrices_seconds'] * 1e3:.1f} ms"
+    )
+    print(
+        f"  identity: degenerate sweep == run_comparison: "
+        f"{scale['identity']['degenerate_identical']}; "
+        f"resume byte-identical: {scale['identity']['resumed_identical']}"
+    )
+    if not scale["identity"]["degenerate_identical"]:
+        raise AssertionError("degenerate sweep diverged from run_comparison")
+    if not scale["identity"]["resumed_identical"]:
+        raise AssertionError("resumed sweep diverged from the cold run")
+
+    payload = {
+        "benchmark": "sweep_scale",
+        "mode": "quick" if quick else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "results": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_sweep] wrote {output}")
+    return results
+
+
 # -- warm-start suite -------------------------------------------------------
 
 #: Quality-parity tolerance on final accuracy between cold and warm runs
@@ -1279,6 +1460,12 @@ def main(argv: "list[str] | None" = None) -> int:
         help="session-service JSON output path",
     )
     parser.add_argument(
+        "--sweep-output",
+        type=Path,
+        default=SWEEP_OUTPUT_DEFAULT,
+        help="scenario-sweep JSON output path",
+    )
+    parser.add_argument(
         "--suite",
         choices=(
             "all",
@@ -1288,6 +1475,7 @@ def main(argv: "list[str] | None" = None) -> int:
             "dist_scale",
             "warm_start",
             "service_scale",
+            "sweep_scale",
         ),
         default="all",
         help="which benchmark suite(s) to run",
@@ -1313,6 +1501,9 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     if arguments.suite == "service_scale":
         run_service_scale(quick, arguments.service_output)
+        return 0
+    if arguments.suite == "sweep_scale":
+        run_sweep_scale(quick, arguments.sweep_output)
         return 0
 
     results: dict[str, dict] = {}
@@ -1390,6 +1581,7 @@ def main(argv: "list[str] | None" = None) -> int:
         run_dist_scale(quick, arguments.dist_output)
         run_warm_start(quick, arguments.warm_output)
         run_service_scale(quick, arguments.service_output)
+        run_sweep_scale(quick, arguments.sweep_output)
     return 0
 
 

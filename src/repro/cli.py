@@ -74,17 +74,21 @@ from .exceptions import (
     ServiceError,
     SessionError,
 )
-from .experiments import ExperimentConfig, RetryPolicy, plot_curves, run_comparison
-from .experiments.distributed import (
-    LeaseConfig,
-    run_distributed,
-    run_worker,
-)
+from .experiments import ExperimentConfig, plot_curves
+from .experiments.distributed import run_worker
 from .experiments.reporting import (
     accumulate_phase_times,
     format_curve_table,
+    format_metric_table,
     format_phase_times,
+    format_sweep_matrix,
     format_target_table,
+)
+from .experiments.sweep import (
+    cell_directories,
+    execute_experiment,
+    metric_matrices,
+    run_sweep,
 )
 from .formats import (
     SESSION_DIR_FORMAT,
@@ -106,6 +110,7 @@ from .service import (
 from .specs import (
     ExperimentSpec,
     Spec,
+    SweepSpec,
     build_dataset,
     build_model,
     build_split,
@@ -186,41 +191,8 @@ def _experiment_from_flags(args: argparse.Namespace) -> ExperimentSpec:
     return spec
 
 
-def _run_experiment(spec: ExperimentSpec) -> int:
-    """Execute one experiment document and print its report."""
-    runner = spec.runner
-    if runner["resume"] and not runner["checkpoint_dir"]:
-        raise ConfigurationError("--resume requires --checkpoint-dir")
-    retry = RetryPolicy(
-        max_attempts=runner["max_retries"] + 1, backoff=runner["backoff"]
-    )
-    train, test, task = spec.build_datasets()
-    if runner["queue_dir"]:
-        results = run_distributed(
-            spec,
-            runner["queue_dir"],
-            workers=runner["local_workers"],
-            backend=runner["queue_backend"],
-            lease=LeaseConfig(ttl=runner["lease_ttl"]),
-            retry=retry,
-            on_error=runner["on_error"],
-            timeout=runner["timeout"],
-            checkpoint_dir=runner["checkpoint_dir"],
-        )
-    else:
-        results = run_comparison(
-            spec.resolved_model(),
-            spec.strategies,
-            train,
-            test,
-            config=spec.config,
-            n_jobs=runner["n_jobs"],
-            checkpoint_dir=runner["checkpoint_dir"],
-            resume=runner["resume"],
-            retry=retry,
-            on_error=runner["on_error"],
-            start_method=runner["start_method"],
-        )
+def _print_report(spec: ExperimentSpec, results: dict, train, task: str) -> None:
+    """Print one experiment's report (warnings and timings to stderr)."""
     for result in results.values():
         for failure in result.failures:
             print(
@@ -265,6 +237,12 @@ def _run_experiment(spec: ExperimentSpec) -> int:
     if spec.report["plot"]:
         print()
         print(plot_curves(curves))
+
+
+def _run_experiment(spec: ExperimentSpec) -> int:
+    """Execute one experiment document and print its report."""
+    results, train, _test, task = execute_experiment(spec)
+    _print_report(spec, results, train, task)
     return 0
 
 
@@ -276,6 +254,75 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     return _run_experiment(ExperimentSpec.from_file(args.config))
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    """Execute every cell of a sweep document and print matrix reports."""
+    sweep = SweepSpec.from_file(args.file)
+    cells = sweep.cells()
+    if len(cells) == 1 and cells[0].document == sweep.base:
+        # Degenerate 1x1 sweep with no perturbations: run the base
+        # document through the exact 'repro run --config' path, so the
+        # output is byte-identical to it (the contract sweep semantics
+        # are anchored on).
+        spec = cells[0].spec
+        if args.sweep_dir:
+            checkpoint_dir, _queue = cell_directories(args.sweep_dir, cells[0])
+            checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            spec.runner["checkpoint_dir"] = str(checkpoint_dir)
+            if args.resume:
+                spec.runner["resume"] = True
+        return _run_experiment(spec)
+    total = len(cells)
+    progress = {"done": 0}
+
+    def on_cell(result, train) -> None:
+        progress["done"] += 1
+        print(f"=== cell {result.cell.key} ({progress['done']}/{total}) ===")
+        _print_report(result.cell.spec, result.results, train, result.task)
+        print()
+        print(format_metric_table(
+            result.metrics, title=f"metrics: {result.cell.key}"
+        ))
+        print()
+
+    outcome = run_sweep(
+        sweep, sweep_dir=args.sweep_dir, resume=args.resume, on_cell=on_cell
+    )
+    for matrix in metric_matrices(outcome):
+        corner = (
+            f"{matrix['row_axis']} \\ {matrix['col_axis']}"
+            if matrix["row_axis"]
+            else matrix["col_axis"]
+        )
+        print(format_sweep_matrix(
+            matrix["values"],
+            matrix["rows"],
+            matrix["cols"],
+            corner=corner,
+            title=f"{matrix['metric']} [{matrix['strategy']}] across the grid",
+        ))
+        print()
+    return 0
+
+
+def _cmd_sweep_validate(args: argparse.Namespace) -> int:
+    sweep = SweepSpec.from_file(args.file)
+    for note in sweep.validate():
+        print(note)
+    print(f"{args.file}: valid sweep document")
+    return 0
+
+
+def _cmd_sweep_show(args: argparse.Namespace) -> int:
+    sweep = SweepSpec.from_file(args.file)
+    if args.cells:
+        for cell in sweep.cells():
+            print(f"=== cell {cell.key or '(degenerate)'} [{cell.slug}] ===")
+            print(json.dumps(cell.document, indent=2))
+        return 0
+    print(json.dumps(sweep.to_dict(), indent=2))
+    return 0
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -780,6 +827,45 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print a runnable starting-point document instead")
     show.set_defaults(handler=_cmd_config_show)
 
+    sweep_cmd = subparsers.add_parser(
+        "sweep",
+        help="run scenario-grid sweeps over one base experiment document",
+        description="A sweep document (format 'repro.sweep') crosses a "
+                    "base experiment with perturbation axes (label noise, "
+                    "class imbalance, lexicon shift, annotation costs) and "
+                    "reports pluggable metrics per grid cell.",
+    )
+    sweep_sub = sweep_cmd.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="execute every grid cell and print matrix reports"
+    )
+    sweep_run.add_argument("file", help="sweep JSON document (format 'repro.sweep')")
+    sweep_run.add_argument("--sweep-dir", default=None,
+                           help="directory holding one checkpoint (and, for "
+                                "distributed bases, queue) subdirectory per "
+                                "cell; required for --resume")
+    sweep_run.add_argument("--resume", action="store_true",
+                           help="reuse cells already checkpointed under "
+                                "--sweep-dir instead of recomputing them")
+    sweep_run.set_defaults(handler=_cmd_sweep_run)
+
+    sweep_validate = sweep_sub.add_parser(
+        "validate",
+        help="build every transform, cell, and metric of a sweep once",
+    )
+    sweep_validate.add_argument("file", help="sweep JSON document to check")
+    sweep_validate.set_defaults(handler=_cmd_sweep_validate)
+
+    sweep_show = sweep_sub.add_parser(
+        "show", help="print a normalised sweep document (or its cells)"
+    )
+    sweep_show.add_argument("file", help="sweep JSON document to print")
+    sweep_show.add_argument("--cells", action="store_true",
+                            help="print each derived per-cell experiment "
+                                 "document instead")
+    sweep_show.set_defaults(handler=_cmd_sweep_show)
+
     worker = subparsers.add_parser(
         "worker",
         help="join a distributed comparison grid as a worker process",
@@ -942,6 +1028,11 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         elif getattr(args, "checkpoint_dir", None):
             hint = (
                 f"; completed cells are checkpointed in {args.checkpoint_dir} "
+                "— rerun with --resume to continue"
+            )
+        elif getattr(args, "sweep_dir", None):
+            hint = (
+                f"; completed cells are checkpointed under {args.sweep_dir} "
                 "— rerun with --resume to continue"
             )
         print(f"interrupted{hint}", file=sys.stderr)

@@ -232,6 +232,11 @@ class HistoryStore:
         # Reusable scratch for the O(N) duplicate-index check in append()
         # (kept all-False between calls; avoids a per-append sort/unique).
         self._index_seen = np.zeros(self.n_samples, dtype=bool)
+        # Optional per-round predicted-label records (contradiction-rate
+        # metric).  Sparse (round, indices, labels) triples; empty unless
+        # the engine runs with track_flips.  Labels never travel through
+        # share_descriptor/attach — attached stores see scores only.
+        self._label_rounds: "list[tuple[int, np.ndarray, np.ndarray]]" = []
 
     @property
     def backend(self) -> str:
@@ -340,13 +345,19 @@ class HistoryStore:
         store reallocates on the same backend kind.  (Zero-copy transfer
         is :meth:`share_descriptor` / :meth:`attach`, not pickling.)
         """
-        return {
+        state = {
             "n_samples": self.n_samples,
             "strategy_name": self.strategy_name,
             "backend": self._backend.kind,
             "matrix": np.asarray(self._matrix).copy(),
             "round_ids": self._round_ids[: self._size].copy(),
         }
+        if self._label_rounds:
+            state["label_rounds"] = [
+                (round_index, indices.copy(), labels.copy())
+                for round_index, indices, labels in self._label_rounds
+            ]
+        return state
 
     def __setstate__(self, state: dict) -> None:
         self.__init__(
@@ -361,6 +372,8 @@ class HistoryStore:
             self._round_ids[: len(matrix)] = state["round_ids"]
             self._size = len(matrix)
             self._recompute_last_scores()
+        for round_index, indices, labels in state.get("label_rounds", []):
+            self.append_labels(round_index, indices, labels)
 
     def _recompute_last_scores(self) -> None:
         """Rebuild the last-observation cache from the recorded matrix."""
@@ -420,7 +433,60 @@ class HistoryStore:
         self._last_score[indices] = scores
         self._size += 1
 
+    def append_labels(
+        self, round_index: int, indices: np.ndarray, labels: np.ndarray
+    ) -> None:
+        """Record predicted ``labels`` for ``indices`` at ``round_index``.
+
+        The label record is a sparse side channel next to the score
+        matrix: the contradiction-rate metric compares consecutive
+        rounds' predictions per sample (a "flip" is a changed label).
+        Label rounds follow the same strictly-increasing, record-once
+        discipline as :meth:`append`, but are otherwise independent —
+        a round may record scores, labels, both, or neither.
+
+        Raises
+        ------
+        HistoryError
+            On out-of-order or duplicate label rounds, misaligned
+            inputs, out-of-range indices, or an attached (read-only)
+            store.
+        """
+        if self._readonly:
+            raise HistoryError("attached history stores are read-only")
+        indices = np.asarray(indices, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if indices.shape != labels.shape or indices.ndim != 1:
+            raise HistoryError(
+                f"indices {indices.shape} and labels {labels.shape} must be "
+                "1-D and aligned"
+            )
+        if self._label_rounds and round_index <= self._label_rounds[-1][0]:
+            raise HistoryError(
+                f"label round {round_index} not after last recorded label "
+                f"round {self._label_rounds[-1][0]}"
+            )
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= self.n_samples:
+                raise HistoryError("sample index out of range")
+            self._index_seen[indices] = True
+            distinct = int(np.count_nonzero(self._index_seen))
+            self._index_seen[indices] = False
+            if distinct != len(indices):
+                raise HistoryError("duplicate sample indices in one label round")
+        self._label_rounds.append((int(round_index), indices.copy(), labels.copy()))
+
     # -- introspection --------------------------------------------------------
+
+    @property
+    def num_label_rounds(self) -> int:
+        """Number of predicted-label rounds recorded so far."""
+        return len(self._label_rounds)
+
+    def label_rounds(self):
+        """Yield ``(round_index, indices, labels)`` per label round."""
+        for round_index, indices, labels in self._label_rounds:
+            yield round_index, indices, labels
 
     @property
     def num_rounds(self) -> int:
@@ -480,7 +546,7 @@ class HistoryStore:
         :meth:`append`, so the round trip preserves sequences bit for
         bit (floats survive JSON via ``repr`` serialisation).
         """
-        return {
+        payload = {
             "n_samples": self.n_samples,
             "strategy_name": self.strategy_name,
             "rounds": [
@@ -492,6 +558,18 @@ class HistoryStore:
                 for round_index, indices, scores in self.iter_rounds()
             ],
         }
+        # Only present when label tracking ran: stores without label
+        # rounds keep the exact document shape they have always had.
+        if self._label_rounds:
+            payload["labels"] = [
+                {
+                    "round": round_index,
+                    "indices": indices.tolist(),
+                    "labels": labels.tolist(),
+                }
+                for round_index, indices, labels in self._label_rounds
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict, backend: str = "local") -> "HistoryStore":
@@ -506,6 +584,12 @@ class HistoryStore:
                 int(row["round"]),
                 np.asarray(row["indices"], dtype=np.int64),
                 np.asarray(row["scores"], dtype=np.float64),
+            )
+        for row in payload.get("labels", []):
+            history.append_labels(
+                int(row["round"]),
+                np.asarray(row["indices"], dtype=np.int64),
+                np.asarray(row["labels"], dtype=np.int64),
             )
         return history
 
@@ -544,6 +628,7 @@ class HistoryStore:
         dropped = max(0, self._size - keep_rounds)
         if dropped:
             keep = self._size - dropped
+            oldest_kept = int(self._round_ids[dropped])
             # In-place shift keeps the allocated capacity for future appends.
             self._buffer[:keep] = self._buffer[dropped : self._size]
             self._round_ids[:keep] = self._round_ids[dropped : self._size]
@@ -551,6 +636,11 @@ class HistoryStore:
             # A sample whose only observations were in dropped rounds must
             # go back to "never recorded".
             self._recompute_last_scores()
+            # Label rounds follow the score window: records older than
+            # the oldest kept score round are dropped with it.
+            self._label_rounds = [
+                entry for entry in self._label_rounds if entry[0] >= oldest_kept
+            ]
         return dropped
 
     def as_of(self, round_index: int) -> "HistoryStore":
@@ -569,6 +659,9 @@ class HistoryStore:
             truncated._round_ids = self._round_ids[:keep].copy()
             truncated._size = keep
             truncated._recompute_last_scores()
+        for recorded, indices, labels in self._label_rounds:
+            if recorded <= round_index:
+                truncated.append_labels(recorded, indices, labels)
         return truncated
 
     # -- windowed views ----------------------------------------------------------

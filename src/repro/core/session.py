@@ -55,6 +55,7 @@ from __future__ import annotations
 import enum
 import inspect
 import time
+import zlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -288,6 +289,7 @@ class SessionEngine:
         history_limit: "int | None" = None,
         history_backend: str = "local",
         training_mode: str = "cold",
+        track_flips: bool = False,
         observers: Sequence = (),
     ) -> None:
         if batch_size < 1:
@@ -324,6 +326,10 @@ class SessionEngine:
         self.history_limit = history_limit
         self.history_backend = history_backend
         self.training_mode = training_mode
+        #: Record each round's predicted labels for the unlabeled pool
+        #: (contradiction-rate metric).  Prediction consumes no RNG, so
+        #: enabling this never changes curves or selections.
+        self.track_flips = bool(track_flips)
         self.observers = list(observers)
         self._metric_wants_cache = metric_accepts_cache(self.metric)
         self._keep_models = validated_model_history(strategy)
@@ -382,6 +388,11 @@ class SessionEngine:
     def history(self) -> HistoryStore:
         """The run's history store."""
         return self._history
+
+    @property
+    def selection_order(self) -> "list[np.ndarray]":
+        """Per-round committed batch index arrays, in commit order."""
+        return list(self._selection_order)
 
     @property
     def pool(self) -> Pool:
@@ -650,6 +661,18 @@ class SessionEngine:
         )
         selected = self.strategy.select(self._model, context, self.batch_size)
         score_vector = self._history.current_scores(selected)
+        if self.track_flips and not any(
+            recorded == context.round_index
+            for recorded, _, _ in self._history.label_rounds()
+        ):
+            # Forward passes are cached and RNG-free, so this adds no
+            # nondeterminism; the guard keeps a restored mid-propose
+            # session from double-recording its round.
+            self._history.append_labels(
+                context.round_index,
+                context.unlabeled,
+                self._predicted_labels(context),
+            )
         self._note_phase("propose", started)
         self._records.append(
             RoundRecord(
@@ -666,6 +689,28 @@ class SessionEngine:
         emit(self.observers, "scores_computed", self._round_index, score_vector)
         emit(self.observers, "batch_selected", self._round_index, selected)
         self._state = SessionState.AWAIT_LABELS
+
+    def _predicted_labels(self, context: SelectionContext) -> np.ndarray:
+        """Current model's predicted label per unlabeled candidate.
+
+        Classifiers yield class ids; sequence labelers yield a stable
+        CRC of the predicted tag sequence (a "label" whose equality
+        across rounds means "same tagging"), so the contradiction-rate
+        metric covers both task families with one int64 record.
+        """
+        candidates = context.candidates
+        if isinstance(self.train_dataset, TextDataset):
+            return np.asarray(
+                self._cache.predict(self._model, candidates), dtype=np.int64
+            )
+        tags = self._cache.predict_tags(self._model, candidates)
+        return np.array(
+            [
+                zlib.crc32(np.ascontiguousarray(seq, dtype=np.int64).tobytes())
+                for seq in tags
+            ],
+            dtype=np.int64,
+        )
 
     def _step_commit(self) -> None:
         started = time.perf_counter()
@@ -773,6 +818,11 @@ class SessionEngine:
             model_payload = history_payloads[-1]
         else:
             model_payload = self._spec_with_state(self._model_spec, self._model)
+        config_extra = {}
+        if self.track_flips:
+            # Key present only when tracking: untracked snapshots keep
+            # the exact byte shape of snapshot version 3 as shipped.
+            config_extra["track_flips"] = True
         return {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
@@ -791,6 +841,7 @@ class SessionEngine:
                 # accepts a snapshot regardless of which one wrote it.
                 "history_backend": self.history_backend,
                 "training_mode": self.training_mode,
+                **config_extra,
                 "capabilities": strategy_capabilities(self.strategy),
                 "default_metric": self.metric is evaluate_model,
             },
@@ -913,6 +964,7 @@ class SessionEngine:
                 else history_backend
             ),
             training_mode=str(config.get("training_mode", "cold")),
+            track_flips=bool(config.get("track_flips", False)),
             observers=observers,
         )
         engine._state = SessionState(snapshot["state"])

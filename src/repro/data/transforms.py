@@ -1,0 +1,320 @@
+"""Scenario transforms: deterministic perturbations of experiment data.
+
+ALE-style sweeps (ROADMAP item 4) stress-test strategies across
+*scenarios* — perturbed variants of a base experiment.  Each transform
+here is one pluggable perturbation knob:
+
+* :class:`LabelNoise` — flip a fraction of *training* labels (text
+  classification) or token tags (sequence labeling), simulating noisy
+  annotators.
+* :class:`ClassImbalance` — deterministically downsample one class of
+  the training pool, simulating skewed real-world pools.
+* :class:`LexiconShift` — remap a fraction of token ids in the *test*
+  set, simulating concept drift between annotation time and deployment
+  time (the training pool keeps the lexicon the annotators saw).
+* :class:`AnnotationCost` — attach a per-sample labeling-cost model
+  (constant, length-proportional, or per-class) consumed by the
+  cost-normalised metrics; the data itself is untouched.
+* :class:`IdentityTransform` — the explicit no-op, so a scenario axis
+  can include "unperturbed" as a point.
+
+RNG-stream discipline
+---------------------
+Transforms never consume the experiment's run RNG.  A scenario applies
+transform ``i`` with ``np.random.default_rng([scenario_seed, i])``
+(see :class:`repro.specs.transforms.ScenarioSpec`), so:
+
+* every cell of a sweep (any strategy, repeat, or worker) sees the
+  byte-identical perturbed dataset;
+* adding, removing, or reordering transforms changes only the streams
+  of the transforms whose position changed;
+* run-level determinism (selection, training) is untouched — a
+  scenario-free run is bit-for-bit the run we shipped before sweeps
+  existed.
+
+Transforms are pure: they return new dataset objects and never mutate
+their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataError
+from .datasets import SequenceDataset, TextDataset
+
+
+def _copy_text(dataset: TextDataset, sentences=None, labels=None) -> TextDataset:
+    return TextDataset(
+        dataset.sentences if sentences is None else sentences,
+        dataset.labels if labels is None else labels,
+        dataset.vocab,
+        dataset.num_classes,
+        name=dataset.name,
+    )
+
+
+class ScenarioTransform:
+    """Base class: one deterministic perturbation of (train, test) data.
+
+    Subclasses override :meth:`apply` (dataset perturbations) and/or
+    :meth:`costs` (annotation-cost models).  ``params()`` must return
+    the JSON params that rebuild the transform — it feeds both the spec
+    registry's ``params_of`` and the checkpoint fingerprint.
+    """
+
+    kind: str = ""
+
+    def apply(self, train, test, rng: np.random.Generator):
+        """Return the perturbed ``(train, test)`` pair."""
+        return train, test
+
+    def costs(self, train) -> "np.ndarray | None":
+        """Per-sample annotation-cost vector for ``train``, or ``None``."""
+        return None
+
+    def params(self) -> dict:
+        """Return the constructor parameters for spec serialization."""
+        return {}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({inner})"
+
+
+class IdentityTransform(ScenarioTransform):
+    """The explicit no-op perturbation."""
+
+    kind = "identity"
+
+
+class LabelNoise(ScenarioTransform):
+    """Flip a fraction of training labels to a uniform *different* value.
+
+    Exactly ``round(rate * n)`` samples (text) or tokens (sequence
+    labeling) are flipped, chosen without replacement, so the noise
+    level is exact rather than merely expected.
+    """
+
+    kind = "label_noise"
+
+    def __init__(self, rate: float = 0.1) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"label_noise rate must be in [0, 1], got {rate}")
+        self.rate = rate
+
+    def params(self) -> dict:
+        """Return the constructor parameters for spec serialization."""
+        return {"rate": self.rate}
+
+    def apply(self, train, test, rng: np.random.Generator):
+        if self.rate == 0.0 or len(train) == 0:
+            return train, test
+        if isinstance(train, TextDataset):
+            return self._apply_text(train, rng), test
+        if isinstance(train, SequenceDataset):
+            return self._apply_sequence(train, rng), test
+        raise DataError(
+            f"label_noise does not support {type(train).__name__} datasets"
+        )
+
+    def _apply_text(self, train: TextDataset, rng: np.random.Generator) -> TextDataset:
+        n_flips = int(round(self.rate * len(train)))
+        if n_flips == 0:
+            return train
+        victims = rng.choice(len(train), size=n_flips, replace=False)
+        labels = train.labels.copy()
+        # uniform over the OTHER classes: draw in [0, C-1) and skip past
+        # the true label so the flip always changes the label
+        offsets = rng.integers(0, train.num_classes - 1, size=n_flips)
+        labels[victims] = (labels[victims] + 1 + offsets) % train.num_classes
+        return _copy_text(train, labels=labels)
+
+    def _apply_sequence(
+        self, train: SequenceDataset, rng: np.random.Generator
+    ) -> SequenceDataset:
+        lengths = train.lengths()
+        total = int(lengths.sum())
+        n_flips = int(round(self.rate * total))
+        if n_flips == 0 or train.num_tags < 2:
+            return train
+        flat = np.concatenate(train.tag_sequences) if total else np.array([], np.int64)
+        victims = rng.choice(total, size=n_flips, replace=False)
+        offsets = rng.integers(0, train.num_tags - 1, size=n_flips)
+        flat = flat.copy()
+        flat[victims] = (flat[victims] + 1 + offsets) % train.num_tags
+        bounds = np.cumsum(lengths)[:-1]
+        tag_sequences = np.split(flat, bounds)
+        return SequenceDataset(
+            train.sentences,
+            [seq for seq in tag_sequences],
+            train.vocab,
+            train.tag_names,
+            name=train.name,
+        )
+
+
+class ClassImbalance(ScenarioTransform):
+    """Downsample one class of the training pool to ``keep`` of its size.
+
+    Only classification pools can be resampled this way; sequence
+    datasets are rejected with :class:`~repro.exceptions.DataError`.
+    Kept samples preserve their original order, so the pool's index
+    space stays reproducible.
+    """
+
+    kind = "class_imbalance"
+
+    def __init__(self, class_id: int = 0, keep: float = 0.5) -> None:
+        keep = float(keep)
+        if not 0.0 < keep <= 1.0:
+            raise ConfigurationError(
+                f"class_imbalance keep must be in (0, 1], got {keep}"
+            )
+        self.class_id = int(class_id)
+        self.keep = keep
+
+    def params(self) -> dict:
+        """Return the constructor parameters for spec serialization."""
+        return {"class_id": self.class_id, "keep": self.keep}
+
+    def apply(self, train, test, rng: np.random.Generator):
+        if not isinstance(train, TextDataset):
+            raise DataError(
+                f"class_imbalance requires a classification dataset, "
+                f"got {type(train).__name__}"
+            )
+        if not 0 <= self.class_id < train.num_classes:
+            raise DataError(
+                f"class_imbalance class_id {self.class_id} out of range "
+                f"for {train.num_classes} classes"
+            )
+        members = np.flatnonzero(train.labels == self.class_id)
+        n_keep = int(round(self.keep * members.size))
+        if n_keep >= members.size:
+            return train, test
+        kept = rng.choice(members, size=n_keep, replace=False)
+        dropped = np.zeros(len(train), dtype=bool)
+        dropped[members] = True
+        dropped[kept] = False
+        survivors = np.flatnonzero(~dropped)
+        return train.subset(survivors), test
+
+
+class LexiconShift(ScenarioTransform):
+    """Remap a fraction of token ids in the *test* set (concept drift).
+
+    Models the lexicon drifting between annotation time and deployment
+    time: the training pool keeps the vocabulary the annotators labeled,
+    while evaluation sentences have ``rate`` of the (non-padding) vocab
+    ids permuted among themselves.  Works for both dataset flavours.
+    """
+
+    kind = "lexicon_shift"
+
+    def __init__(self, rate: float = 0.2) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"lexicon_shift rate must be in [0, 1], got {rate}"
+            )
+        self.rate = rate
+
+    def params(self) -> dict:
+        """Return the constructor parameters for spec serialization."""
+        return {"rate": self.rate}
+
+    def apply(self, train, test, rng: np.random.Generator):
+        vocab_size = len(test.vocab)
+        # never remap id 0: it is the PAD token in padded() matrices
+        candidates = np.arange(1, vocab_size, dtype=np.int64)
+        n_shift = int(round(self.rate * candidates.size))
+        if n_shift < 2:
+            return train, test
+        shifted = rng.choice(candidates, size=n_shift, replace=False)
+        mapping = np.arange(vocab_size, dtype=np.int64)
+        mapping[shifted] = shifted[rng.permutation(n_shift)]
+        sentences = [mapping[sentence] for sentence in test.sentences]
+        if isinstance(test, TextDataset):
+            return train, _copy_text(test, sentences=sentences)
+        if isinstance(test, SequenceDataset):
+            return train, SequenceDataset(
+                sentences,
+                test.tag_sequences,
+                test.vocab,
+                test.tag_names,
+                name=test.name,
+            )
+        raise DataError(
+            f"lexicon_shift does not support {type(test).__name__} datasets"
+        )
+
+
+class AnnotationCost(ScenarioTransform):
+    """Per-sample annotation-cost model for cost-normalised metrics.
+
+    ``model`` selects how much labeling one training sample costs:
+
+    * ``constant`` — every sample costs ``value`` (default 1.0; this is
+      also the implicit model when a scenario has no cost transform).
+    * ``length`` — ``base + per_token * len(sentence)``, the classic
+      "longer sentences take longer to annotate".
+    * ``class`` — ``weights[label]`` per true class (classification
+      only), e.g. rare-class instances needing expert annotators.
+
+    The data itself is never modified.
+    """
+
+    kind = "annotation_cost"
+
+    MODELS = ("constant", "length", "class")
+
+    def __init__(
+        self,
+        model: str = "constant",
+        value: float = 1.0,
+        base: float = 1.0,
+        per_token: float = 0.1,
+        weights: "list[float] | None" = None,
+    ) -> None:
+        if model not in self.MODELS:
+            raise ConfigurationError(
+                f"annotation_cost model must be one of {self.MODELS}, got {model!r}"
+            )
+        if model == "class" and not weights:
+            raise ConfigurationError("annotation_cost model 'class' needs weights")
+        self.model = model
+        self.value = float(value)
+        self.base = float(base)
+        self.per_token = float(per_token)
+        self.weights = None if weights is None else [float(w) for w in weights]
+
+    def params(self) -> dict:
+        """Return the constructor parameters for spec serialization."""
+        params: dict = {"model": self.model}
+        if self.model == "constant":
+            params["value"] = self.value
+        elif self.model == "length":
+            params["base"] = self.base
+            params["per_token"] = self.per_token
+        else:
+            params["weights"] = list(self.weights or [])
+        return params
+
+    def costs(self, train) -> np.ndarray:
+        if self.model == "constant":
+            return np.full(len(train), self.value, dtype=np.float64)
+        if self.model == "length":
+            return self.base + self.per_token * train.lengths().astype(np.float64)
+        if not isinstance(train, TextDataset):
+            raise DataError(
+                "annotation_cost model 'class' requires a classification dataset"
+            )
+        weights = np.asarray(self.weights, dtype=np.float64)
+        if weights.size < train.num_classes:
+            raise DataError(
+                f"annotation_cost weights cover {weights.size} classes but the "
+                f"dataset has {train.num_classes}"
+            )
+        return weights[train.labels]

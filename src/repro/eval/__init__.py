@@ -1,14 +1,47 @@
-"""Evaluation metrics and learning-curve utilities."""
+"""Evaluation metrics, learning-curve utilities, and the metric pipeline."""
 
-from .curves import LearningCurve, area_under_curve, mean_curve, samples_to_target
+from .curves import (
+    LearningCurve,
+    area_under_curve,
+    curve_std,
+    mean_curve,
+    samples_to_target,
+)
 from .metrics import accuracy_score, evaluate_model, span_f1
+from .pipeline import (
+    AUCMetric,
+    ContradictionMetric,
+    CostAUCMetric,
+    FinalMetric,
+    Metric,
+    MetricContext,
+    MetricPipeline,
+    SpeedupMetric,
+    contradiction_rate,
+    cost_normalized_auc,
+    cumulative_costs,
+    speedup_factor,
+)
 
 __all__ = [
+    "AUCMetric",
+    "ContradictionMetric",
+    "CostAUCMetric",
+    "FinalMetric",
     "LearningCurve",
+    "Metric",
+    "MetricContext",
+    "MetricPipeline",
+    "SpeedupMetric",
     "accuracy_score",
     "area_under_curve",
+    "contradiction_rate",
+    "cost_normalized_auc",
+    "cumulative_costs",
+    "curve_std",
     "evaluate_model",
     "mean_curve",
     "samples_to_target",
     "span_f1",
+    "speedup_factor",
 ]

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, CurveMismatchError
 
 
 @dataclass(frozen=True)
@@ -69,26 +69,63 @@ class LearningCurve:
 
 
 def samples_to_target(curve: LearningCurve, target: float) -> "int | None":
-    """Smallest labeled count whose metric reaches ``target``.
+    """Labeled count at the *first* crossing of ``target``.
 
+    Curves are not assumed monotone: a curve that reaches the target,
+    dips below it, and recovers still reports its first crossing.  NaN
+    values (e.g. quarantined sweep cells) never count as a crossing.
     Returns ``None`` when the curve never reaches the target — rendered
     as e.g. "500+" in Table 5 of the paper.
     """
-    reached = np.flatnonzero(curve.values >= target)
+    with np.errstate(invalid="ignore"):
+        reached = np.flatnonzero(curve.values >= target)
     if reached.size == 0:
         return None
     return int(curve.counts[reached[0]])
 
 
-def area_under_curve(curve: LearningCurve) -> float:
-    """Trapezoidal area under the curve, normalised by the count span.
+def area_under_curve(curve: LearningCurve, *, normalize: bool = True) -> float:
+    """Trapezoidal area under the curve.
 
-    A single-point curve returns its value.
+    With ``normalize=True`` (the default) the area is divided by the
+    count span, yielding a budget-independent mean metric level so
+    curves with different label budgets are comparable.  A single-point
+    curve returns its value (normalised) or zero area (raw).
     """
     if len(curve) == 1:
-        return float(curve.values[0])
+        return float(curve.values[0]) if normalize else 0.0
+    area = float(np.trapezoid(curve.values, curve.counts))
+    if not normalize:
+        return area
     span = float(curve.counts[-1] - curve.counts[0])
-    return float(np.trapezoid(curve.values, curve.counts) / span)
+    return area / span
+
+
+def _stack_aligned(curves: "list[LearningCurve]", caller: str) -> np.ndarray:
+    """Validate that ``curves`` share one count grid; stack their values.
+
+    Shared by :func:`mean_curve` and :func:`curve_std`.
+
+    Raises
+    ------
+    CurveMismatchError
+        Naming the curves whose counts differ from the first curve's.
+    """
+    if not curves:
+        raise ConfigurationError(f"{caller} needs at least one curve")
+    reference = curves[0].counts
+    mismatched = [
+        curve.label or f"curve[{position}]"
+        for position, curve in enumerate(curves)
+        if not np.array_equal(curve.counts, reference)
+    ]
+    if mismatched:
+        raise CurveMismatchError(
+            f"{caller}: counts differ from {curves[0].label or 'curve[0]'!r} "
+            f"for {', '.join(repr(name) for name in mismatched)}",
+            labels=tuple(mismatched),
+        )
+    return np.vstack([curve.values for curve in curves])
 
 
 def mean_curve(curves: "list[LearningCurve]", label: str = "") -> LearningCurve:
@@ -96,26 +133,23 @@ def mean_curve(curves: "list[LearningCurve]", label: str = "") -> LearningCurve:
 
     Raises
     ------
-    ConfigurationError
-        If the curves' counts differ.
+    CurveMismatchError
+        If the curves' counts differ; names the mismatched curves.
     """
-    if not curves:
-        raise ConfigurationError("mean_curve needs at least one curve")
-    reference = curves[0].counts
-    for curve in curves[1:]:
-        if not np.array_equal(curve.counts, reference):
-            raise ConfigurationError("curves have mismatched counts")
-    stacked = np.vstack([curve.values for curve in curves])
+    stacked = _stack_aligned(curves, "mean_curve")
     return LearningCurve(
-        counts=reference.copy(),
+        counts=curves[0].counts.copy(),
         values=stacked.mean(axis=0),
         label=label or curves[0].label,
     )
 
 
 def curve_std(curves: "list[LearningCurve]") -> np.ndarray:
-    """Pointwise standard deviation across repeat curves."""
-    if not curves:
-        raise ConfigurationError("curve_std needs at least one curve")
-    stacked = np.vstack([curve.values for curve in curves])
-    return stacked.std(axis=0)
+    """Pointwise standard deviation across repeat curves.
+
+    Raises
+    ------
+    CurveMismatchError
+        If the curves' counts differ; names the mismatched curves.
+    """
+    return _stack_aligned(curves, "curve_std").std(axis=0)

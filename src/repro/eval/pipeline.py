@@ -1,0 +1,344 @@
+"""The pluggable metric pipeline behind sweep reports and service status.
+
+Historically the experiment stack had exactly one summary path: the
+task metric (accuracy / span F1) evaluated per round into a
+:class:`~repro.eval.curves.LearningCurve`.  Sweeps need *actionable*
+metrics (Dataiku's "Rebuilding Trust in Active Learning"): how much
+annotation a strategy saves against the random baseline, how often the
+model contradicts itself between rounds, and what the curve looks like
+against annotation *cost* rather than sample count.  This module
+extracts that summary path into a :class:`MetricPipeline` of registered
+:class:`Metric` objects.
+
+The pipeline consumes a :class:`MetricContext` — per-strategy mean
+curves and per-repeat run results (duck-typed; anything with ``curve()``,
+``history``, and ``selection_order`` works, so the eval layer never
+imports the experiments layer) — and produces an ordered
+``{metric_label: {strategy: value}}`` matrix.  Inapplicable cells are
+NaN (e.g. contradiction rate without label tracking, speed-up without a
+baseline), which the reporting layer renders as ``-``.
+
+Reference semantics, pinned by oracle tests:
+
+* **speed-up factor** — ``samples_to_target(baseline) /
+  samples_to_target(strategy)`` at a target metric (explicit, or a
+  fraction of the baseline's final value).  >1 means the strategy needs
+  fewer labels than random; NaN when either side never reaches the
+  target.
+* **contradiction rate** — over all consecutive pairs of recorded
+  label rounds, the fraction of co-observed samples whose predicted
+  label flipped.  Computed from the
+  :meth:`~repro.core.history.HistoryStore.label_rounds` records written
+  under ``track_flips``.
+* **cost-normalised AUC** — the learning curve re-parameterised on
+  cumulative annotation cost (per-sample costs from the scenario's cost
+  model; unit costs when absent).  The initial random set's cost is
+  estimated as ``mean(costs) * initial_size`` — its exact indices are
+  not part of the audit trail, and the expectation is exact for the
+  uniform sampler that drew it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .curves import LearningCurve, area_under_curve, samples_to_target
+
+
+# -- reference computations (oracle-tested pure functions) ------------------
+
+
+def contradiction_rate(history) -> float:
+    """Fraction of consecutive-round predictions that flipped.
+
+    ``history`` is a :class:`~repro.core.history.HistoryStore` (or any
+    object with ``label_rounds()``).  For every consecutive pair of
+    label rounds, samples recorded in both are compared; the rate is
+    total flips over total comparisons.  NaN when fewer than two label
+    rounds exist (nothing to compare — e.g. ``track_flips`` was off).
+    """
+    rounds = list(history.label_rounds())
+    flips = 0
+    comparisons = 0
+    for (_, prev_idx, prev_labels), (_, next_idx, next_labels) in zip(
+        rounds, rounds[1:]
+    ):
+        prev_map = np.full(int(max(prev_idx.max(), next_idx.max())) + 1, -1, np.int64) \
+            if prev_idx.size and next_idx.size else None
+        if prev_map is None:
+            continue
+        prev_map[prev_idx] = prev_labels
+        shared = prev_map[next_idx] != -1
+        comparisons += int(np.count_nonzero(shared))
+        flips += int(np.count_nonzero(prev_map[next_idx[shared]] != next_labels[shared]))
+    if comparisons == 0:
+        return float("nan")
+    return flips / comparisons
+
+
+def cumulative_costs(
+    counts: np.ndarray,
+    selection_order,
+    costs: "np.ndarray | None",
+) -> np.ndarray:
+    """Cumulative annotation cost at each curve point.
+
+    ``counts`` is the curve's labeled-count grid; ``selection_order``
+    the per-round selected index arrays (batch ``i`` moves the labeled
+    count from ``counts[i]`` to ``counts[i+1]``).  With ``costs=None``
+    every sample costs 1.0 and the result equals ``counts`` exactly.
+    The initial set (whose indices are not recorded) is charged
+    ``mean(costs) * counts[0]``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if costs is None:
+        return counts.astype(np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    cumulative = np.empty(len(counts), dtype=np.float64)
+    cumulative[0] = float(costs.mean()) * float(counts[0])
+    for position, selected in enumerate(selection_order[: len(counts) - 1]):
+        batch = np.asarray(selected, dtype=np.int64)
+        cumulative[position + 1] = cumulative[position] + float(costs[batch].sum())
+    return cumulative
+
+
+def cost_normalized_auc(
+    curve: LearningCurve,
+    selection_order,
+    costs: "np.ndarray | None",
+) -> float:
+    """AUC of the curve re-parameterised on cumulative annotation cost.
+
+    Normalised by the cost span, so the value is a mean metric level
+    weighted by where the annotation budget actually went.  With unit
+    costs this equals ``area_under_curve(curve)``.
+    """
+    if len(curve) == 1:
+        return float(curve.values[0])
+    spent = cumulative_costs(curve.counts, selection_order, costs)
+    span = float(spent[-1] - spent[0])
+    if span <= 0:
+        return float(curve.values[-1])
+    return float(np.trapezoid(curve.values, spent) / span)
+
+
+def speedup_factor(
+    curve: LearningCurve,
+    baseline: LearningCurve,
+    target: "float | None" = None,
+    fraction: float = 0.9,
+) -> float:
+    """Annotation speed-up of ``curve`` over ``baseline`` at a target.
+
+    The target metric level is ``target`` when given, otherwise
+    ``fraction`` of the baseline's final value.  Returns
+    ``samples_to_target(baseline) / samples_to_target(curve)``; NaN when
+    either curve never reaches the target.
+    """
+    level = float(target) if target is not None else fraction * float(
+        baseline.values[-1]
+    )
+    baseline_needs = samples_to_target(baseline, level)
+    strategy_needs = samples_to_target(curve, level)
+    if baseline_needs is None or strategy_needs is None or strategy_needs == 0:
+        return float("nan")
+    return baseline_needs / strategy_needs
+
+
+# -- metric objects ---------------------------------------------------------
+
+
+class Metric:
+    """One column of the metric matrix: a scalar per strategy."""
+
+    kind: str = ""
+
+    def __init__(self, label: "str | None" = None) -> None:
+        self.label = label or self.kind
+
+    def params(self) -> dict:
+        """Return the constructor parameters for spec serialization."""
+        return {} if self.label == self.kind else {"label": self.label}
+
+    def compute(self, name: str, context: "MetricContext") -> float:
+        """Compute this metric for strategy ``name`` from ``context``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({inner})"
+
+
+class FinalMetric(Metric):
+    """The task metric (accuracy / span F1) at the final budget."""
+
+    kind = "final"
+
+    def compute(self, name: str, context: "MetricContext") -> float:
+        """Final-round value of the mean learning curve for ``name``."""
+        return float(context.curves[name].values[-1])
+
+
+class AUCMetric(Metric):
+    """Normalised area under the labeled-count learning curve."""
+
+    kind = "auc"
+
+    def compute(self, name: str, context: "MetricContext") -> float:
+        """Area under the mean learning curve for ``name``."""
+        return area_under_curve(context.curves[name])
+
+
+class SpeedupMetric(Metric):
+    """Speed-up factor vs. the baseline strategy (default ``random``)."""
+
+    kind = "speedup"
+
+    def __init__(
+        self,
+        target: "float | None" = None,
+        fraction: float = 0.9,
+        baseline: str = "random",
+        label: "str | None" = None,
+    ) -> None:
+        super().__init__(label)
+        fraction = float(fraction)
+        if target is None and not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"speedup fraction must be in (0, 1], got {fraction}"
+            )
+        self.target = None if target is None else float(target)
+        self.fraction = fraction
+        self.baseline = str(baseline)
+
+    def params(self) -> dict:
+        """Return the constructor parameters for spec serialization."""
+        params = super().params()
+        if self.target is not None:
+            params["target"] = self.target
+        params["fraction"] = self.fraction
+        params["baseline"] = self.baseline
+        return params
+
+    def compute(self, name: str, context: "MetricContext") -> float:
+        """Speed-up of ``name`` over the baseline at the target quality."""
+        baseline = context.curves.get(self.baseline)
+        if baseline is None:
+            return float("nan")
+        return speedup_factor(
+            context.curves[name], baseline, target=self.target, fraction=self.fraction
+        )
+
+
+class ContradictionMetric(Metric):
+    """Mean contradiction rate across the strategy's repeats."""
+
+    kind = "contradiction"
+
+    def compute(self, name: str, context: "MetricContext") -> float:
+        """Mean label contradiction rate over the runs recorded for ``name``."""
+        rates = [
+            contradiction_rate(run.history) for run in context.runs.get(name, [])
+        ]
+        rates = [rate for rate in rates if not np.isnan(rate)]
+        if not rates:
+            return float("nan")
+        return float(np.mean(rates))
+
+
+class CostAUCMetric(Metric):
+    """Mean cost-normalised AUC across the strategy's repeats."""
+
+    kind = "cost_auc"
+
+    def compute(self, name: str, context: "MetricContext") -> float:
+        """Mean cost-normalized AUC over the runs recorded for ``name``."""
+        runs = context.runs.get(name, [])
+        if not runs:
+            return float("nan")
+        return float(
+            np.mean(
+                [
+                    cost_normalized_auc(
+                        run.curve(), run.selection_order, context.costs
+                    )
+                    for run in runs
+                ]
+            )
+        )
+
+
+# -- context + pipeline -----------------------------------------------------
+
+
+class MetricContext:
+    """Everything a metric may consume for one experiment's results.
+
+    Parameters
+    ----------
+    curves:
+        Mean learning curve per strategy display name.
+    runs:
+        Per-repeat run results per strategy (objects with ``curve()``,
+        ``history``, and ``selection_order`` — e.g.
+        :class:`~repro.core.session.ALResult`).
+    costs:
+        Per-sample annotation-cost vector over the training pool, or
+        ``None`` for unit costs.
+    """
+
+    def __init__(
+        self,
+        curves: "Mapping[str, LearningCurve]",
+        runs: "Mapping[str, list] | None" = None,
+        costs: "np.ndarray | None" = None,
+    ) -> None:
+        self.curves = dict(curves)
+        self.runs = {} if runs is None else dict(runs)
+        self.costs = None if costs is None else np.asarray(costs, dtype=np.float64)
+
+    @classmethod
+    def from_strategy_results(cls, results: Mapping, costs=None) -> "MetricContext":
+        """Build from a ``run_comparison`` result mapping."""
+        return cls(
+            curves={name: entry.curve for name, entry in results.items()},
+            runs={name: list(entry.runs) for name, entry in results.items()},
+            costs=costs,
+        )
+
+
+class MetricPipeline:
+    """An ordered list of metrics evaluated over every strategy.
+
+    The pipeline is the pluggable replacement for the hard-coded
+    curve-summary path: reports and the service status endpoint feed the
+    same :class:`MetricContext` through the same registered metrics, so
+    online and offline numbers agree by construction.
+    """
+
+    def __init__(self, metrics: "list[Metric]") -> None:
+        self.metrics = list(metrics)
+        labels = [metric.label for metric in self.metrics]
+        duplicates = {label for label in labels if labels.count(label) > 1}
+        if duplicates:
+            raise ConfigurationError(
+                f"duplicate metric labels: {sorted(duplicates)} "
+                "(give duplicates an explicit 'label' param)"
+            )
+
+    def labels(self) -> list[str]:
+        """Return the column labels in metric order."""
+        return [metric.label for metric in self.metrics]
+
+    def compute(self, context: MetricContext) -> "dict[str, dict[str, float]]":
+        """``{metric_label: {strategy: value}}``, metrics in order."""
+        return {
+            metric.label: {
+                name: float(metric.compute(name, context))
+                for name in context.curves
+            }
+            for metric in self.metrics
+        }

@@ -25,6 +25,20 @@ class SpecError(ConfigurationError):
     """
 
 
+class CurveMismatchError(ConfigurationError, ValueError):
+    """Learning curves with incompatible count grids were aggregated.
+
+    Raised by :func:`repro.eval.mean_curve` / :func:`repro.eval.curve_std`
+    when the curves being averaged do not share the same labeled-count
+    grid.  ``labels`` names the offending curves so sweep reports can say
+    *which* repeats diverged, not just that something did.
+    """
+
+    def __init__(self, message: str, labels: "tuple[str, ...]" = ()) -> None:
+        super().__init__(message)
+        self.labels = tuple(labels)
+
+
 class DataError(ReproError):
     """A dataset, vocabulary, or tagging scheme is malformed."""
 

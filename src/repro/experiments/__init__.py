@@ -12,8 +12,22 @@ from .distributed import (
     run_distributed,
     run_worker,
 )
-from .reporting import format_curve_table, format_table, format_target_table
+from .reporting import (
+    format_curve_table,
+    format_metric_table,
+    format_sweep_matrix,
+    format_table,
+    format_target_table,
+)
 from .runner import CellFailure, RetryPolicy, StrategyResult, run_comparison
+from .sweep import (
+    SweepCellResult,
+    SweepResult,
+    cell_directories,
+    execute_experiment,
+    metric_matrices,
+    run_sweep,
+)
 
 __all__ = [
     "CellFailure",
@@ -23,14 +37,22 @@ __all__ = [
     "LeaseConfig",
     "RetryPolicy",
     "StrategyResult",
+    "SweepCellResult",
+    "SweepResult",
+    "cell_directories",
     "coordinate",
     "create_queue",
+    "execute_experiment",
     "format_curve_table",
+    "format_metric_table",
+    "format_sweep_matrix",
     "format_table",
     "format_target_table",
+    "metric_matrices",
     "open_queue",
     "plot_curves",
     "run_comparison",
     "run_distributed",
+    "run_sweep",
     "run_worker",
 ]

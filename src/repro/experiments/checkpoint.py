@@ -146,6 +146,15 @@ class CheckpointStore:
         checkpoint then states exactly which components produced it) and
         compared structurally on load; ``None`` (factory-described runs)
         keeps the old name-only fingerprint.
+    scenario:
+        The scenario fingerprint
+        (:meth:`repro.specs.transforms.ScenarioSpec.fingerprint`) of the
+        perturbations applied to the run's data, or ``None`` for an
+        unperturbed run.  Part of every cell fingerprint: a checkpoint
+        written under one perturbation must never satisfy a resume under
+        another (or under none).  Identity scenarios fingerprint as
+        ``None``, so their checkpoints stay byte-identical to
+        scenario-free runs.
     """
 
     def __init__(
@@ -154,6 +163,7 @@ class CheckpointStore:
         config: ExperimentConfig,
         model_spec: "dict | None" = None,
         strategy_specs: "dict[str, dict] | None" = None,
+        scenario: "dict | None" = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -164,6 +174,7 @@ class CheckpointStore:
         self._sessions = JsonSessionStore(self.directory)
         self._model_spec = model_spec
         self._strategy_specs = strategy_specs or {}
+        self._scenario = scenario
         self._config_fingerprint = {
             "batch_size": config.batch_size,
             "rounds": config.rounds,
@@ -175,6 +186,10 @@ class CheckpointStore:
             # cold checkpoint must not satisfy a warm run or vice versa.
             "training_mode": config.training_mode,
         }
+        if config.track_flips:
+            # Key present only when tracking, so fingerprints (and
+            # checkpoint bytes) of non-tracking runs are unchanged.
+            self._config_fingerprint["track_flips"] = True
         # Recorded in every payload for provenance, but deliberately NOT
         # part of the fingerprint: history backends are result-neutral
         # (byte-identical runs), so resuming under a different backend is
@@ -196,6 +211,12 @@ class CheckpointStore:
             "seed": int(seed),
             "config": self._config_fingerprint,
             "specs": self._cell_specs(strategy),
+            # Always part of the expected fingerprint (None when
+            # unperturbed): fingerprint checks read absent payload keys
+            # as None, so a perturbed checkpoint can never satisfy an
+            # unperturbed resume or vice versa, while unperturbed
+            # payloads keep their historical byte shape (no key).
+            "scenario": self._scenario,
         }
 
     def cell_path(self, strategy: str, repeat: int) -> Path:
@@ -215,6 +236,8 @@ class CheckpointStore:
             "specs": self._cell_specs(strategy),
             "result": result_to_dict(result),
         }
+        if self._scenario is not None:
+            payload["scenario"] = self._scenario
         path = self.cell_path(strategy, repeat)
         atomic_write_text(path, json.dumps(payload))
         return path
@@ -284,6 +307,8 @@ class CheckpointStore:
             "specs": self._cell_specs(strategy),
             "session": snapshot,
         }
+        if self._scenario is not None:
+            payload["scenario"] = self._scenario
         self._sessions.save(self._session_id(strategy, repeat), payload)
         return self.session_path(strategy, repeat)
 

@@ -37,6 +37,12 @@ class ExperimentConfig:
         families that support it.  Unlike ``history_backend`` this *is*
         part of the experiment's identity: warm runs follow a different
         (faster) optimisation trajectory.
+    track_flips:
+        Record each round's predicted labels for the unlabeled pool in
+        the history store, feeding the contradiction-rate metric.
+        Prediction consumes no RNG, so curves are byte-identical either
+        way — but the recorded artifacts differ, so this is part of the
+        experiment's identity (and checkpoint fingerprint).
     """
 
     batch_size: int = 25
@@ -46,6 +52,7 @@ class ExperimentConfig:
     seed: int = 7
     history_backend: str = "local"
     training_mode: str = "cold"
+    track_flips: bool = False
 
     def __post_init__(self) -> None:
         from ..core.history import HISTORY_BACKENDS

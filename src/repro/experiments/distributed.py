@@ -984,7 +984,7 @@ def _grid_tickets(spec: ExperimentSpec) -> "list[CellTicket]":
 def _cell_document(spec: ExperimentSpec, ticket: CellTicket) -> dict:
     """One self-contained pure-JSON description of a cell: everything a
     worker on another host needs to reproduce it bit-for-bit."""
-    return {
+    document = {
         "format": CELL_FORMAT,
         "version": CELL_VERSION,
         **ticket.to_dict(),
@@ -996,6 +996,11 @@ def _cell_document(spec: ExperimentSpec, ticket: CellTicket) -> dict:
         },
         "experiment": spec.to_dict()["experiment"],
     }
+    if spec.scenario is not None:
+        # Key present only when a scenario perturbs the cell: documents
+        # of unperturbed grids keep their exact historical byte shape.
+        document["scenario"] = spec.scenario.to_dict()
+    return document
 
 
 def _science_document(experiment_doc: dict) -> dict:
@@ -1189,6 +1194,7 @@ def run_worker(
         spec.config,
         model_spec=model_spec,
         strategy_specs=strategy_specs,
+        scenario=spec.scenario_fingerprint(),
     )
     model_factory = partial(build_model, model_spec)
     summary = {"owner": owner, "completed": 0, "recovered": 0, "failed": 0}
@@ -1275,6 +1281,7 @@ def collect_results(
         strategy_specs={
             name: strategy.to_dict() for name, strategy in spec.strategies.items()
         },
+        scenario=spec.scenario_fingerprint(),
     )
     recorded = queue.failures()
     cell_results: dict[tuple[int, int], object] = {}

@@ -25,8 +25,12 @@ def format_table(
         raise ConfigurationError("table needs headers")
 
     def render(cell: object) -> str:
+        if cell is None:
+            return "-"
         if isinstance(cell, float) or isinstance(cell, np.floating):
-            return f"{cell:.4f}"
+            # Missing measurements travel as NaN (e.g. a metric that does
+            # not apply to a strategy); render them as "-" like None.
+            return "-" if np.isnan(cell) else f"{cell:.4f}"
         return str(cell)
 
     text_rows = [[render(cell) for cell in row] for row in rows]
@@ -64,6 +68,58 @@ def format_curve_table(
     rows = []
     for name, curve in curves.items():
         rows.append([name] + [curve.value_at(int(c)) for c in checkpoint_counts])
+    return format_table(headers, rows, title=title)
+
+
+def format_metric_table(
+    metrics: "Mapping[str, Mapping[str, float]]",
+    title: str = "",
+) -> str:
+    """One experiment's metric matrix: strategies as rows, metrics as columns.
+
+    ``metrics`` is the ``{metric_label: {strategy: value}}`` mapping a
+    :class:`~repro.eval.pipeline.MetricPipeline` computes.  NaN cells
+    (inapplicable metrics) render as ``-``.
+    """
+    if not metrics:
+        raise ConfigurationError("no metrics to format")
+    labels = list(metrics)
+    strategies: list[str] = []
+    for per_strategy in metrics.values():
+        for name in per_strategy:
+            if name not in strategies:
+                strategies.append(name)
+    headers = ["strategy"] + labels
+    rows = [
+        [name] + [metrics[label].get(name) for label in labels]
+        for name in strategies
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_sweep_matrix(
+    values: "Sequence[Sequence[object]]",
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    corner: str = "cell",
+    title: str = "",
+) -> str:
+    """A sweep grid for one (metric, strategy): rows x columns of cells.
+
+    ``values[i][j]`` is the measurement for row cell ``i`` and column
+    cell ``j``; ``None``/NaN (cells that failed or were skipped) render
+    as ``-``.
+    """
+    if not row_labels or not col_labels:
+        raise ConfigurationError("sweep matrix needs row and column labels")
+    if len(values) != len(row_labels):
+        raise ConfigurationError(
+            f"sweep matrix has {len(values)} rows for {len(row_labels)} labels"
+        )
+    headers = [corner] + [str(label) for label in col_labels]
+    rows = [
+        [str(label)] + list(row) for label, row in zip(row_labels, values)
+    ]
     return format_table(headers, rows, title=title)
 
 

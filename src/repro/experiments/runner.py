@@ -311,6 +311,7 @@ def _run_cell(
             seed_or_rng=int(seed),
             history_backend=config.history_backend,
             training_mode=config.training_mode,
+            track_flips=config.track_flips,
         )
     on_round_committed = None
     if store is not None:
@@ -639,6 +640,7 @@ def run_comparison(
     retry: "RetryPolicy | None" = None,
     on_error: str = "raise",
     start_method: "str | None" = None,
+    scenario: "dict | None" = None,
 ) -> dict[str, StrategyResult]:
     """Run every strategy ``config.repeats`` times and average the curves.
 
@@ -733,6 +735,10 @@ def run_comparison(
             config,
             model_spec=model_spec,
             strategy_specs=strategy_specs,
+            # Scenario fingerprint of the (already perturbed) datasets:
+            # checkpoints written under a different perturbation are
+            # stale, not reusable.
+            scenario=scenario,
         )
         if checkpoint_dir
         else None

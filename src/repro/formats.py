@@ -60,6 +60,10 @@ QUEUE_VERSION = 1
 CELL_FORMAT = "repro.cell_ticket"
 CELL_VERSION = 1
 
+#: Scenario-grid sweep documents (:mod:`repro.specs.sweep`).
+SWEEP_FORMAT = "repro.sweep"
+SWEEP_VERSION = 1
+
 #: Current version of every named document format, for introspection.
 DOCUMENT_VERSIONS = {
     EXPERIMENT_FORMAT: EXPERIMENT_VERSION,
@@ -71,4 +75,5 @@ DOCUMENT_VERSIONS = {
     SESSION_RESULT_FORMAT: SESSION_RESULT_VERSION,
     QUEUE_FORMAT: QUEUE_VERSION,
     CELL_FORMAT: CELL_VERSION,
+    SWEEP_FORMAT: SWEEP_VERSION,
 }

@@ -21,10 +21,14 @@ byte-identical to one driven in process.
 
 from __future__ import annotations
 
+import math
 import threading
 from functools import partial
+from types import SimpleNamespace
 
 from ..core.session import SessionEngine, SessionState
+from ..eval.curves import LearningCurve
+from ..eval.pipeline import MetricContext
 from ..exceptions import (
     ConfigurationError,
     IngestError,
@@ -42,6 +46,7 @@ from ..specs import (
     Spec,
     build_dataset,
     build_model,
+    build_pipeline,
     build_split,
     build_strategy,
     default_model_spec,
@@ -50,7 +55,13 @@ from ..specs import (
 from .events import SessionEventFeed
 from .store import SessionStore
 
-__all__ = ["RECIPE_DEFAULTS", "SessionService", "build_session_components", "dispatch"]
+__all__ = [
+    "RECIPE_DEFAULTS",
+    "SessionService",
+    "build_session_components",
+    "dispatch",
+    "session_metrics",
+]
 
 #: Optional recipe keys and their defaults — the same values the
 #: ``repro session init`` flags default to, so a minimal recipe
@@ -146,6 +157,7 @@ def build_session_components(recipe: dict):
             "initial_size": spec.config.initial_size,
             "seed": spec.config.seed,
             "training_mode": spec.config.training_mode,
+            "track_flips": spec.config.track_flips,
         }
         return train, test, model, strategy, settings
     dataset, task = build_dataset(
@@ -162,6 +174,52 @@ def build_session_components(recipe: dict):
     )
     settings = {key: recipe[key] for key in _SETTING_KEYS}
     return train, test, model, strategy, settings
+
+
+def session_metrics(engine, recipe=None) -> dict:
+    """The default metric pipeline over one session's curve so far.
+
+    The same :class:`~repro.eval.pipeline.MetricPipeline` offline sweep
+    reports use, fed the session's partial learning curve, history, and
+    selection order — so the service's numbers agree with an offline
+    evaluation of the identical run by construction.  Inapplicable
+    metrics (speed-up without a baseline strategy, contradiction rate
+    without ``track_flips``) come back as ``None``; before the first
+    evaluated round the block is empty.
+    """
+    records = [r for r in engine.records if r.metric is not None]
+    if not records:
+        return {}
+    name = engine.strategy.name
+    curve = LearningCurve(
+        [r.labeled_count for r in records],
+        [r.metric for r in records],
+        label=name,
+    )
+    costs = None
+    if isinstance(recipe, dict) and "experiment" in recipe:
+        try:
+            costs = ExperimentSpec.from_dict(
+                recipe["experiment"]
+            ).annotation_costs(engine.train_dataset)
+        except ReproError:
+            costs = None
+    run = SimpleNamespace(
+        history=engine.history,
+        selection_order=engine.selection_order,
+        curve=lambda label="": curve,
+    )
+    computed = build_pipeline().compute(
+        MetricContext(curves={name: curve}, runs={name: [run]}, costs=costs)
+    )
+    # NaN is not valid JSON; the wire format for "not applicable" is null.
+    return {
+        label: {
+            strategy: (None if math.isnan(value) else value)
+            for strategy, value in per_strategy.items()
+        }
+        for label, per_strategy in computed.items()
+    }
 
 
 class _LiveSession:
@@ -316,6 +374,7 @@ class SessionService:
             initial_size=settings["initial_size"],
             seed_or_rng=settings["seed"],
             training_mode=settings["training_mode"],
+            track_flips=settings.get("track_flips", False),
             observers=[feed],
         )
         live = _LiveSession(recipe, engine, feed, store_name, version=None)
@@ -440,6 +499,7 @@ class SessionService:
                 "round": snapshot["round_index"],
                 "recipe": live.recipe,
                 "session": snapshot,
+                "metrics": session_metrics(live.engine, live.recipe),
                 "last_seq": live.feed.last_seq,
             }
 

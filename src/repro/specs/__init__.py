@@ -31,6 +31,13 @@ from .experiment import (
     default_experiment_spec,
     default_model_spec,
 )
+from .metrics import (
+    METRIC_REGISTRY,
+    build_metric,
+    build_pipeline,
+    default_metric_specs,
+    metric_kinds,
+)
 from .models import (
     MODEL_REGISTRY,
     build_model,
@@ -47,27 +54,45 @@ from .strategies import (
     spec_of_strategy,
     strategy_kinds,
 )
+from .sweep import SweepAxis, SweepCell, SweepSpec
+from .transforms import (
+    TRANSFORM_REGISTRY,
+    ScenarioSpec,
+    build_transform,
+    transform_kinds,
+)
 
 __all__ = [
     "DATASET_REGISTRY",
     "EXPERIMENT_FORMAT",
     "EXPERIMENT_VERSION",
     "ExperimentSpec",
+    "METRIC_REGISTRY",
     "MODEL_REGISTRY",
     "SPEC_VERSION",
     "SPLIT_REGISTRY",
     "STRATEGY_REGISTRY",
+    "ScenarioSpec",
     "Spec",
     "SpecRegistry",
+    "SweepAxis",
+    "SweepCell",
+    "SweepSpec",
+    "TRANSFORM_REGISTRY",
     "as_spec",
+    "build_metric",
+    "build_pipeline",
     "build_dataset",
     "build_model",
     "build_split",
     "build_strategy",
+    "build_transform",
     "dataset_kinds",
     "default_experiment_spec",
+    "default_metric_specs",
     "default_model_spec",
     "is_spec_like",
+    "metric_kinds",
     "model_kinds",
     "parse_strategy_shorthand",
     "register_dataset",
@@ -77,4 +102,5 @@ __all__ = [
     "spec_of_model",
     "spec_of_strategy",
     "strategy_kinds",
+    "transform_kinds",
 ]

@@ -41,6 +41,7 @@ from .core import Spec, as_spec
 from .data import DATASET_TASKS, build_dataset, build_split
 from .models import build_model
 from .strategies import build_strategy
+from .transforms import ScenarioSpec
 
 # EXPERIMENT_FORMAT / EXPERIMENT_VERSION come from :mod:`repro.formats`
 # (the single source of truth for schema versions).
@@ -98,6 +99,10 @@ class ExperimentSpec:
     config: ExperimentConfig = field(default_factory=ExperimentConfig)
     runner: dict = field(default_factory=lambda: dict(RUNNER_DEFAULTS))
     report: dict = field(default_factory=lambda: dict(REPORT_DEFAULTS))
+    #: Optional perturbation scenario applied by :meth:`build_datasets`.
+    #: ``None`` (the default) keeps the document — and every artifact —
+    #: byte-identical to pre-sweep experiments.
+    scenario: "ScenarioSpec | None" = None
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -110,12 +115,27 @@ class ExperimentSpec:
         }
         self.runner = {**RUNNER_DEFAULTS, **self.runner}
         self.report = {**REPORT_DEFAULTS, **self.report}
+        if self.scenario is not None:
+            self.scenario = ScenarioSpec.from_dict(self.scenario)
 
     # -- (de)serialisation -------------------------------------------------
 
     def to_dict(self) -> dict:
         """The experiment as a plain JSON-compatible document."""
-        return {
+        shape = {
+            "batch_size": self.config.batch_size,
+            "rounds": self.config.rounds,
+            "initial_size": self.config.initial_size,
+            "repeats": self.config.repeats,
+            "seed": self.config.seed,
+            "history_backend": self.config.history_backend,
+            "training_mode": self.config.training_mode,
+        }
+        if self.config.track_flips:
+            # Emitted only when set: default documents keep their exact
+            # historical byte shape.
+            shape["track_flips"] = True
+        document = {
             "format": EXPERIMENT_FORMAT,
             "version": EXPERIMENT_VERSION,
             "dataset": self.dataset.to_dict(),
@@ -124,18 +144,13 @@ class ExperimentSpec:
             "strategies": {
                 name: spec.to_dict() for name, spec in self.strategies.items()
             },
-            "experiment": {
-                "batch_size": self.config.batch_size,
-                "rounds": self.config.rounds,
-                "initial_size": self.config.initial_size,
-                "repeats": self.config.repeats,
-                "seed": self.config.seed,
-                "history_backend": self.config.history_backend,
-                "training_mode": self.config.training_mode,
-            },
+            "experiment": shape,
             "runner": dict(self.runner),
             "report": dict(self.report),
         }
+        if self.scenario is not None:
+            document["scenario"] = self.scenario.to_dict()
+        return document
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentSpec":
@@ -148,7 +163,7 @@ class ExperimentSpec:
             )
         known = {
             "format", "version", "dataset", "split", "model", "strategies",
-            "experiment", "runner", "report",
+            "experiment", "runner", "report", "scenario",
         }
         unknown = set(payload) - known
         if unknown:
@@ -166,10 +181,11 @@ class ExperimentSpec:
             raise SpecError("experiment 'experiment' section must be a dict")
         unknown_shape = set(shape) - {
             "batch_size", "rounds", "initial_size", "repeats", "seed",
-            "history_backend", "training_mode",
+            "history_backend", "training_mode", "track_flips",
         }
         if unknown_shape:
             raise SpecError(f"unknown experiment option(s): {sorted(unknown_shape)}")
+        scenario = payload.get("scenario")
         return cls(
             dataset=as_spec(payload["dataset"]),
             split=as_spec(payload.get("split", {"kind": "fraction"})),
@@ -178,6 +194,7 @@ class ExperimentSpec:
             config=ExperimentConfig(**shape),
             runner=_section(payload, "runner", RUNNER_DEFAULTS),
             report=_section(payload, "report", REPORT_DEFAULTS),
+            scenario=None if scenario is None else ScenarioSpec.from_dict(scenario),
         )
 
     @classmethod
@@ -209,10 +226,31 @@ class ExperimentSpec:
         return self.model if self.model is not None else default_model_spec(self.task)
 
     def build_datasets(self) -> tuple[object, object, str]:
-        """Build ``(train, test, task)`` from the dataset + split specs."""
+        """Build ``(train, test, task)`` from the dataset + split specs.
+
+        When the document carries a ``scenario`` section, its transforms
+        are applied (deterministically, from the scenario's own RNG
+        streams) after the split — so every consumer that rebuilds data
+        from the spec (serial runner, spawn pools, distributed workers,
+        the session service) sees the identical perturbed datasets.
+        """
         dataset, task = build_dataset(self.dataset)
         train, test = build_split(self.split, dataset)
+        if self.scenario is not None:
+            train, test = self.scenario.apply(train, test)
         return train, test, task
+
+    def scenario_fingerprint(self) -> "dict | None":
+        """The scenario's checkpoint-fingerprint dict (``None`` if inert)."""
+        if self.scenario is None:
+            return None
+        return self.scenario.fingerprint()
+
+    def annotation_costs(self, train) -> "object | None":
+        """Per-sample annotation costs for the (perturbed) train pool."""
+        if self.scenario is None:
+            return None
+        return self.scenario.costs(train)
 
     def validate(self) -> list[str]:
         """Build every component once; returns human-readable notes.
@@ -227,6 +265,13 @@ class ExperimentSpec:
             f"dataset: {self.dataset.kind} ({task}), "
             f"{len(train)} pool / {len(test)} test samples"
         ]
+        if self.scenario is not None:
+            self.scenario.validate()
+            kinds = ", ".join(s.kind for s in self.scenario.transforms) or "identity"
+            notes.append(
+                f"scenario: {self.scenario.name or '(unnamed)'} "
+                f"(seed {self.scenario.seed}): {kinds}"
+            )
         model = build_model(self.resolved_model())
         notes.append(f"model: {type(model).__name__}")
         for name, spec in self.strategies.items():

@@ -1,0 +1,73 @@
+"""Metric specs: the pluggable columns of sweep reports and service status.
+
+Each registered kind builds one :class:`~repro.eval.pipeline.Metric`::
+
+    {"kind": "speedup", "params": {"fraction": 0.9, "baseline": "random"}}
+
+``default_metric_specs()`` is what a sweep (or the service status
+endpoint) uses when the document does not name metrics explicitly: the
+historical accuracy/F1 summary (``final``), the normalised AUC, and the
+three actionable metrics — speed-up vs. the random baseline,
+contradiction rate from the history's label-flip records, and the
+cost-normalised AUC.
+"""
+
+from __future__ import annotations
+
+from ..eval.pipeline import (
+    AUCMetric,
+    ContradictionMetric,
+    CostAUCMetric,
+    FinalMetric,
+    Metric,
+    MetricPipeline,
+    SpeedupMetric,
+)
+from .core import Spec, SpecRegistry
+
+METRIC_REGISTRY = SpecRegistry("metric")
+
+
+def _metric_builder(cls):
+    def build(params: dict) -> Metric:
+        return cls(**params)
+
+    return build
+
+
+def _metric_params(metric: Metric) -> dict:
+    return metric.params()
+
+
+for _cls in (FinalMetric, AUCMetric, SpeedupMetric, ContradictionMetric, CostAUCMetric):
+    METRIC_REGISTRY.register(
+        _cls.kind, _metric_builder(_cls), cls=_cls, params_of=_metric_params
+    )
+
+
+def build_metric(spec) -> Metric:
+    """Build one metric from its spec."""
+    return METRIC_REGISTRY.build(spec)
+
+
+def metric_kinds() -> list[str]:
+    """Sorted registered metric kinds."""
+    return METRIC_REGISTRY.kinds()
+
+
+def default_metric_specs() -> "list[Spec]":
+    """The default metric columns (see module docstring)."""
+    return [
+        Spec(kind="final"),
+        Spec(kind="auc"),
+        Spec(kind="speedup"),
+        Spec(kind="contradiction"),
+        Spec(kind="cost_auc"),
+    ]
+
+
+def build_pipeline(specs=None) -> MetricPipeline:
+    """A :class:`MetricPipeline` from metric specs (defaults when None)."""
+    if specs is None:
+        specs = default_metric_specs()
+    return MetricPipeline([build_metric(spec) for spec in specs])

@@ -1,0 +1,287 @@
+"""Tests for scenario transforms: determinism, exactness, and purity."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import SequenceDataset, TextDataset
+from repro.data.transforms import (
+    AnnotationCost,
+    ClassImbalance,
+    IdentityTransform,
+    LabelNoise,
+    LexiconShift,
+    ScenarioTransform,
+)
+from repro.data.vocab import Vocabulary
+from repro.exceptions import ConfigurationError, DataError
+
+
+@pytest.fixture()
+def text_pool():
+    vocab = Vocabulary([f"t{i}" for i in range(38)])
+    rng = np.random.default_rng(5)
+    sentences = [
+        rng.integers(2, len(vocab), size=rng.integers(3, 9)).tolist()
+        for _ in range(40)
+    ]
+    labels = (np.arange(40) % 4).tolist()
+    train = TextDataset(sentences[:30], labels[:30], vocab, 4, name="train")
+    test = TextDataset(sentences[30:], labels[30:], vocab, 4, name="test")
+    return train, test
+
+
+@pytest.fixture()
+def sequence_pool():
+    vocab = Vocabulary([f"t{i}" for i in range(18)])
+    rng = np.random.default_rng(6)
+    sentences = [
+        rng.integers(2, len(vocab), size=rng.integers(2, 6)).tolist()
+        for _ in range(12)
+    ]
+    tags = [rng.integers(0, 3, size=len(s)).tolist() for s in sentences]
+    names = ["O", "B-X", "I-X"]
+    train = SequenceDataset(sentences[:8], tags[:8], vocab, names, name="train")
+    test = SequenceDataset(sentences[8:], tags[8:], vocab, names, name="test")
+    return train, test
+
+
+class TestIdentity:
+    def test_returns_inputs_unchanged(self, text_pool):
+        train, test = text_pool
+        out_train, out_test = IdentityTransform().apply(
+            train, test, np.random.default_rng(0)
+        )
+        assert out_train is train and out_test is test
+
+    def test_no_costs(self, text_pool):
+        assert IdentityTransform().costs(text_pool[0]) is None
+
+
+class TestLabelNoise:
+    def test_exact_flip_count(self, text_pool):
+        train, _test = text_pool
+        noisy, _ = LabelNoise(rate=0.2).apply(train, _test, np.random.default_rng(1))
+        changed = int(np.count_nonzero(noisy.labels != train.labels))
+        assert changed == round(0.2 * len(train))
+
+    def test_every_flip_changes_the_label(self, text_pool):
+        train, _test = text_pool
+        for seed in range(5):
+            noisy, _ = LabelNoise(rate=1.0).apply(
+                train, _test, np.random.default_rng(seed)
+            )
+            assert np.all(noisy.labels != train.labels)
+            assert np.all((0 <= noisy.labels) & (noisy.labels < train.num_classes))
+
+    def test_deterministic_given_rng_seed(self, text_pool):
+        train, test = text_pool
+        a, _ = LabelNoise(rate=0.3).apply(train, test, np.random.default_rng(9))
+        b, _ = LabelNoise(rate=0.3).apply(train, test, np.random.default_rng(9))
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_inputs_not_mutated(self, text_pool):
+        train, test = text_pool
+        before = train.labels.copy()
+        LabelNoise(rate=0.5).apply(train, test, np.random.default_rng(2))
+        assert np.array_equal(train.labels, before)
+
+    def test_zero_rate_is_noop(self, text_pool):
+        train, test = text_pool
+        out, _ = LabelNoise(rate=0.0).apply(train, test, np.random.default_rng(0))
+        assert out is train
+
+    def test_test_set_untouched(self, text_pool):
+        train, test = text_pool
+        _, out_test = LabelNoise(rate=0.5).apply(train, test, np.random.default_rng(0))
+        assert out_test is test
+
+    def test_sequence_tag_flips_exact(self, sequence_pool):
+        train, test = sequence_pool
+        noisy, _ = LabelNoise(rate=0.25).apply(train, test, np.random.default_rng(3))
+        total = int(train.lengths().sum())
+        changed = sum(
+            int(np.count_nonzero(np.asarray(a) != np.asarray(b)))
+            for a, b in zip(noisy.tag_sequences, train.tag_sequences)
+        )
+        assert changed == round(0.25 * total)
+        assert [len(s) for s in noisy.tag_sequences] == [
+            len(s) for s in train.tag_sequences
+        ]
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            LabelNoise(rate=1.5)
+
+    def test_params_roundtrip(self):
+        assert LabelNoise(rate=0.2).params() == {"rate": 0.2}
+
+
+class TestClassImbalance:
+    def test_downsamples_target_class_only(self, text_pool):
+        train, test = text_pool
+        before = int(np.count_nonzero(train.labels == 1))
+        out, _ = ClassImbalance(class_id=1, keep=0.5).apply(
+            train, test, np.random.default_rng(4)
+        )
+        assert int(np.count_nonzero(out.labels == 1)) == round(0.5 * before)
+        for other in (0, 2, 3):
+            assert int(np.count_nonzero(out.labels == other)) == int(
+                np.count_nonzero(train.labels == other)
+            )
+
+    def test_survivors_keep_original_order(self, text_pool):
+        train, test = text_pool
+        out, _ = ClassImbalance(class_id=0, keep=0.5).apply(
+            train, test, np.random.default_rng(4)
+        )
+        # kept sentences appear in the same relative order as the source
+        positions = []
+        cursor = 0
+        for sentence in out.sentences:
+            while cursor < len(train) and list(train.sentences[cursor]) != list(sentence):
+                cursor += 1
+            assert cursor < len(train)
+            positions.append(cursor)
+            cursor += 1
+        assert positions == sorted(positions)
+
+    def test_keep_one_is_noop(self, text_pool):
+        train, test = text_pool
+        out, _ = ClassImbalance(class_id=0, keep=1.0).apply(
+            train, test, np.random.default_rng(0)
+        )
+        assert out is train
+
+    def test_sequence_dataset_rejected(self, sequence_pool):
+        train, test = sequence_pool
+        with pytest.raises(DataError, match="classification"):
+            ClassImbalance().apply(train, test, np.random.default_rng(0))
+
+    def test_class_out_of_range_rejected(self, text_pool):
+        train, test = text_pool
+        with pytest.raises(DataError, match="out of range"):
+            ClassImbalance(class_id=9).apply(train, test, np.random.default_rng(0))
+
+    def test_keep_zero_rejected(self):
+        with pytest.raises(ConfigurationError, match="keep"):
+            ClassImbalance(keep=0.0)
+
+
+class TestLexiconShift:
+    def test_only_test_sentences_change(self, text_pool):
+        train, test = text_pool
+        out_train, out_test = LexiconShift(rate=0.8).apply(
+            train, test, np.random.default_rng(7)
+        )
+        assert out_train is train
+        assert any(
+            list(a) != list(b) for a, b in zip(out_test.sentences, test.sentences)
+        )
+        assert np.array_equal(out_test.labels, test.labels)
+
+    def test_shift_is_a_permutation(self, text_pool):
+        train, test = text_pool
+        _, out_test = LexiconShift(rate=1.0).apply(
+            train, test, np.random.default_rng(7)
+        )
+        for before, after in zip(test.sentences, out_test.sentences):
+            assert sorted(np.unique(before).tolist()) != [0] or True
+            assert len(before) == len(after)
+        flat_before = np.concatenate([np.asarray(s) for s in test.sentences])
+        flat_after = np.concatenate([np.asarray(s) for s in out_test.sentences])
+        # token ids are remapped among themselves: multiset of ids per
+        # position changes, but every id stays inside the vocab
+        assert flat_after.min() >= 0 and flat_after.max() < len(test.vocab)
+
+    def test_pad_token_never_remapped(self, text_pool):
+        train, test = text_pool
+        # sentence ids never include 0 in the fixture; inject one
+        sentences = [list(s) for s in test.sentences]
+        sentences[0] = [0] + sentences[0]
+        test0 = TextDataset(sentences, test.labels, test.vocab, test.num_classes)
+        _, shifted = LexiconShift(rate=1.0).apply(
+            train, test0, np.random.default_rng(1)
+        )
+        assert shifted.sentences[0][0] == 0
+
+    def test_tiny_rate_is_noop(self, text_pool):
+        train, test = text_pool
+        out_train, out_test = LexiconShift(rate=0.0).apply(
+            train, test, np.random.default_rng(0)
+        )
+        assert out_test is test
+
+    def test_sequence_test_set_supported(self, sequence_pool):
+        train, test = sequence_pool
+        _, out_test = LexiconShift(rate=1.0).apply(
+            train, test, np.random.default_rng(2)
+        )
+        assert [len(s) for s in out_test.sentences] == [len(s) for s in test.sentences]
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(out_test.tag_sequences, test.tag_sequences)
+        )
+
+
+class TestAnnotationCost:
+    def test_constant_model(self, text_pool):
+        train, _ = text_pool
+        costs = AnnotationCost(model="constant", value=2.5).costs(train)
+        assert np.array_equal(costs, np.full(len(train), 2.5))
+
+    def test_length_model(self, text_pool):
+        train, _ = text_pool
+        costs = AnnotationCost(model="length", base=1.0, per_token=0.5).costs(train)
+        expected = 1.0 + 0.5 * train.lengths().astype(float)
+        assert np.allclose(costs, expected)
+
+    def test_class_model(self, text_pool):
+        train, _ = text_pool
+        costs = AnnotationCost(model="class", weights=[1, 2, 3, 4]).costs(train)
+        assert np.array_equal(costs, np.asarray([1, 2, 3, 4], float)[train.labels])
+
+    def test_class_model_needs_enough_weights(self, text_pool):
+        train, _ = text_pool
+        with pytest.raises(DataError, match="classes"):
+            AnnotationCost(model="class", weights=[1, 2]).costs(train)
+
+    def test_class_model_rejects_sequences(self, sequence_pool):
+        train, _ = sequence_pool
+        with pytest.raises(DataError, match="classification"):
+            AnnotationCost(model="class", weights=[1, 2, 3]).costs(train)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="model"):
+            AnnotationCost(model="bogus")
+
+    def test_class_model_without_weights_rejected(self):
+        with pytest.raises(ConfigurationError, match="weights"):
+            AnnotationCost(model="class")
+
+    def test_data_untouched(self, text_pool):
+        train, test = text_pool
+        out = AnnotationCost(model="length").apply(
+            train, test, np.random.default_rng(0)
+        )
+        assert out == (train, test)
+
+    def test_params_cover_only_active_model(self):
+        assert AnnotationCost(model="constant", value=3.0).params() == {
+            "model": "constant", "value": 3.0,
+        }
+        assert AnnotationCost(model="length", base=2.0, per_token=0.1).params() == {
+            "model": "length", "base": 2.0, "per_token": 0.1,
+        }
+        assert AnnotationCost(model="class", weights=[1.0, 2.0]).params() == {
+            "model": "class", "weights": [1.0, 2.0],
+        }
+
+
+class TestBaseClass:
+    def test_default_apply_is_identity(self, text_pool):
+        train, test = text_pool
+        out = ScenarioTransform().apply(train, test, np.random.default_rng(0))
+        assert out == (train, test)
+
+    def test_repr_shows_params(self):
+        assert "rate=0.2" in repr(LabelNoise(rate=0.2))

@@ -11,7 +11,7 @@ from repro.eval.curves import (
     mean_curve,
     samples_to_target,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, CurveMismatchError
 
 
 @pytest.fixture()
@@ -68,6 +68,37 @@ class TestSamplesToTarget:
     def test_exact_boundary(self, curve):
         assert samples_to_target(curve, 0.72) == 100
 
+    def test_empty_curve_unconstructible(self):
+        # an "empty curve" cannot even be built, so samples_to_target
+        # never sees one — the constructor is the edge-case guard
+        with pytest.raises(ConfigurationError):
+            LearningCurve(np.array([], dtype=np.int64), np.array([]))
+
+    def test_non_monotone_first_crossing(self):
+        # dips below the target after first reaching it: report the
+        # FIRST crossing, not the last stable one
+        curve = LearningCurve(
+            np.array([10, 20, 30, 40]),
+            np.array([0.4, 0.7, 0.5, 0.8]),
+        )
+        assert samples_to_target(curve, 0.65) == 20
+
+    def test_plateau_reports_first_point_of_plateau(self):
+        curve = LearningCurve(
+            np.array([10, 20, 30]),
+            np.array([0.5, 0.7, 0.7]),
+        )
+        assert samples_to_target(curve, 0.7) == 20
+
+    def test_nan_values_never_cross(self):
+        curve = LearningCurve(
+            np.array([10, 20, 30]),
+            np.array([np.nan, np.nan, 0.8]),
+        )
+        assert samples_to_target(curve, 0.7) == 30
+        all_nan = LearningCurve(np.array([10]), np.array([np.nan]))
+        assert samples_to_target(all_nan, 0.1) is None
+
 
 class TestAUC:
     def test_constant_curve(self):
@@ -86,6 +117,24 @@ class TestAUC:
         better = LearningCurve(curve.counts, curve.values + 0.1)
         assert area_under_curve(better) > area_under_curve(curve)
 
+    def test_normalization_makes_budgets_comparable(self):
+        # same constant level over different label budgets: identical
+        # normalised AUC, wildly different raw area
+        short = LearningCurve(np.array([0, 10]), np.array([0.5, 0.5]))
+        long = LearningCurve(np.array([0, 1000]), np.array([0.5, 0.5]))
+        assert area_under_curve(short) == pytest.approx(area_under_curve(long))
+        assert area_under_curve(long, normalize=False) == pytest.approx(
+            100 * area_under_curve(short, normalize=False)
+        )
+
+    def test_raw_area(self):
+        curve = LearningCurve(np.array([0, 10]), np.array([0.0, 1.0]))
+        assert area_under_curve(curve, normalize=False) == pytest.approx(5.0)
+
+    def test_single_point_raw_area_is_zero(self):
+        curve = LearningCurve(np.array([5]), np.array([0.7]))
+        assert area_under_curve(curve, normalize=False) == 0.0
+
 
 class TestAggregation:
     def test_mean_curve(self, curve):
@@ -101,9 +150,35 @@ class TestAggregation:
         with pytest.raises(ConfigurationError):
             mean_curve([curve, other])
 
+    def test_mean_mismatch_is_typed_and_names_labels(self, curve):
+        other = LearningCurve(np.array([1, 2]), np.array([0.1, 0.2]), label="bad")
+        with pytest.raises(CurveMismatchError) as excinfo:
+            mean_curve([curve, other])
+        assert excinfo.value.labels == ("bad",)
+        assert "bad" in str(excinfo.value)
+        # also catchable as a plain ValueError, per the satellite contract
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_mean_mismatch_names_unlabeled_by_position(self, curve):
+        other = LearningCurve(np.array([1, 2]), np.array([0.1, 0.2]))
+        with pytest.raises(CurveMismatchError) as excinfo:
+            mean_curve([curve, other])
+        assert excinfo.value.labels == ("curve[1]",)
+
+    def test_std_mismatched_counts_rejected(self, curve):
+        # curve_std shares the same validation helper as mean_curve
+        other = LearningCurve(np.array([1, 2]), np.array([0.1, 0.2]), label="bad")
+        with pytest.raises(CurveMismatchError) as excinfo:
+            curve_std([curve, other])
+        assert excinfo.value.labels == ("bad",)
+
     def test_mean_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             mean_curve([])
+
+    def test_std_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            curve_std([])
 
     def test_std(self, curve):
         other = LearningCurve(curve.counts, curve.values + 0.2)

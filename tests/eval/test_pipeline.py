@@ -1,0 +1,255 @@
+"""Reference-oracle tests for the metric pipeline.
+
+Every metric's semantics are pinned against small hand-computed
+examples, so a regression in the pipeline shows up as a changed number
+rather than a changed trend.
+"""
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.history import HistoryStore
+from repro.eval.curves import LearningCurve, area_under_curve
+from repro.eval.pipeline import (
+    AUCMetric,
+    ContradictionMetric,
+    CostAUCMetric,
+    FinalMetric,
+    MetricContext,
+    MetricPipeline,
+    SpeedupMetric,
+    contradiction_rate,
+    cost_normalized_auc,
+    cumulative_costs,
+    speedup_factor,
+)
+from repro.exceptions import ConfigurationError
+from repro.specs import build_pipeline, default_metric_specs, metric_kinds
+
+
+def curve_of(counts, values, label="s"):
+    return LearningCurve(np.asarray(counts), np.asarray(values), label=label)
+
+
+def run_of(curve, history=None, selection_order=()):
+    return SimpleNamespace(
+        history=history if history is not None else HistoryStore(10),
+        selection_order=list(selection_order),
+        curve=lambda label="": curve,
+    )
+
+
+class TestContradictionRate:
+    def test_hand_computed(self):
+        history = HistoryStore(6)
+        # round 1: samples 0..3 predicted [0, 1, 0, 1]
+        history.append_labels(1, np.array([0, 1, 2, 3]), np.array([0, 1, 0, 1]))
+        # round 2: samples 1..4; co-observed 1,2,3 -> only sample 2 flipped
+        history.append_labels(2, np.array([1, 2, 3, 4]), np.array([1, 1, 1, 0]))
+        assert contradiction_rate(history) == pytest.approx(1 / 3)
+
+    def test_multiple_round_pairs_accumulate(self):
+        history = HistoryStore(4)
+        history.append_labels(1, np.array([0, 1]), np.array([0, 0]))
+        history.append_labels(2, np.array([0, 1]), np.array([0, 1]))  # 1/2 flip
+        history.append_labels(3, np.array([0, 1]), np.array([0, 1]))  # 0/2 flip
+        assert contradiction_rate(history) == pytest.approx(1 / 4)
+
+    def test_disjoint_rounds_are_nan(self):
+        history = HistoryStore(4)
+        history.append_labels(1, np.array([0, 1]), np.array([0, 0]))
+        history.append_labels(2, np.array([2, 3]), np.array([0, 0]))
+        assert math.isnan(contradiction_rate(history))
+
+    def test_fewer_than_two_rounds_is_nan(self):
+        history = HistoryStore(4)
+        assert math.isnan(contradiction_rate(history))
+        history.append_labels(1, np.array([0]), np.array([1]))
+        assert math.isnan(contradiction_rate(history))
+
+
+class TestCumulativeCosts:
+    def test_unit_costs_equal_counts(self):
+        counts = np.array([10, 20, 30])
+        spent = cumulative_costs(counts, [np.array([0]), np.array([1])], None)
+        assert np.array_equal(spent, counts.astype(float))
+
+    def test_hand_computed(self):
+        costs = np.array([1.0, 2.0, 3.0, 4.0])  # mean 2.5
+        counts = np.array([2, 3, 4])
+        order = [np.array([3]), np.array([0])]
+        spent = cumulative_costs(counts, order, costs)
+        # initial: 2.5 * 2 = 5; +cost[3]=4 -> 9; +cost[0]=1 -> 10
+        assert np.allclose(spent, [5.0, 9.0, 10.0])
+
+    def test_extra_selection_rounds_ignored(self):
+        costs = np.ones(4)
+        spent = cumulative_costs(
+            np.array([1, 2]), [np.array([0]), np.array([1]), np.array([2])], costs
+        )
+        assert np.allclose(spent, [1.0, 2.0])
+
+
+class TestCostNormalizedAUC:
+    def test_unit_costs_match_area_under_curve(self):
+        curve = curve_of([10, 20, 30], [0.5, 0.7, 0.8])
+        order = [np.array([0]), np.array([1])]
+        assert cost_normalized_auc(curve, order, None) == pytest.approx(
+            area_under_curve(curve)
+        )
+
+    def test_hand_computed(self):
+        curve = curve_of([1, 2], [0.0, 1.0])
+        costs = np.array([1.0, 3.0])
+        order = [np.array([1])]
+        # spent = [2.0, 5.0]; trapezoid = 0.5 * 3 = 1.5; span = 3
+        assert cost_normalized_auc(curve, order, costs) == pytest.approx(0.5)
+
+    def test_single_point_curve(self):
+        curve = curve_of([10], [0.42])
+        assert cost_normalized_auc(curve, [], np.ones(20)) == pytest.approx(0.42)
+
+
+class TestSpeedupFactor:
+    def test_hand_computed(self):
+        baseline = curve_of([10, 20, 30, 40], [0.2, 0.4, 0.6, 0.8])
+        strategy = curve_of([10, 20, 30, 40], [0.5, 0.75, 0.9, 0.95])
+        # fraction 0.9 of baseline final 0.8 -> target 0.72
+        # baseline reaches at 40, strategy at 20 -> 2x
+        assert speedup_factor(strategy, baseline, fraction=0.9) == pytest.approx(2.0)
+
+    def test_explicit_target(self):
+        baseline = curve_of([10, 20], [0.5, 0.9])
+        strategy = curve_of([10, 20], [0.6, 0.9])
+        assert speedup_factor(strategy, baseline, target=0.6) == pytest.approx(2.0)
+
+    def test_strategy_never_reaches_target_is_nan(self):
+        baseline = curve_of([10, 20], [0.5, 0.8])
+        strategy = curve_of([10, 20], [0.3, 0.5])
+        assert math.isnan(speedup_factor(strategy, baseline))
+
+    def test_baseline_never_reaches_target_is_nan(self):
+        baseline = curve_of([10, 20], [0.5, 0.8])
+        strategy = curve_of([10, 20], [0.9, 0.95])
+        assert math.isnan(speedup_factor(strategy, baseline, target=0.99))
+
+
+class TestMetrics:
+    def test_final_metric(self):
+        context = MetricContext(curves={"s": curve_of([1, 2], [0.3, 0.7])})
+        assert FinalMetric().compute("s", context) == pytest.approx(0.7)
+
+    def test_auc_metric(self):
+        curve = curve_of([10, 20], [0.5, 0.7])
+        context = MetricContext(curves={"s": curve})
+        assert AUCMetric().compute("s", context) == pytest.approx(
+            area_under_curve(curve)
+        )
+
+    def test_speedup_metric_against_named_baseline(self):
+        context = MetricContext(
+            curves={
+                "random": curve_of([10, 20, 30, 40], [0.2, 0.4, 0.6, 0.8]),
+                "smart": curve_of([10, 20, 30, 40], [0.5, 0.75, 0.9, 0.95]),
+            }
+        )
+        assert SpeedupMetric().compute("smart", context) == pytest.approx(2.0)
+
+    def test_speedup_without_baseline_is_nan(self):
+        context = MetricContext(curves={"smart": curve_of([10], [0.9])})
+        assert math.isnan(SpeedupMetric().compute("smart", context))
+
+    def test_speedup_fraction_validated(self):
+        with pytest.raises(ConfigurationError, match="fraction"):
+            SpeedupMetric(fraction=0.0)
+
+    def test_contradiction_metric_averages_runs(self):
+        flip_half = HistoryStore(4)
+        flip_half.append_labels(1, np.array([0, 1]), np.array([0, 0]))
+        flip_half.append_labels(2, np.array([0, 1]), np.array([1, 0]))
+        flip_all = HistoryStore(4)
+        flip_all.append_labels(1, np.array([0, 1]), np.array([0, 0]))
+        flip_all.append_labels(2, np.array([0, 1]), np.array([1, 1]))
+        curve = curve_of([1, 2], [0.1, 0.2])
+        context = MetricContext(
+            curves={"s": curve},
+            runs={"s": [run_of(curve, flip_half), run_of(curve, flip_all)]},
+        )
+        assert ContradictionMetric().compute("s", context) == pytest.approx(0.75)
+
+    def test_contradiction_without_label_rounds_is_nan(self):
+        curve = curve_of([1, 2], [0.1, 0.2])
+        context = MetricContext(curves={"s": curve}, runs={"s": [run_of(curve)]})
+        assert math.isnan(ContradictionMetric().compute("s", context))
+
+    def test_cost_auc_metric_uses_context_costs(self):
+        curve = curve_of([1, 2], [0.0, 1.0])
+        run = run_of(curve, selection_order=[np.array([1])])
+        context = MetricContext(
+            curves={"s": curve}, runs={"s": [run]}, costs=np.array([1.0, 3.0])
+        )
+        assert CostAUCMetric().compute("s", context) == pytest.approx(0.5)
+
+    def test_cost_auc_without_runs_is_nan(self):
+        context = MetricContext(curves={"s": curve_of([1], [0.5])})
+        assert math.isnan(CostAUCMetric().compute("s", context))
+
+    def test_custom_label(self):
+        metric = SpeedupMetric(target=0.8, label="speedup@0.8")
+        assert metric.label == "speedup@0.8"
+        assert metric.params()["label"] == "speedup@0.8"
+
+
+class TestPipeline:
+    def test_matrix_shape_and_order(self):
+        pipeline = MetricPipeline([FinalMetric(), AUCMetric()])
+        context = MetricContext(
+            curves={
+                "a": curve_of([1, 2], [0.1, 0.5]),
+                "b": curve_of([1, 2], [0.2, 0.6]),
+            }
+        )
+        matrix = pipeline.compute(context)
+        assert list(matrix) == ["final", "auc"]
+        assert list(matrix["final"]) == ["a", "b"]
+        assert matrix["final"]["b"] == pytest.approx(0.6)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate metric label"):
+            MetricPipeline([FinalMetric(), FinalMetric()])
+
+    def test_duplicate_kinds_allowed_with_distinct_labels(self):
+        pipeline = MetricPipeline(
+            [SpeedupMetric(label="x2"), SpeedupMetric(target=0.5, label="x0.5")]
+        )
+        assert pipeline.labels() == ["x2", "x0.5"]
+
+    def test_from_strategy_results_adapter(self):
+        curve = curve_of([1, 2], [0.1, 0.9])
+        entry = SimpleNamespace(curve=curve, runs=[run_of(curve)])
+        context = MetricContext.from_strategy_results({"s": entry})
+        assert context.curves["s"] is curve
+        assert len(context.runs["s"]) == 1
+
+
+class TestRegistry:
+    def test_default_pipeline_labels(self):
+        assert build_pipeline().labels() == [
+            "final", "auc", "speedup", "contradiction", "cost_auc",
+        ]
+
+    def test_default_specs_match_kinds(self):
+        kinds = [spec.kind for spec in default_metric_specs()]
+        assert kinds == ["final", "auc", "speedup", "contradiction", "cost_auc"]
+        assert set(kinds) <= set(metric_kinds())
+
+    def test_build_pipeline_from_specs(self):
+        pipeline = build_pipeline(
+            [{"kind": "speedup", "params": {"fraction": 0.8, "baseline": "rnd"}}]
+        )
+        (metric,) = pipeline.metrics
+        assert metric.fraction == 0.8
+        assert metric.baseline == "rnd"

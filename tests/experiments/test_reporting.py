@@ -8,7 +8,9 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.reporting import (
     accumulate_phase_times,
     format_curve_table,
+    format_metric_table,
     format_phase_times,
+    format_sweep_matrix,
     format_table,
     format_target_table,
 )
@@ -47,6 +49,78 @@ class TestFormatTable:
 
     def test_no_rows_ok(self):
         assert "a" in format_table(["a"], [])
+
+    def test_none_cell_renders_dash(self):
+        text = format_table(["a", "b"], [["x", None]])
+        assert text.splitlines()[-1].split("|")[-1].strip() == "-"
+
+    def test_nan_cell_renders_dash(self):
+        text = format_table(["a", "b"], [["x", float("nan")]])
+        assert text.splitlines()[-1].split("|")[-1].strip() == "-"
+
+    def test_numpy_nan_cell_renders_dash(self):
+        text = format_table(["a", "b"], [["x", np.float64("nan")]])
+        assert text.splitlines()[-1].split("|")[-1].strip() == "-"
+
+    def test_mixed_missing_and_present_cells(self):
+        text = format_table(
+            ["s", "final", "speedup"],
+            [["random", 0.75, None], ["entropy", 0.8, float("nan")]],
+        )
+        lines = text.splitlines()
+        assert "0.7500" in lines[-2] and lines[-2].rstrip().endswith("-")
+        assert "0.8000" in lines[-1] and lines[-1].rstrip().endswith("-")
+
+
+class TestMetricTable:
+    def test_strategies_rows_metrics_columns(self):
+        metrics = {
+            "final": {"random": 0.7, "entropy": 0.8},
+            "speedup": {"random": 1.0, "entropy": 1.5},
+        }
+        text = format_metric_table(metrics, title="metrics")
+        lines = text.splitlines()
+        assert lines[0] == "metrics"
+        assert lines[1].split("|")[0].strip() == "strategy"
+        assert "final" in lines[1] and "speedup" in lines[1]
+        assert lines[3].startswith("random")
+        assert "1.5000" in lines[4]
+
+    def test_nan_and_missing_cells_render_dash(self):
+        metrics = {
+            "final": {"random": 0.7},
+            "contradiction": {"random": float("nan")},
+        }
+        text = format_metric_table(metrics)
+        assert text.splitlines()[-1].rstrip().endswith("-")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_metric_table({})
+
+
+class TestSweepMatrix:
+    def test_grid_layout(self):
+        text = format_sweep_matrix(
+            [[0.8, 0.7], [0.6, None]],
+            row_labels=["clean", "p20"],
+            col_labels=["b10", "b20"],
+            corner="noise \\ shape",
+            title="final [entropy]",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "final [entropy]"
+        assert lines[1].split("|")[0].strip() == "noise \\ shape"
+        assert lines[3].startswith("clean") and "0.8000" in lines[3]
+        assert lines[4].rstrip().endswith("-")
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="rows"):
+            format_sweep_matrix([[1.0]], ["a", "b"], ["c"])
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_sweep_matrix([], [], ["c"])
 
 
 class TestPhaseTimes:

@@ -271,3 +271,87 @@ class TestDispatch:
         client.propose("s1")
         with pytest.raises(IngestError, match="indices"):
             client.ingest("s1")
+
+
+class TestStatusMetrics:
+    """The ``metrics`` block of GET /sessions/{id}/status must agree
+    with an offline metric-pipeline evaluation of the identical run."""
+
+    def _experiment_recipe(self, track_flips=True):
+        spec = ExperimentSpec(
+            dataset=Spec(kind="mr", params={"scale": 0.05, "seed": 3}),
+            strategies={"entropy": Spec(kind="entropy")},
+            config=ExperimentConfig(
+                batch_size=10, rounds=2, repeats=1, seed=3,
+                track_flips=track_flips,
+            ),
+        )
+        return {"experiment": spec.to_dict(), "strategy": "entropy"}
+
+    def _offline_metrics(self, recipe):
+        """The offline reference: a plain engine run fed straight through
+        the eval pipeline, exactly as a sweep report would compute it."""
+        import math
+
+        from repro.eval.pipeline import MetricContext
+        from repro.specs import build_pipeline
+
+        train, test, model, strategy, settings = build_session_components(recipe)
+        engine = SessionEngine(
+            model,
+            strategy,
+            train,
+            test,
+            batch_size=settings["batch_size"],
+            rounds=settings["rounds"],
+            initial_size=settings["initial_size"],
+            seed_or_rng=settings["seed"],
+            training_mode=settings["training_mode"],
+            track_flips=settings.get("track_flips", False),
+        )
+        result = run_to_completion(engine)
+        name = strategy.name
+        computed = build_pipeline().compute(
+            MetricContext(curves={name: result.curve(name)}, runs={name: [result]})
+        )
+        return {
+            label: {
+                s: (None if math.isnan(v) else v) for s, v in per.items()
+            }
+            for label, per in computed.items()
+        }
+
+    def test_status_metrics_match_offline_pipeline(self, client):
+        recipe = self._experiment_recipe()
+        client.create(recipe, session_id="m1")
+        drive(client, "m1")
+        payload = client.status("m1")
+        assert payload["metrics"] == self._offline_metrics(recipe)
+
+    def test_contradiction_applicable_only_with_tracking(self, client):
+        recipe = self._experiment_recipe(track_flips=True)
+        client.create(recipe, session_id="m2")
+        drive(client, "m2")
+        assert client.status("m2")["metrics"]["contradiction"]["Entropy"] is not None
+
+        untracked = self._experiment_recipe(track_flips=False)
+        client.create(untracked, session_id="m3")
+        drive(client, "m3")
+        assert client.status("m3")["metrics"]["contradiction"]["Entropy"] is None
+
+    def test_metrics_empty_before_first_evaluation(self, client):
+        client.create(self._experiment_recipe(), session_id="m4")
+        assert client.status("m4")["metrics"] == {}
+
+    def test_speedup_without_random_baseline_is_null(self, client):
+        recipe = self._experiment_recipe()
+        client.create(recipe, session_id="m5")
+        drive(client, "m5")
+        assert client.status("m5")["metrics"]["speedup"]["Entropy"] is None
+
+    def test_metrics_survive_json_serialization(self, client):
+        recipe = self._experiment_recipe()
+        client.create(recipe, session_id="m6")
+        drive(client, "m6")
+        payload = client.status("m6")
+        assert json.loads(json.dumps(payload["metrics"])) == payload["metrics"]

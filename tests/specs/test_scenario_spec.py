@@ -1,0 +1,166 @@
+"""Tests for scenario specs: round-trips, fingerprints, RNG discipline."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import TextDataset
+from repro.data.vocab import Vocabulary
+from repro.exceptions import SpecError
+from repro.specs import (
+    TRANSFORM_REGISTRY,
+    ScenarioSpec,
+    Spec,
+    build_transform,
+    transform_kinds,
+)
+
+
+@pytest.fixture()
+def pool():
+    vocab = Vocabulary([f"t{i}" for i in range(28)])
+    rng = np.random.default_rng(11)
+    sentences = [
+        rng.integers(2, len(vocab), size=rng.integers(3, 8)).tolist()
+        for _ in range(30)
+    ]
+    labels = (np.arange(30) % 3).tolist()
+    train = TextDataset(sentences[:22], labels[:22], vocab, 3, name="train")
+    test = TextDataset(sentences[22:], labels[22:], vocab, 3, name="test")
+    return train, test
+
+
+NOISY = {
+    "name": "noisy",
+    "seed": 4,
+    "transforms": [{"kind": "label_noise", "params": {"rate": 0.2}}],
+}
+
+
+class TestRegistry:
+    def test_known_kinds(self):
+        assert {"identity", "label_noise", "class_imbalance",
+                "lexicon_shift", "annotation_cost"} <= set(transform_kinds())
+
+    def test_build_and_params_roundtrip(self):
+        transform = build_transform(Spec(kind="label_noise", params={"rate": 0.3}))
+        assert transform.rate == 0.3
+        assert TRANSFORM_REGISTRY.spec_of(transform).params == {"rate": 0.3}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError):
+            build_transform(Spec(kind="bogus"))
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        scenario = ScenarioSpec.from_dict(NOISY)
+        assert ScenarioSpec.from_dict(scenario.to_dict()).to_dict() == scenario.to_dict()
+        assert scenario.to_dict()["name"] == "noisy"
+        assert scenario.to_dict()["seed"] == 4
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown scenario key"):
+            ScenarioSpec.from_dict({"name": "x", "bogus": 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SpecError, match="dict"):
+            ScenarioSpec.from_dict([1, 2])
+
+    def test_non_list_transforms_rejected(self):
+        with pytest.raises(SpecError, match="transforms"):
+            ScenarioSpec.from_dict({"transforms": "label_noise"})
+
+    def test_equality_is_structural(self):
+        assert ScenarioSpec.from_dict(NOISY) == ScenarioSpec.from_dict(dict(NOISY))
+        assert ScenarioSpec.from_dict(NOISY) != ScenarioSpec(name="noisy", seed=5)
+
+    def test_validate_surfaces_bad_params(self):
+        scenario = ScenarioSpec(
+            transforms=[{"kind": "label_noise", "params": {"rate": 7}}]
+        )
+        with pytest.raises(Exception, match="rate"):
+            scenario.validate()
+
+
+class TestIdentityAndFingerprint:
+    def test_empty_scenario_is_identity(self):
+        assert ScenarioSpec().is_identity()
+        assert ScenarioSpec().fingerprint() is None
+
+    def test_identity_transforms_are_identity(self):
+        scenario = ScenarioSpec(transforms=[{"kind": "identity"}] * 2)
+        assert scenario.is_identity()
+        assert scenario.fingerprint() is None
+
+    def test_effective_scenario_fingerprints(self):
+        fingerprint = ScenarioSpec.from_dict(NOISY).fingerprint()
+        assert fingerprint["seed"] == 4
+        assert fingerprint["transforms"][0]["kind"] == "label_noise"
+
+    def test_identity_entries_kept_in_fingerprint(self):
+        # RNG streams are position-indexed: [identity, noise] and [noise]
+        # draw the noise from different streams, so the identity entry
+        # must stay in the fingerprint.
+        with_pad = ScenarioSpec(
+            seed=4,
+            transforms=[{"kind": "identity"}, NOISY["transforms"][0]],
+        )
+        without = ScenarioSpec(seed=4, transforms=[NOISY["transforms"][0]])
+        assert with_pad.fingerprint() != without.fingerprint()
+
+    def test_name_not_part_of_fingerprint(self):
+        a = ScenarioSpec.from_dict(NOISY)
+        b = ScenarioSpec.from_dict({**NOISY, "name": "other"})
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestApply:
+    def test_apply_is_deterministic(self, pool):
+        train, test = pool
+        scenario = ScenarioSpec.from_dict(NOISY)
+        first, _ = scenario.apply(train, test)
+        second, _ = scenario.apply(train, test)
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_seed_changes_perturbation(self, pool):
+        train, test = pool
+        a, _ = ScenarioSpec.from_dict(NOISY).apply(train, test)
+        b, _ = ScenarioSpec.from_dict({**NOISY, "seed": 5}).apply(train, test)
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_position_indexes_the_stream(self, pool):
+        train, test = pool
+        plain, _ = ScenarioSpec(
+            seed=4, transforms=[NOISY["transforms"][0]]
+        ).apply(train, test)
+        padded, _ = ScenarioSpec(
+            seed=4, transforms=[{"kind": "identity"}, NOISY["transforms"][0]]
+        ).apply(train, test)
+        assert not np.array_equal(plain.labels, padded.labels)
+
+    def test_transforms_compose_in_order(self, pool):
+        train, test = pool
+        scenario = ScenarioSpec(
+            seed=0,
+            transforms=[
+                {"kind": "label_noise", "params": {"rate": 0.3}},
+                {"kind": "class_imbalance", "params": {"class_id": 0, "keep": 0.5}},
+            ],
+        )
+        out_train, _ = scenario.apply(train, test)
+        assert len(out_train) < len(train)
+
+
+class TestCosts:
+    def test_no_cost_transform_means_none(self, pool):
+        assert ScenarioSpec.from_dict(NOISY).costs(pool[0]) is None
+
+    def test_last_cost_model_wins(self, pool):
+        train, _ = pool
+        scenario = ScenarioSpec(
+            transforms=[
+                {"kind": "annotation_cost", "params": {"model": "constant", "value": 9.0}},
+                {"kind": "annotation_cost", "params": {"model": "constant", "value": 2.0}},
+            ]
+        )
+        assert np.array_equal(scenario.costs(train), np.full(len(train), 2.0))

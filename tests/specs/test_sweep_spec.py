@@ -1,0 +1,282 @@
+"""Tests for the sweep document: grid derivation, slugs, validation."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import SpecError
+from repro.experiments import ExperimentConfig
+from repro.specs import ExperimentSpec, Spec, SweepSpec
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def base_document(**config_overrides) -> dict:
+    config = dict(batch_size=5, rounds=2, repeats=1, seed=7)
+    config.update(config_overrides)
+    return ExperimentSpec(
+        dataset=Spec(kind="mr", params={"scale": 0.06, "seed": 7}),
+        strategies={"random": Spec(kind="random"), "entropy": Spec(kind="entropy")},
+        config=ExperimentConfig(**config),
+    ).to_dict()
+
+
+def sweep_document(axes, **extra) -> dict:
+    document = {
+        "format": "repro.sweep",
+        "version": 1,
+        "name": "test",
+        "base": base_document(),
+        "scenario_seed": 3,
+        "axes": axes,
+    }
+    document.update(extra)
+    return document
+
+
+NOISE_AXIS = {
+    "name": "noise",
+    "cells": [
+        {"name": "clean"},
+        {"name": "p20", "transforms": [{"kind": "label_noise", "params": {"rate": 0.2}}]},
+    ],
+}
+SHAPE_AXIS = {
+    "name": "shape",
+    "cells": [
+        {"name": "b5"},
+        {"name": "b10", "experiment": {"batch_size": 10}},
+    ],
+}
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS, SHAPE_AXIS]))
+        assert SweepSpec.from_dict(sweep.to_dict()).to_dict() == sweep.to_dict()
+
+    def test_file_roundtrip(self, tmp_path):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS]))
+        path = tmp_path / "sweep.json"
+        sweep.save(path)
+        assert SweepSpec.from_file(path).to_dict() == sweep.to_dict()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SpecError, match="repro.sweep"):
+            SweepSpec.from_dict({"format": "repro.experiment", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SpecError, match="version"):
+            SweepSpec.from_dict(sweep_document([NOISE_AXIS]) | {"version": 9})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown sweep key"):
+            SweepSpec.from_dict(sweep_document([NOISE_AXIS], bogus=1))
+
+    def test_missing_base_rejected(self):
+        document = sweep_document([NOISE_AXIS])
+        del document["base"]
+        with pytest.raises(SpecError, match="base"):
+            SweepSpec.from_dict(document)
+
+    def test_base_scenario_rejected(self):
+        base = base_document()
+        base["scenario"] = {"transforms": [{"kind": "label_noise"}]}
+        with pytest.raises(SpecError, match="scenario"):
+            SweepSpec.from_dict(sweep_document([NOISE_AXIS]) | {"base": base})
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(SpecError, match="duplicate axis"):
+            SweepSpec.from_dict(sweep_document([NOISE_AXIS, dict(NOISE_AXIS)]))
+
+    def test_duplicate_cell_names_rejected(self):
+        axis = {"name": "noise", "cells": [{"name": "a"}, {"name": "a"}]}
+        with pytest.raises(SpecError, match="duplicate cell"):
+            SweepSpec.from_dict(sweep_document([axis]))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpecError, match="cells"):
+            SweepSpec.from_dict(sweep_document([{"name": "noise", "cells": []}]))
+
+    def test_nameless_cell_rejected(self):
+        axis = {"name": "noise", "cells": [{"transforms": []}]}
+        with pytest.raises(SpecError, match="name"):
+            SweepSpec.from_dict(sweep_document([axis]))
+
+    def test_unknown_cell_key_rejected(self):
+        axis = {"name": "noise", "cells": [{"name": "a", "runner": {}}]}
+        with pytest.raises(SpecError, match="unknown cell key"):
+            SweepSpec.from_dict(sweep_document([axis]))
+
+    def test_unknown_experiment_override_rejected(self):
+        axis = {
+            "name": "shape",
+            "cells": [{"name": "a", "experiment": {"n_jobs": 4}}],
+        }
+        with pytest.raises(SpecError, match="override"):
+            SweepSpec.from_dict(sweep_document([axis]))
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(SpecError, match="cannot read"):
+            SweepSpec.from_file(path)
+
+
+class TestGrid:
+    def test_shape_and_len(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS, SHAPE_AXIS]))
+        assert sweep.shape == (2, 2)
+        assert len(sweep) == 4
+
+    def test_axis_free_sweep_has_one_cell(self):
+        sweep = SweepSpec.from_dict(sweep_document([]))
+        assert sweep.shape == ()
+        assert len(sweep) == 1
+        (cell,) = sweep.cells()
+        assert cell.key == ""
+        assert cell.document == sweep.base
+
+    def test_cells_row_major_last_axis_fastest(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS, SHAPE_AXIS]))
+        keys = [cell.key for cell in sweep.cells()]
+        assert keys == ["clean/b5", "clean/b10", "p20/b5", "p20/b10"]
+
+    def test_clean_cell_document_equals_base(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS]))
+        clean = sweep.cell((0,))
+        assert clean.document == sweep.base
+        assert "scenario" not in clean.document
+
+    def test_perturbed_cell_gets_sweep_scenario(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS]))
+        perturbed = sweep.cell((1,))
+        assert perturbed.document["scenario"]["seed"] == 3
+        assert perturbed.document["scenario"]["name"] == "p20"
+        kinds = [t["kind"] for t in perturbed.document["scenario"]["transforms"]]
+        assert kinds == ["label_noise"]
+
+    def test_transforms_concatenate_in_axis_order(self):
+        cost_axis = {
+            "name": "cost",
+            "cells": [
+                {
+                    "name": "length",
+                    "transforms": [
+                        {"kind": "annotation_cost", "params": {"model": "length"}}
+                    ],
+                }
+            ],
+        }
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS, cost_axis]))
+        cell = sweep.cell((1, 0))
+        kinds = [t["kind"] for t in cell.document["scenario"]["transforms"]]
+        assert kinds == ["label_noise", "annotation_cost"]
+        assert cell.key == "p20/length"
+
+    def test_experiment_overrides_merge_later_axes_win(self):
+        other = {
+            "name": "rounds",
+            "cells": [{"name": "r3", "experiment": {"rounds": 3, "batch_size": 7}}],
+        }
+        sweep = SweepSpec.from_dict(sweep_document([SHAPE_AXIS, other]))
+        cell = sweep.cell((1, 0))
+        assert cell.document["experiment"]["batch_size"] == 7
+        assert cell.document["experiment"]["rounds"] == 3
+        # untouched base shape keys survive the merge
+        assert cell.document["experiment"]["repeats"] == 1
+
+    def test_cell_spec_builds(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS]))
+        spec = sweep.cell((1,)).spec
+        assert spec.scenario is not None
+        assert spec.scenario_fingerprint()["seed"] == 3
+
+    def test_bad_coords_rejected(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS]))
+        with pytest.raises(SpecError, match="coords"):
+            sweep.cell((0, 0))
+
+    def test_cell_derivation_does_not_mutate_base(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS, SHAPE_AXIS]))
+        before = copy.deepcopy(sweep.base)
+        sweep.cells()
+        assert sweep.base == before
+
+
+class TestSlugs:
+    def test_slugs_unique_across_grid(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS, SHAPE_AXIS]))
+        slugs = [cell.slug for cell in sweep.cells()]
+        assert len(set(slugs)) == len(slugs)
+
+    def test_slug_stable_for_identical_document(self):
+        a = SweepSpec.from_dict(sweep_document([NOISE_AXIS])).cell((1,))
+        b = SweepSpec.from_dict(sweep_document([NOISE_AXIS])).cell((1,))
+        assert a.slug == b.slug
+
+    def test_slug_changes_with_cell_content(self):
+        edited = copy.deepcopy(NOISE_AXIS)
+        edited["cells"][1]["transforms"][0]["params"]["rate"] = 0.3
+        a = SweepSpec.from_dict(sweep_document([NOISE_AXIS])).cell((1,))
+        b = SweepSpec.from_dict(sweep_document([edited])).cell((1,))
+        assert a.slug != b.slug
+
+    def test_colliding_sanitized_names_still_distinct(self):
+        axis = {
+            "name": "noise",
+            "cells": [
+                {"name": "p:1", "transforms": [
+                    {"kind": "label_noise", "params": {"rate": 0.1}}]},
+                {"name": "p/1", "transforms": [
+                    {"kind": "label_noise", "params": {"rate": 0.2}}]},
+            ],
+        }
+        sweep = SweepSpec.from_dict(sweep_document([axis]))
+        a, b = sweep.cells()
+        assert a.slug != b.slug
+
+    def test_slug_is_filesystem_safe(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS, SHAPE_AXIS]))
+        for cell in sweep.cells():
+            assert all(ch.isalnum() or ch in "._-" for ch in cell.slug)
+
+
+class TestValidation:
+    def test_validate_notes_cover_grid_and_metrics(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS, SHAPE_AXIS]))
+        notes = sweep.validate()
+        assert any("2x2 grid (4 cells)" in note for note in notes)
+        assert any(note.startswith("metrics:") for note in notes)
+        assert sum("ok [" in note for note in notes) == 4
+
+    def test_default_metrics_when_unset(self):
+        sweep = SweepSpec.from_dict(sweep_document([NOISE_AXIS]))
+        assert sweep.metrics is None
+        assert sweep.metric_pipeline().labels() == [
+            "final", "auc", "speedup", "contradiction", "cost_auc",
+        ]
+
+    def test_explicit_metrics_round_trip(self):
+        document = sweep_document(
+            [NOISE_AXIS], metrics=[{"kind": "final"}, {"kind": "auc"}]
+        )
+        sweep = SweepSpec.from_dict(document)
+        assert sweep.metric_pipeline().labels() == ["final", "auc"]
+        assert [m["kind"] for m in sweep.to_dict()["metrics"]] == ["final", "auc"]
+
+    def test_bad_transform_fails_validation(self):
+        axis = {
+            "name": "noise",
+            "cells": [{"name": "x", "transforms": [{"kind": "bogus"}]}],
+        }
+        sweep = SweepSpec.from_dict(sweep_document([axis]))
+        with pytest.raises(SpecError):
+            sweep.validate()
+
+    def test_example_document_validates(self):
+        sweep = SweepSpec.from_file(EXAMPLES / "sweep_noise_grid.json")
+        notes = sweep.validate()
+        assert any("3x2 grid (6 cells)" in note for note in notes)

@@ -199,9 +199,9 @@ class TestCompareCommand:
             )
             return results
 
-        import repro.cli as cli_module
-        real_run_comparison = cli_module.run_comparison
-        monkeypatch.setattr(cli_module, "run_comparison", fake_run_comparison)
+        import repro.experiments.sweep as sweep_module
+        real_run_comparison = sweep_module.run_comparison
+        monkeypatch.setattr(sweep_module, "run_comparison", fake_run_comparison)
         code = main([
             "compare", "--dataset", "mr", "--scale", "0.05",
             "--strategies", "random",
@@ -216,12 +216,12 @@ class TestCompareCommand:
 
 class TestKeyboardInterrupt:
     def _interrupted_main(self, monkeypatch, argv):
-        import repro.cli as cli_module
+        import repro.experiments.sweep as sweep_module
 
         def interrupted(*args, **kwargs):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(cli_module, "run_comparison", interrupted)
+        monkeypatch.setattr(sweep_module, "run_comparison", interrupted)
         return main(argv)
 
     def test_exit_code_130(self, capsys, monkeypatch):
@@ -246,12 +246,12 @@ class TestKeyboardInterrupt:
         assert "--resume" in captured.err
 
     def test_queue_hint_when_distributed(self, capsys, monkeypatch, tmp_path):
-        import repro.cli as cli_module
+        import repro.experiments.sweep as sweep_module
 
         def interrupted(*args, **kwargs):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(cli_module, "run_distributed", interrupted)
+        monkeypatch.setattr(sweep_module, "run_distributed", interrupted)
         code = main([
             "compare", "--dataset", "mr", "--scale", "0.05",
             "--strategies", "random",
@@ -394,3 +394,112 @@ class TestTrainRankerCommand:
         ])
         factory = build_strategy_factory("lhs:entropy", 3, str(ranker_path))
         assert isinstance(factory(), LHS)
+
+
+class TestSweepCommands:
+    """CLI surface of `repro sweep run/validate/show`."""
+
+    @staticmethod
+    def _base_document():
+        import repro.specs as specs
+        from repro.experiments import ExperimentConfig
+
+        return specs.ExperimentSpec(
+            dataset=specs.Spec(kind="mr", params={"scale": 0.05, "seed": 7}),
+            strategies={
+                "random": specs.Spec(kind="random"),
+                "entropy": specs.Spec(kind="entropy"),
+            },
+            config=ExperimentConfig(batch_size=10, rounds=2, repeats=1, seed=9),
+        ).to_dict()
+
+    @classmethod
+    def _write_sweep(cls, path, axes, **extra):
+        import json
+
+        document = {
+            "format": "repro.sweep",
+            "version": 1,
+            "name": "cli-test",
+            "base": cls._base_document(),
+            "scenario_seed": 2,
+            "axes": axes,
+        }
+        document.update(extra)
+        path.write_text(json.dumps(document))
+        return path
+
+    NOISE_AXIS = {
+        "name": "noise",
+        "cells": [
+            {"name": "clean"},
+            {
+                "name": "p20",
+                "transforms": [{"kind": "label_noise", "params": {"rate": 0.2}}],
+            },
+        ],
+    }
+
+    def test_degenerate_sweep_matches_run_config(self, capsys, tmp_path):
+        import json
+
+        config = tmp_path / "experiment.json"
+        config.write_text(json.dumps(self._base_document()))
+        assert main(["run", "--config", str(config)]) == 0
+        reference = capsys.readouterr().out
+
+        sweep = self._write_sweep(tmp_path / "sweep.json", [])
+        assert main(["sweep", "run", str(sweep)]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_grid_prints_cells_and_matrices(self, capsys, tmp_path):
+        sweep = self._write_sweep(
+            tmp_path / "sweep.json", [self.NOISE_AXIS],
+            metrics=[{"kind": "final"}],
+        )
+        assert main(["sweep", "run", str(sweep)]) == 0
+        out = capsys.readouterr().out
+        assert "=== cell clean (1/2) ===" in out
+        assert "=== cell p20 (2/2) ===" in out
+        assert "metrics: p20" in out
+        assert "final [random] across the grid" in out
+        assert "final [entropy] across the grid" in out
+
+    def test_sweep_resume_output_byte_identical(self, capsys, tmp_path):
+        sweep = self._write_sweep(
+            tmp_path / "sweep.json", [self.NOISE_AXIS],
+            metrics=[{"kind": "final"}, {"kind": "auc"}],
+        )
+        sweep_dir = tmp_path / "state"
+        assert main(["sweep", "run", str(sweep), "--sweep-dir", str(sweep_dir)]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "sweep", "run", str(sweep), "--sweep-dir", str(sweep_dir), "--resume",
+        ]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_validate_reports_grid(self, capsys, tmp_path):
+        sweep = self._write_sweep(tmp_path / "sweep.json", [self.NOISE_AXIS])
+        assert main(["sweep", "validate", str(sweep)]) == 0
+        out = capsys.readouterr().out
+        assert "2 grid (2 cells)" in out
+        assert "valid sweep document" in out
+
+    def test_show_cells_prints_derived_documents(self, capsys, tmp_path):
+        import json
+
+        sweep = self._write_sweep(tmp_path / "sweep.json", [self.NOISE_AXIS])
+        assert main(["sweep", "show", str(sweep), "--cells"]) == 0
+        out = capsys.readouterr().out
+        assert "=== cell clean" in out
+        assert '"label_noise"' in out
+
+        assert main(["sweep", "show", str(sweep)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro.sweep"
+
+    def test_invalid_sweep_file_is_spec_error_exit(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        assert main(["sweep", "validate", str(bad)]) == 2
+        assert "cannot read" in capsys.readouterr().err
